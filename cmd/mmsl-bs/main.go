@@ -1,0 +1,84 @@
+// Command mmsl-bs runs the base-station half of the split network: it
+// owns the received-power measurements and labels, the LSTM layers, and
+// the training loop. It connects to a running mmsl-ue, orchestrates
+// distributed SGD steps over the framed protocol, and reports validation
+// RMSE as training progresses.
+//
+// See cmd/mmsl-ue for the pairing instructions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/transport"
+)
+
+func main() {
+	connect := flag.String("connect", "localhost:9910", "UE address")
+	frames := flag.Int("frames", 2400, "synthetic dataset length (must match the UE)")
+	seed := flag.Int64("seed", 1, "shared experiment seed (must match the UE)")
+	pool := flag.Int("pool", 40, "square pooling size (must match the UE)")
+	steps := flag.Int("steps", 200, "distributed SGD steps")
+	evalEvery := flag.Int("eval-every", 40, "validate every N steps")
+	valAnchors := flag.Int("val-anchors", 128, "validation anchors per evaluation")
+	flag.Parse()
+
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = *frames
+	gen.Seed = *seed
+	data, err := dataset.Generate(gen)
+	if err != nil {
+		log.Fatalf("mmsl-bs: generate dataset: %v", err)
+	}
+	cfg := split.DefaultConfig(split.ImageRF, *pool)
+	cfg.Seed = *seed
+	sp, err := dataset.NewSplit(data, cfg.SeqLen, cfg.HorizonFrames, data.Len()*3/4)
+	if err != nil {
+		log.Fatalf("mmsl-bs: split: %v", err)
+	}
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatalf("mmsl-bs: connect: %v", err)
+	}
+	defer conn.Close()
+	fmt.Printf("mmsl-bs: connected to UE at %s\n", conn.RemoteAddr())
+
+	bs, err := transport.NewBSPeer(cfg, data, sp, conn)
+	if err != nil {
+		log.Fatalf("mmsl-bs: %v", err)
+	}
+
+	val := sp.Val
+	if len(val) > *valAnchors {
+		stride := len(val) / *valAnchors
+		sub := make([]int, 0, *valAnchors)
+		for i := 0; i < *valAnchors; i++ {
+			sub = append(sub, val[i*stride])
+		}
+		val = sub
+	}
+
+	for s := 1; s <= *steps; s++ {
+		loss, err := bs.TrainStep()
+		if err != nil {
+			log.Fatalf("mmsl-bs: step %d: %v", s, err)
+		}
+		if s%*evalEvery == 0 || s == *steps {
+			rmse, err := bs.Evaluate(val)
+			if err != nil {
+				log.Fatalf("mmsl-bs: evaluate: %v", err)
+			}
+			fmt.Printf("mmsl-bs: step %4d  batch loss %.4f  val RMSE %.2f dB\n", s, loss, rmse)
+		}
+	}
+	if err := bs.Shutdown(); err != nil {
+		log.Printf("mmsl-bs: shutdown: %v", err)
+	}
+	fmt.Println("mmsl-bs: done")
+}

@@ -1,0 +1,77 @@
+// Command mmsl-ue runs the user-equipment half of the split network as a
+// standalone process: it owns the depth camera's frames and the CNN
+// layers, listens for a base station connection, and serves forward
+// passes over the framed split-learning protocol. Raw images never leave
+// this process — only pooled CNN outputs do.
+//
+// Pair it with mmsl-bs:
+//
+//	mmsl-ue -listen :9910 -seed 1 &
+//	mmsl-bs -connect localhost:9910 -seed 1 -steps 200
+//
+// Both sides must be started with the same -seed, -frames, -pool and
+// -scheme so that their model halves and dataset agree (in a real
+// deployment the dataset is the shared physical environment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":9910", "address to listen for the BS")
+	frames := flag.Int("frames", 2400, "synthetic dataset length")
+	seed := flag.Int64("seed", 1, "shared experiment seed")
+	pool := flag.Int("pool", 40, "square pooling size")
+	once := flag.Bool("once", true, "exit after serving one BS session")
+	flag.Parse()
+
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = *frames
+	gen.Seed = *seed
+	data, err := dataset.Generate(gen)
+	if err != nil {
+		log.Fatalf("mmsl-ue: generate dataset: %v", err)
+	}
+	cfg := split.DefaultConfig(split.ImageRF, *pool)
+	cfg.Seed = *seed
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("mmsl-ue: listen: %v", err)
+	}
+	defer ln.Close()
+	fmt.Printf("mmsl-ue: serving CNN half (pooling %d×%d) on %s\n", *pool, *pool, ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("mmsl-ue: accept: %v", err)
+		}
+		fmt.Printf("mmsl-ue: BS connected from %s\n", conn.RemoteAddr())
+		ue, err := transport.NewUEPeer(cfg, data, conn)
+		if err != nil {
+			log.Fatalf("mmsl-ue: %v", err)
+		}
+		err = ue.Serve()
+		conn.Close()
+		switch {
+		case err == nil:
+			fmt.Println("mmsl-ue: session finished cleanly")
+		case transport.IsClosedConn(err):
+			fmt.Println("mmsl-ue: BS disconnected")
+		default:
+			log.Printf("mmsl-ue: session error: %v", err)
+		}
+		if *once {
+			return
+		}
+	}
+}

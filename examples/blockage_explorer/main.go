@@ -1,0 +1,86 @@
+// Blockage explorer: watch the synthetic corridor through both sensor
+// modalities at once. For a stretch of simulation time this example
+// prints the received-power trace alongside ASCII renderings of the depth
+// camera, making the paper's core premise visible: the walker appears in
+// the image seconds before the power collapses.
+//
+//	go run ./examples/blockage_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/pgm"
+	"repro/internal/scene"
+)
+
+func main() {
+	cfg := scene.DefaultConfig()
+	cfg.ImageH, cfg.ImageW = 20, 40 // wider-than-tall for terminal output
+	// The ASCII renderer min-max normalises each frame, which would blow
+	// sensor noise up to full contrast in walker-free frames; keep the
+	// visualisation clean.
+	cfg.PixelNoise = 0
+	sc, err := scene.New(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the first blockage event in the first minute.
+	var eventT float64 = -1
+	probe, err := scene.New(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 0.0; t < 60; t += 0.033 {
+		probe.Advance(t)
+		if probe.BlockageLossDB(t) > 10 {
+			eventT = t
+			break
+		}
+	}
+	if eventT < 0 {
+		log.Fatal("no blockage event in the first minute (unexpected for the default config)")
+	}
+	fmt.Printf("first deep blockage at t = %.2f s; replaying from %.2f s\n\n", eventT, eventT-2)
+
+	// Replay from 2 s before the event, printing every ~0.4 s.
+	start := eventT - 2
+	frame := 0
+	for t := 0.0; t < eventT+1.5; t += 0.033 {
+		sc.Advance(t)
+		power := sc.ReceivedPowerDBm(t)
+		if t < start {
+			continue
+		}
+		if frame%12 == 0 {
+			img := sc.RenderDepth(t)
+			bar := powerBar(power)
+			fmt.Printf("t=%6.2fs  P=%7.2f dBm  %s\n", t, power, bar)
+			art := pgm.ASCII(img, cfg.ImageH, cfg.ImageW)
+			for _, line := range strings.Split(strings.TrimRight(art, "\n"), "\n") {
+				fmt.Println("    |" + line + "|")
+			}
+			fmt.Println()
+		}
+		frame++
+	}
+	fmt.Println("note how the silhouette enters the frame before the power drops —")
+	fmt.Println("the advance warning the multimodal model exploits.")
+}
+
+// powerBar renders received power as a bar from -50 to -15 dBm.
+func powerBar(dbm float64) string {
+	const width = 30
+	frac := (dbm + 50) / 35
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * width)
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
+}

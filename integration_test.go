@@ -1,0 +1,200 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/online"
+	"repro/internal/radio"
+	"repro/internal/split"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Integration tests: cross-module flows a downstream user would run,
+// end to end, at a scale suitable for CI.
+
+func integrationScale() experiments.Scale {
+	return experiments.Scale{
+		Frames:        900,
+		TrainFrac:     0.7,
+		MaxEpochs:     2,
+		StepsPerEpoch: 10,
+		ValBatch:      64,
+		Seed:          4242,
+	}
+}
+
+// TestIntegrationTrainCheckpointStream is the full deployment lifecycle:
+// train over the lossy channel → checkpoint → restore into a fresh
+// process-like model → stream online predictions → sanity-check stats.
+func TestIntegrationTrainCheckpointStream(t *testing.T) {
+	env, err := experiments.NewEnv(integrationScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := env.NewTrainer(split.ImageRF, 40, split.NewPaperSimLink(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) == 0 || tr.Clock.Seconds() <= 0 {
+		t.Fatal("training produced no curve or no virtual time")
+	}
+
+	// Checkpoint → restore.
+	var ckpt bytes.Buffer
+	if err := split.SaveCheckpoint(&ckpt, tr.Model); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tr.Model.Cfg
+	cfg.Seed = 777 // a different init that the checkpoint must overwrite
+	restored, err := split.NewModel(cfg, env.Data, env.Norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := split.LoadCheckpoint(&ckpt, restored); err != nil {
+		t.Fatal(err)
+	}
+	if !split.ParamsEqual(tr.Model, restored) {
+		t.Fatal("restored model differs from trained model")
+	}
+
+	// Stream the restored model online over the paper uplink.
+	ch := channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
+		rand.New(rand.NewSource(11)))
+	first := env.Split.Val[0]
+	res, err := online.Stream(restored, env.Data, ch, online.DefaultConfig(), first, first+80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Outages != 0 {
+		t.Fatalf("paper-parameter streaming had %d outages", res.Stats.Outages)
+	}
+	if res.Stats.RMSEdB <= 0 || math.IsNaN(res.Stats.RMSEdB) {
+		t.Fatalf("streaming RMSE = %g", res.Stats.RMSEdB)
+	}
+
+	// The streamed predictions must match the batch API (no outages ⇒
+	// identical inputs).
+	batch := restored.PredictAnchors(res.Anchors)
+	for i := range batch {
+		if math.Abs(batch[i]-res.PredDBm[i]) > 1e-9 {
+			t.Fatalf("anchor %d: stream %g vs batch %g", res.Anchors[i], res.PredDBm[i], batch[i])
+		}
+	}
+}
+
+// TestIntegrationDatasetFileFlow exercises the CLI's dataset path:
+// generate → save → load → train on the loaded copy.
+func TestIntegrationDatasetFileFlow(t *testing.T) {
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = 600
+	gen.Seed = 5
+	d, err := dataset.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.mmsl"
+	if err := dataset.Save(path, d); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataset.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := experiments.NewEnvFromDataset(integrationScale(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := env.NewTrainer(split.RFOnly, 1, split.IdealLink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationProtocolRobustness floods ReadMessage with mutated
+// frames: it must never panic, and every mutation of a valid frame must
+// either fail or decode to a structurally valid message.
+func TestIntegrationProtocolRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := &transport.Message{
+		Type:    transport.MsgActivations,
+		Step:    3,
+		Anchors: []int32{5, 9},
+		Tensor:  tensor.Randn(rng, 1, 2, 3),
+	}
+	var buf bytes.Buffer
+	if err := transport.WriteMessage(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte(nil), pristine...)
+		// 1–3 random byte mutations.
+		for m := 0; m <= rng.Intn(3); m++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation panicked: %v", r)
+				}
+			}()
+			msg, err := transport.ReadMessage(bytes.NewReader(mutated))
+			if err != nil {
+				return // rejection is the expected outcome
+			}
+			// CRC collisions are possible in principle; a decoded message
+			// must still be structurally sane.
+			if msg.Tensor != nil && msg.Tensor.Size() > 1<<28 {
+				t.Fatal("decoded mutant with absurd tensor")
+			}
+		}()
+	}
+}
+
+// TestIntegrationSeedReproducibility re-runs a full quick experiment and
+// demands bit-identical learning curves.
+func TestIntegrationSeedReproducibility(t *testing.T) {
+	run := func() []float64 {
+		env, err := experiments.NewEnv(integrationScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := env.NewTrainer(split.ImageRF, 40, split.NewPaperSimLink(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		curve, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, 2*len(curve.Points))
+		for _, p := range curve.Points {
+			out = append(out, p.TimeS, p.RMSEdB)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("curve lengths differ between identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("value %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

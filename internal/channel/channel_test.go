@@ -1,0 +1,219 @@
+package channel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/radio"
+)
+
+func paperUL(seed int64) *Channel {
+	return MustNew(radio.PaperUplink(), radio.PaperSlotSeconds, rand.New(rand.NewSource(seed)))
+}
+
+func paperDL(seed int64) *Channel {
+	return MustNew(radio.PaperDownlink(), radio.PaperSlotSeconds, rand.New(rand.NewSource(seed)))
+}
+
+// paperPayload returns B^UL for the calibrated constants (B=64, R=32, L=4,
+// 40×40 images) at a given square pooling size.
+func paperPayload(pool int) int {
+	return PaperUplinkPayloadBits(40, 40, 64, 32, 4, pool, pool)
+}
+
+func TestPayloadFormula(t *testing.T) {
+	cases := map[int]int{
+		1:  13107200,
+		4:  819200,
+		10: 131072,
+		40: 8192,
+	}
+	for pool, want := range cases {
+		if got := paperPayload(pool); got != want {
+			t.Fatalf("pool %d: payload = %d bits, want %d", pool, got, want)
+		}
+	}
+}
+
+// TestTable1SuccessProbabilities is the quantitative reproduction of the
+// paper's Table 1 "Success Probability" row.
+func TestTable1SuccessProbabilities(t *testing.T) {
+	ch := paperUL(1)
+	cases := []struct {
+		pool      int
+		want, tol float64
+	}{
+		{1, 0.00, 1e-6},
+		{4, 0.0270, 0.002}, // paper prints 0.0270; analytic 0.0276
+		{10, 0.999, 1e-3},
+		{40, 1.00, 1e-3},
+	}
+	for _, tc := range cases {
+		got := ch.SuccessProbability(paperPayload(tc.pool))
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("pool %d×%d: success prob = %g, want %g ± %g", tc.pool, tc.pool, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestSuccessProbabilityMonotoneInPayload(t *testing.T) {
+	ch := paperUL(2)
+	f := func(a, b uint32) bool {
+		ba, bb := int(a%1e7)+1, int(b%1e7)+1
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		return ch.SuccessProbability(ba) >= ch.SuccessProbability(bb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessProbabilityEdgeCases(t *testing.T) {
+	ch := paperUL(3)
+	if p := ch.SuccessProbability(0); p != 1 {
+		t.Fatalf("empty payload success = %g, want 1", p)
+	}
+	if p := ch.SuccessProbability(1); p <= 0.999 {
+		t.Fatalf("1-bit payload success = %g, want ≈ 1", p)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	// Empirical slot counts for the 4×4-pooling payload must match the
+	// geometric distribution implied by the analytic success probability.
+	ch := paperUL(4)
+	bits := paperPayload(4)
+	p := ch.SuccessProbability(bits)
+
+	const trials = 3000
+	totalSlots := 0
+	for i := 0; i < trials; i++ {
+		s, err := ch.Transmit(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSlots += s
+	}
+	got := float64(totalSlots) / trials
+	want := 1 / p
+	// Geometric mean-slot estimate: stderr ≈ want/√trials; allow 4σ.
+	if math.Abs(got-want) > 4*want/math.Sqrt(trials) {
+		t.Fatalf("mean slots = %g, analytic %g", got, want)
+	}
+}
+
+func TestTransmitOnePixelPayloadIsOneSlot(t *testing.T) {
+	ch := paperUL(5)
+	bits := paperPayload(40)
+	for i := 0; i < 100; i++ {
+		s, err := ch.Transmit(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 1 {
+			t.Fatalf("1-pixel payload took %d slots; success prob should be ≈ 1", s)
+		}
+	}
+}
+
+func TestTransmitUndeliverablePayload(t *testing.T) {
+	ch := paperUL(6)
+	_, err := ch.Transmit(paperPayload(1)) // 13.1 Mbit: p ≈ 0
+	if !errors.Is(err, ErrUndeliverable) {
+		t.Fatalf("want ErrUndeliverable, got %v", err)
+	}
+}
+
+func TestTransmitNegativePayload(t *testing.T) {
+	ch := paperUL(7)
+	if _, err := ch.Transmit(-1); err == nil {
+		t.Fatal("negative payload accepted")
+	}
+}
+
+func TestExpectedDelay(t *testing.T) {
+	ch := paperUL(8)
+	bits := paperPayload(10)
+	d := ch.ExpectedDelay(bits)
+	// p ≈ 0.9999996 → delay ≈ τ = 1 ms.
+	if math.Abs(d-1e-3) > 1e-6 {
+		t.Fatalf("expected delay = %g s, want ≈ 1 ms", d)
+	}
+	if !math.IsInf(ch.ExpectedSlots(paperPayload(1)), 1) {
+		t.Fatal("1×1 pooling payload should have infinite expected slots")
+	}
+}
+
+func TestDownlinkDeliversGradientPayloads(t *testing.T) {
+	// The backward gradient for 4×4 pooling crosses the 100 MHz downlink
+	// with high probability per slot.
+	ch := paperDL(9)
+	p := ch.SuccessProbability(paperPayload(4))
+	if p < 0.999 {
+		t.Fatalf("downlink success for 4×4 gradient = %g, want ≈ 1", p)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	ch := paperUL(10)
+	bits := paperPayload(40)
+	for i := 0; i < 5; i++ {
+		if _, err := ch.Transmit(bits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ch.Stats()
+	if st.PayloadsSent != 5 {
+		t.Fatalf("payloads = %d, want 5", st.PayloadsSent)
+	}
+	if st.BitsSent != int64(5*bits) {
+		t.Fatalf("bits = %d, want %d", st.BitsSent, 5*bits)
+	}
+	if st.SlotsUsed < 5 {
+		t.Fatalf("slots = %d, want ≥ 5", st.SlotsUsed)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if _, err := New(radio.PaperUplink(), 0, rng); err == nil {
+		t.Fatal("zero slot length accepted")
+	}
+	if _, err := New(radio.PaperUplink(), 1e-3, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	bad := radio.PaperUplink()
+	bad.BandwidthHz = -1
+	if _, err := New(bad, 1e-3, rng); err == nil {
+		t.Fatal("invalid budget accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	bits := paperPayload(4)
+	a, b := paperUL(42), paperUL(42)
+	for i := 0; i < 50; i++ {
+		sa, errA := a.Transmit(bits)
+		sb, errB := b.Transmit(bits)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if sa != sb {
+			t.Fatalf("trial %d: %d != %d slots under same seed", i, sa, sb)
+		}
+	}
+}
+
+func TestPaperPayloadPanicsOnBadPooling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero pooling window")
+		}
+	}()
+	PaperUplinkPayloadBits(40, 40, 64, 32, 4, 0, 0)
+}

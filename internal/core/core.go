@@ -1,0 +1,50 @@
+// Package core is the conventional location of the paper's primary
+// contribution. The implementation lives in internal/split (together
+// with its distributed counterpart in internal/transport); this package
+// re-exports the central types and constructors so readers following the
+// repository's layout convention — internal/core = the paper's
+// contribution — land on the real surface immediately.
+package core
+
+import "repro/internal/split"
+
+// Central types of the multimodal split-learning system.
+type (
+	// Config fully describes one training run (scheme, pooling,
+	// schedule, channel payload parameters).
+	Config = split.Config
+	// Model is the split network: UE CNN half and BS recurrent half.
+	Model = split.Model
+	// Trainer runs the paper's training procedure over a CutLink.
+	Trainer = split.Trainer
+	// CutLink models the wireless hop at the split point.
+	CutLink = split.CutLink
+	// IdealLink delivers cut-layer tensors instantly.
+	IdealLink = split.IdealLink
+	// SimLink is the paper's slotted fading channel.
+	SimLink = split.SimLink
+	// Modality selects RF-only, Image-only or Image+RF.
+	Modality = split.Modality
+)
+
+// Scheme modalities.
+const (
+	RFOnly    = split.RFOnly
+	ImageOnly = split.ImageOnly
+	ImageRF   = split.ImageRF
+)
+
+// Constructors, forwarded.
+var (
+	// DefaultConfig returns the paper-faithful configuration for a
+	// scheme and square pooling size.
+	DefaultConfig = split.DefaultConfig
+	// NewModel constructs the split model for a dataset.
+	NewModel = split.NewModel
+	// NewTrainer wires a model to a dataset split and link.
+	NewTrainer = split.NewTrainer
+	// NewPaperSimLink builds the paper's uplink/downlink pair.
+	NewPaperSimLink = split.NewPaperSimLink
+	// SchemeName formats a configuration as the paper's figures do.
+	SchemeName = split.SchemeName
+)

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestForwardingSurface exercises the re-exported surface end to end so
+// the aliases cannot silently drift from internal/split.
+func TestForwardingSurface(t *testing.T) {
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = 300
+	gen.Seed = 9
+	gen.Scene.ImageH, gen.Scene.ImageW = 8, 8
+	d, err := dataset.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(ImageRF, 8)
+	cfg.SeqLen = 2
+	cfg.HorizonFrames = 2
+	cfg.BatchSize = 4
+	cfg.HiddenSize = 6
+	sp, err := dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := dataset.FitNormalizer(d, sp.Train)
+	model, err := NewModel(cfg, d, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(model, d, sp, IdealLink{})
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+
+	var link CutLink = NewPaperSimLink(1)
+	if _, err := link.ForwardDelay(8192); err != nil {
+		t.Fatal(err)
+	}
+	if got := SchemeName(DefaultConfig(RFOnly, 1)); got != "RF-only" {
+		t.Fatalf("SchemeName = %q", got)
+	}
+	if ImageOnly.String() != "Image-only" {
+		t.Fatalf("modality alias broken: %s", ImageOnly)
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/radio"
+	"repro/internal/split"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: how the
+// payload formula's knobs (bit depth R, batch size B, sequence length L)
+// trade communication feasibility against learning. They are analytic
+// over the calibrated channel, so they run in microseconds and can sweep
+// densely.
+
+// AblationRow is one setting of a payload-parameter sweep.
+type AblationRow struct {
+	Setting       string
+	PayloadBits   int
+	Success       float64
+	ExpectedSlots float64
+	DelayPerStepS float64 // expected uplink latency per training step
+}
+
+// AblationResult is a labelled sweep.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// Table renders the sweep for terminal or CSV output.
+func (r *AblationResult) Table() *trace.Table {
+	t := trace.NewTable("setting", "payload_bits", "success_prob", "expected_slots", "delay_per_step_s")
+	for _, row := range r.Rows {
+		if err := t.AddRow(
+			row.Setting,
+			fmt.Sprintf("%d", row.PayloadBits),
+			fmt.Sprintf("%.4g", row.Success),
+			fmt.Sprintf("%.4g", row.ExpectedSlots),
+			fmt.Sprintf("%.4g", row.DelayPerStepS),
+		); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func uplink(seed int64) *channel.Channel {
+	return channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
+		rand.New(rand.NewSource(seed)))
+}
+
+func sweepRow(ul *channel.Channel, setting string, bits int) AblationRow {
+	return AblationRow{
+		Setting:       setting,
+		PayloadBits:   bits,
+		Success:       ul.SuccessProbability(bits),
+		ExpectedSlots: ul.ExpectedSlots(bits),
+		DelayPerStepS: ul.ExpectedDelay(bits),
+	}
+}
+
+// RunAblationBitDepth sweeps the encoding bit depth R at the headline
+// pooling sizes: a smaller R shrinks the payload linearly and can rescue
+// otherwise-infeasible poolings.
+func RunAblationBitDepth(env *Env) *AblationResult {
+	ul := uplink(env.Scale.Seed + 21)
+	res := &AblationResult{Name: "bit-depth sweep (4×4 pooling)"}
+	for _, r := range []tensor.BitDepth{tensor.Depth8, tensor.Depth16, tensor.Depth32, tensor.Depth64} {
+		cfg := env.schemeConfig(split.ImageRF, 4)
+		cfg.BitDepth = r
+		bits := cfg.UplinkPayloadBits(env.Data)
+		res.Rows = append(res.Rows, sweepRow(ul, fmt.Sprintf("R=%d", int(r)), bits))
+	}
+	return res
+}
+
+// RunAblationBatch sweeps the mini-batch size B: the payload grows
+// linearly with B, so batch size is a communication knob, not just an
+// optimisation knob.
+func RunAblationBatch(env *Env) *AblationResult {
+	ul := uplink(env.Scale.Seed + 22)
+	res := &AblationResult{Name: "batch-size sweep (4×4 pooling)"}
+	for _, b := range []int{16, 32, 64, 128, 256} {
+		cfg := env.schemeConfig(split.ImageRF, 4)
+		cfg.BatchSize = b
+		bits := cfg.UplinkPayloadBits(env.Data)
+		res.Rows = append(res.Rows, sweepRow(ul, fmt.Sprintf("B=%d", b), bits))
+	}
+	return res
+}
+
+// RunAblationSeqLen sweeps the RNN context length L.
+func RunAblationSeqLen(env *Env) *AblationResult {
+	ul := uplink(env.Scale.Seed + 23)
+	res := &AblationResult{Name: "sequence-length sweep (4×4 pooling)"}
+	for _, l := range []int{1, 2, 4, 8} {
+		cfg := env.schemeConfig(split.ImageRF, 4)
+		cfg.SeqLen = l
+		bits := cfg.UplinkPayloadBits(env.Data)
+		res.Rows = append(res.Rows, sweepRow(ul, fmt.Sprintf("L=%d", l), bits))
+	}
+	return res
+}
+
+// RunAblationPoolingSweep sweeps every pooling that divides the image,
+// charting the full payload/feasibility frontier that Table 1 samples at
+// four points.
+func RunAblationPoolingSweep(env *Env) *AblationResult {
+	ul := uplink(env.Scale.Seed + 24)
+	res := &AblationResult{Name: "pooling sweep"}
+	for _, p := range []int{1, 2, 4, 5, 8, 10, 20, 40} {
+		if env.Data.H%p != 0 || env.Data.W%p != 0 {
+			continue
+		}
+		cfg := env.schemeConfig(split.ImageRF, p)
+		bits := cfg.UplinkPayloadBits(env.Data)
+		res.Rows = append(res.Rows, sweepRow(ul, fmt.Sprintf("%dx%d", p, p), bits))
+	}
+	return res
+}

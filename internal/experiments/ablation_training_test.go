@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRunAblationRNNKind(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunAblationRNNKind(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Setting != "LSTM" || res.Rows[1].Setting != "GRU" {
+		t.Fatalf("settings: %v / %v", res.Rows[0].Setting, res.Rows[1].Setting)
+	}
+	// GRU has strictly fewer parameters and FLOPs.
+	if res.Rows[1].Params >= res.Rows[0].Params {
+		t.Fatal("GRU not smaller than LSTM")
+	}
+	if res.Rows[1].StepFLOPs >= res.Rows[0].StepFLOPs {
+		t.Fatal("GRU step not cheaper than LSTM")
+	}
+	for _, r := range res.Rows {
+		if r.FinalRMSE <= 0 || r.FinalRMSE > 50 {
+			t.Fatalf("%s RMSE = %g", r.Setting, r.FinalRMSE)
+		}
+		if r.BestRMSE > r.FinalRMSE+1e-9 && r.BestRMSE <= 0 {
+			t.Fatalf("%s best %g inconsistent with final %g", r.Setting, r.BestRMSE, r.FinalRMSE)
+		}
+	}
+	if tab := res.Table(); len(tab.Rows) != 2 {
+		t.Fatal("table rendering")
+	}
+}
+
+func TestRunAblationWirePrecision(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunAblationWirePrecision(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Setting != "unquantised" {
+		t.Fatalf("first row = %q", res.Rows[0].Setting)
+	}
+	for _, r := range res.Rows {
+		if r.FinalRMSE <= 0 || r.FinalRMSE > 50 {
+			t.Fatalf("%s RMSE = %g", r.Setting, r.FinalRMSE)
+		}
+	}
+}
+
+func TestFig3bEventSplit(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig3b(env, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transition window was chosen for its swing, so the event split
+	// should be computable for at least one scheme.
+	if len(res.Events) == 0 {
+		t.Skip("window produced a degenerate event split at this scale")
+	}
+	for scheme, rep := range res.Events {
+		if rep.TransitionRMSE <= 0 {
+			t.Fatalf("%s transition RMSE = %g", scheme, rep.TransitionRMSE)
+		}
+		if rep.TransitionFrac <= 0 || rep.TransitionFrac >= 1 {
+			t.Fatalf("%s transition fraction = %g", scheme, rep.TransitionFrac)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package experiments assembles the repository's substrates into the
+// paper's evaluation artefacts: Fig. 2 (raw vs CNN-output images),
+// Fig. 3a (learning curves against virtual wall-clock), Fig. 3b
+// (predicted vs ground-truth power), and Table 1 (privacy leakage and
+// decode success probability per pooling dimension), plus the ablations
+// listed in DESIGN.md.
+//
+// Every experiment is deterministic given its Scale.Seed and runs at two
+// sizes: QuickScale, used by tests and benchmarks, and PaperScale, the
+// full K = 13,228-frame configuration.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+)
+
+// Scale sets the experiment size.
+type Scale struct {
+	Frames        int // dataset length K
+	TrainFrac     float64
+	MaxEpochs     int
+	StepsPerEpoch int
+	ValBatch      int // validation anchors per epoch (0 = all)
+	Seed          int64
+}
+
+// QuickScale returns a configuration small enough for tests and benches
+// (a few seconds per scheme) while preserving every structural property:
+// 40×40 images, the paper's payload arithmetic, real blockage events.
+func QuickScale() Scale {
+	return Scale{
+		Frames:        2400,
+		TrainFrac:     0.75,
+		MaxEpochs:     12,
+		StepsPerEpoch: 40,
+		ValBatch:      128,
+		Seed:          1,
+	}
+}
+
+// PaperScale returns the paper's experiment size: K = 13,228 frames,
+// up to 100 epochs of 156 steps, full validation.
+func PaperScale() Scale {
+	return Scale{
+		Frames:        dataset.PaperNumFrames,
+		TrainFrac:     -1, // use the paper's explicit index 9928
+		MaxEpochs:     100,
+		StepsPerEpoch: 156,
+		ValBatch:      512,
+		Seed:          1,
+	}
+}
+
+// Env bundles the dataset artefacts every experiment shares.
+type Env struct {
+	Scale Scale
+	Data  *dataset.Dataset
+	Split *dataset.Split
+	Norm  dataset.Normalizer
+}
+
+// NewEnv generates the synthetic dataset at the given scale and derives
+// the split and normaliser.
+func NewEnv(sc Scale) (*Env, error) {
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = sc.Frames
+	gen.Seed = sc.Seed
+	d, err := dataset.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	return newEnvFrom(sc, d)
+}
+
+// NewEnvFromDataset builds an Env around an existing dataset (e.g. one
+// loaded from disk by the CLI).
+func NewEnvFromDataset(sc Scale, d *dataset.Dataset) (*Env, error) {
+	sc.Frames = d.Len()
+	return newEnvFrom(sc, d)
+}
+
+func newEnvFrom(sc Scale, d *dataset.Dataset) (*Env, error) {
+	var sp *dataset.Split
+	var err error
+	if sc.TrainFrac < 0 {
+		sp, err = dataset.PaperSplit(d)
+	} else {
+		trainEnd := int(float64(d.Len()) * sc.TrainFrac)
+		sp, err = dataset.NewSplit(d, dataset.PaperSeqLen, dataset.PaperHorizonFrames(), trainEnd)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Scale: sc,
+		Data:  d,
+		Split: sp,
+		Norm:  dataset.FitNormalizer(d, sp.Train),
+	}, nil
+}
+
+// schemeConfig builds a split.Config for the env's scale.
+func (e *Env) schemeConfig(m split.Modality, pool int) split.Config {
+	cfg := split.DefaultConfig(m, pool)
+	cfg.MaxEpochs = e.Scale.MaxEpochs
+	cfg.StepsPerEpoch = e.Scale.StepsPerEpoch
+	cfg.Seed = e.Scale.Seed
+	return cfg
+}
+
+// SchemeConfig returns the scale-adjusted configuration for a scheme;
+// callers may customise it and pass it to NewTrainerFromConfig.
+func (e *Env) SchemeConfig(m split.Modality, pool int) split.Config {
+	return e.schemeConfig(m, pool)
+}
+
+// NewTrainer builds a trainer for a scheme over the given link.
+func (e *Env) NewTrainer(m split.Modality, pool int, link split.CutLink) (*split.Trainer, error) {
+	return e.NewTrainerFromConfig(e.schemeConfig(m, pool), link)
+}
+
+// NewTrainerFromConfig builds a trainer from an explicit configuration.
+func (e *Env) NewTrainerFromConfig(cfg split.Config, link split.CutLink) (*split.Trainer, error) {
+	model, err := split.NewModel(cfg, e.Data, e.Norm)
+	if err != nil {
+		return nil, err
+	}
+	tr := split.NewTrainer(model, e.Data, e.Split, link)
+	tr.ValBatch = e.Scale.ValBatch
+	return tr, nil
+}
+
+// FindTransitionWindow locates a validation window of the given length
+// (in frames) containing a LoS → non-LoS transition, the situation
+// Fig. 3b zooms into. It returns the first and last anchor index.
+func (e *Env) FindTransitionWindow(frames int) (first, last int, err error) {
+	val := e.Split.Val
+	if len(val) < frames {
+		return 0, 0, fmt.Errorf("experiments: validation set smaller than window")
+	}
+	bestStart, bestSwing := -1, 0.0
+	for s := 0; s+frames <= len(val); s += frames / 4 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := s; i < s+frames; i++ {
+			p := e.Data.Powers[val[i]]
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if swing := hi - lo; swing > bestSwing {
+			bestSwing, bestStart = swing, s
+		}
+	}
+	if bestStart < 0 || bestSwing < 10 {
+		return 0, 0, fmt.Errorf("experiments: no blockage transition in validation set (max swing %.1f dB)", bestSwing)
+	}
+	return val[bestStart], val[bestStart+frames-1], nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/mds"
+	"repro/internal/radio"
+	"repro/internal/split"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Table1Poolings lists the pooling dimensions of Table 1.
+func Table1Poolings() []int { return []int{1, 4, 10, 40} }
+
+// Table1Row is one column of the paper's Table 1 (one pooling size).
+type Table1Row struct {
+	Pool            int
+	PayloadBits     int
+	Leakage         float64
+	SuccessAnalytic float64
+	SuccessMC       float64
+}
+
+// Table1Result carries all rows plus rendering helpers.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table renders the result in the paper's layout (rows = metrics,
+// columns = pooling dimensions).
+func (r *Table1Result) Table() *trace.Table {
+	cols := []string{"metric"}
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("%dx%d", row.Pool, row.Pool)
+		if row.Pool == 40 {
+			label += " (1-pixel)"
+		}
+		cols = append(cols, label)
+	}
+	t := trace.NewTable(cols...)
+	leak := []string{"privacy leakage"}
+	succ := []string{"success probability"}
+	succMC := []string{"success probability (MC)"}
+	payload := []string{"uplink payload (bits)"}
+	for _, row := range r.Rows {
+		leak = append(leak, fmt.Sprintf("%.3f", row.Leakage))
+		succ = append(succ, fmt.Sprintf("%.4g", row.SuccessAnalytic))
+		succMC = append(succMC, fmt.Sprintf("%.4g", row.SuccessMC))
+		payload = append(payload, fmt.Sprintf("%d", row.PayloadBits))
+	}
+	for _, r := range [][]string{leak, succ, succMC, payload} {
+		if err := t.AddRow(r...); err != nil {
+			panic(err) // row widths are constructed above; mismatch is a bug
+		}
+	}
+	return t
+}
+
+// Table1Config tunes the privacy-leakage measurement.
+type Table1Config struct {
+	// LeakageSamples is the number of validation frames fed through the
+	// CNN for the MDS similarity measurement.
+	LeakageSamples int
+	// TrainEpochs briefly trains the UE CNN (ideal link) before measuring,
+	// since Table 1 refers to the deployed, trained model. 0 keeps the
+	// random initialisation.
+	TrainEpochs int
+	// MCTrials sets the Monte-Carlo sample count for the success
+	// probability column.
+	MCTrials int
+}
+
+// DefaultTable1Config returns the configuration used by the CLI and
+// benches.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{LeakageSamples: 48, TrainEpochs: 1, MCTrials: 4000}
+}
+
+// RunTable1 reproduces Table 1: for each pooling dimension it measures
+// (a) the MDS privacy leakage between raw validation images and the CNN
+// output feature maps actually transmitted, and (b) the per-slot decode
+// success probability of the mini-batch forward payload, both analytic
+// and Monte-Carlo.
+func RunTable1(env *Env, cfg Table1Config) (*Table1Result, error) {
+	res := &Table1Result{}
+	ul := channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
+		rand.New(rand.NewSource(env.Scale.Seed+7)))
+
+	for _, pool := range Table1Poolings() {
+		scheme := env.schemeConfig(split.ImageRF, pool)
+		bits := scheme.UplinkPayloadBits(env.Data)
+
+		leak, err := measureLeakage(env, pool, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1: pooling %d: %w", pool, err)
+		}
+
+		pAnalytic := ul.SuccessProbability(bits)
+		pMC := monteCarloSuccess(ul, bits, cfg.MCTrials)
+
+		res.Rows = append(res.Rows, Table1Row{
+			Pool:            pool,
+			PayloadBits:     bits,
+			Leakage:         leak,
+			SuccessAnalytic: pAnalytic,
+			SuccessMC:       pMC,
+		})
+	}
+	return res, nil
+}
+
+// measureLeakage trains the scheme briefly (the metric refers to the
+// deployed CNN), pushes sample validation frames through the UE half, and
+// compares raw images with upsampled feature maps via MDS.
+func measureLeakage(env *Env, pool int, cfg Table1Config) (float64, error) {
+	trainer, err := env.NewTrainer(split.ImageRF, pool, split.IdealLink{})
+	if err != nil {
+		return 0, err
+	}
+	model := trainer.Model
+	if cfg.TrainEpochs > 0 {
+		mcfg := model.Cfg
+		steps := cfg.TrainEpochs * mcfg.StepsPerEpoch
+		for s := 0; s < steps; s++ {
+			if _, err := trainer.Step(); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Measure on frames that contain a pedestrian: those are the frames
+	// whose content is privacy-sensitive, and structureless background
+	// frames (pure sensor noise) would wash the MDS geometry out.
+	d := env.Data
+	frames, err := selectPedestrianFrames(env, cfg.LeakageSamples)
+	if err != nil {
+		return 0, err
+	}
+	raw := make([][]float64, 0, len(frames))
+	feat := make([][]float64, 0, len(frames))
+	px := d.H * d.W
+	for _, k := range frames {
+		img := tensor.New(1, 1, d.H, d.W)
+		copy(img.Data(), d.Image(k))
+
+		pooled := model.UE.Forward(img)
+		up := tensor.UpsampleNearest2D(pooled, pool, pool)
+
+		raw = append(raw, append([]float64(nil), d.Image(k)...))
+		feat = append(feat, append([]float64(nil), up.Data()[:px]...))
+	}
+	lr, err := mds.PrivacyLeakage(raw, feat)
+	if err != nil {
+		return 0, err
+	}
+	return lr.Leakage, nil
+}
+
+// monteCarloSuccess estimates the per-slot success probability by direct
+// fading draws (not geometric retransmission — the paper's metric is the
+// single-slot decode probability). The fading threshold is recovered from
+// the analytic probability: p = exp(−θ/SNR̄) ⇒ θ/SNR̄ = −ln p.
+func monteCarloSuccess(ch *channel.Channel, bits, trials int) float64 {
+	p := ch.SuccessProbability(bits)
+	if trials <= 0 {
+		return p
+	}
+	if p <= 0 {
+		return 0
+	}
+	thresholdOverSNR := -math.Log(p)
+	rng := rand.New(rand.NewSource(12345))
+	succ := 0
+	for i := 0; i < trials; i++ {
+		if rng.ExpFloat64() > thresholdOverSNR {
+			succ++
+		}
+	}
+	return float64(succ) / float64(trials)
+}

@@ -1,0 +1,219 @@
+// Package linalg provides the small amount of dense linear algebra the
+// multidimensional-scaling privacy metric needs: symmetric matrices, the
+// cyclic Jacobi eigendecomposition, and the double-centering operator used
+// by classical (Torgerson) MDS.
+//
+// The implementation favours clarity and numerical robustness over raw
+// speed; the matrices involved (pairwise-distance Gram matrices over a few
+// hundred image samples) are small.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sym is a dense symmetric n×n matrix stored fully (both triangles) in
+// row-major order.
+type Sym struct {
+	N    int
+	Data []float64
+}
+
+// NewSym returns a zero symmetric matrix of order n.
+func NewSym(n int) *Sym {
+	if n <= 0 {
+		panic(fmt.Sprintf("linalg: non-positive order %d", n))
+	}
+	return &Sym{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (s *Sym) At(i, j int) float64 { return s.Data[i*s.N+j] }
+
+// Set assigns v to elements (i, j) and (j, i), preserving symmetry.
+func (s *Sym) Set(i, j int, v float64) {
+	s.Data[i*s.N+j] = v
+	s.Data[j*s.N+i] = v
+}
+
+// Clone returns a deep copy.
+func (s *Sym) Clone() *Sym {
+	c := NewSym(s.N)
+	copy(c.Data, s.Data)
+	return c
+}
+
+// MaxAsymmetry returns max_{i<j} |A_ij - A_ji|; exactly 0 for matrices
+// maintained through Set.
+func (s *Sym) MaxAsymmetry() float64 {
+	m := 0.0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			d := math.Abs(s.At(i, j) - s.At(j, i))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// offDiagNorm returns the Frobenius norm of the strictly-upper triangle,
+// the Jacobi convergence measure.
+func (s *Sym) offDiagNorm() float64 {
+	sum := 0.0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			v := s.At(i, j)
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// EigResult holds an eigendecomposition A = V·diag(λ)·Vᵀ with eigenvalues
+// sorted in descending order. Column k of V (elements V[i*N+k]) is the
+// eigenvector for λ_k.
+type EigResult struct {
+	N       int
+	Values  []float64
+	Vectors []float64 // row-major n×n, columns are eigenvectors
+}
+
+// Vector returns eigenvector k as a fresh slice.
+func (e *EigResult) Vector(k int) []float64 {
+	v := make([]float64, e.N)
+	for i := 0; i < e.N; i++ {
+		v[i] = e.Vectors[i*e.N+k]
+	}
+	return v
+}
+
+// EigSym computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi method. It is unconditionally convergent for symmetric
+// input and accurate to near machine precision for the matrix orders used
+// here (n ≲ 1000).
+func EigSym(a *Sym) *EigResult {
+	n := a.N
+	w := a.Clone() // working copy, driven to diagonal form
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	const maxSweeps = 100
+	tol := 1e-12 * (1 + w.offDiagNorm())
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if w.offDiagNorm() < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Rotation angle: standard stable Jacobi formula.
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Two-sided rotation W ← Jᵀ·W·J: first the column
+				// update W←W·J, then the row update W←Jᵀ·W. These must
+				// touch raw storage — Set would mirror entries and apply
+				// the rotation twice.
+				for i := 0; i < n; i++ {
+					aip, aiq := w.Data[i*n+p], w.Data[i*n+q]
+					w.Data[i*n+p] = c*aip - s*aiq
+					w.Data[i*n+q] = s*aip + c*aiq
+				}
+				for i := 0; i < n; i++ {
+					api, aqi := w.Data[p*n+i], w.Data[q*n+i]
+					w.Data[p*n+i] = c*api - s*aqi
+					w.Data[q*n+i] = s*api + c*aqi
+				}
+
+				// Accumulate eigenvectors.
+				for i := 0; i < n; i++ {
+					vip, viq := v[i*n+p], v[i*n+q]
+					v[i*n+p] = c*vip - s*viq
+					v[i*n+q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+
+	// Collect diagonal and sort by eigenvalue, descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	res := &EigResult{N: n, Values: make([]float64, n), Vectors: make([]float64, n*n)}
+	for k, p := range pairs {
+		res.Values[k] = p.val
+		for i := 0; i < n; i++ {
+			res.Vectors[i*n+k] = v[i*n+p.idx]
+		}
+	}
+	return res
+}
+
+// DoubleCenter returns B = -½·J·D²·J where J = I - (1/n)·11ᵀ and D is a
+// matrix of pairwise distances. This is the Gram matrix recovered by
+// classical MDS from squared distances.
+func DoubleCenter(dist *Sym) *Sym {
+	n := dist.N
+	sq := NewSym(n)
+	rowMean := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := dist.At(i, j)
+			sq.Data[i*n+j] = v * v
+			rowMean[i] += v * v
+		}
+		rowMean[i] /= float64(n)
+		total += rowMean[i]
+	}
+	total /= float64(n)
+	b := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := -0.5 * (sq.At(i, j) - rowMean[i] - rowMean[j] + total)
+			b.Set(i, j, v)
+		}
+	}
+	return b
+}
+
+// PairwiseEuclidean builds the symmetric distance matrix for row vectors
+// points (n rows of dimension d, flattened row-major).
+func PairwiseEuclidean(points []float64, n, d int) *Sym {
+	if len(points) != n*d {
+		panic(fmt.Sprintf("linalg: PairwiseEuclidean got %d values, want %d×%d", len(points), n, d))
+	}
+	dist := NewSym(n)
+	for i := 0; i < n; i++ {
+		pi := points[i*d : (i+1)*d]
+		for j := i + 1; j < n; j++ {
+			pj := points[j*d : (j+1)*d]
+			s := 0.0
+			for k := range pi {
+				diff := pi[k] - pj[k]
+				s += diff * diff
+			}
+			dist.Set(i, j, math.Sqrt(s))
+		}
+	}
+	return dist
+}

@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymSetPreservesSymmetry(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 2, 5)
+	if s.At(2, 0) != 5 {
+		t.Fatal("Set did not mirror")
+	}
+	if s.MaxAsymmetry() != 0 {
+		t.Fatal("asymmetry after Set")
+	}
+}
+
+func TestEigSymDiagonal(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 0, 3)
+	s.Set(1, 1, -1)
+	s.Set(2, 2, 7)
+	e := EigSym(s)
+	want := []float64{7, 3, -1}
+	for i, w := range want {
+		if math.Abs(e.Values[i]-w) > 1e-12 {
+			t.Fatalf("eigenvalues = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestEigSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	s := NewSym(2)
+	s.Set(0, 0, 2)
+	s.Set(1, 1, 2)
+	s.Set(0, 1, 1)
+	e := EigSym(s)
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", e.Values)
+	}
+	// Eigenvector for λ=3 is (1,1)/√2 up to sign.
+	v := e.Vector(0)
+	if math.Abs(math.Abs(v[0])-math.Sqrt2/2) > 1e-10 || math.Abs(v[0]-v[1]) > 1e-10 {
+		t.Fatalf("eigenvector = %v", v)
+	}
+}
+
+// randomSym builds a random symmetric matrix.
+func randomSym(rng *rand.Rand, n int) *Sym {
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+func TestEigSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 5, 20, 50} {
+		s := randomSym(rng, n)
+		e := EigSym(s)
+		// Reconstruct A = V diag(λ) Vᵀ and compare.
+		maxErr := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc := 0.0
+				for k := 0; k < n; k++ {
+					acc += e.Vectors[i*n+k] * e.Values[k] * e.Vectors[j*n+k]
+				}
+				if d := math.Abs(acc - s.At(i, j)); d > maxErr {
+					maxErr = d
+				}
+			}
+		}
+		if maxErr > 1e-9 {
+			t.Fatalf("n=%d: reconstruction error %g", n, maxErr)
+		}
+	}
+}
+
+func TestEigSymVectorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 15
+	s := randomSym(rng, n)
+	e := EigSym(s)
+	for a := 0; a < n; a++ {
+		va := e.Vector(a)
+		for b := a; b < n; b++ {
+			vb := e.Vector(b)
+			dot := 0.0
+			for i := range va {
+				dot += va[i] * vb[i]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("⟨v%d,v%d⟩ = %g, want %g", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestEigSymTraceAndEigenvalueSum(t *testing.T) {
+	// Property: tr(A) = Σλ (invariant under similarity transforms).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(rng.Int31n(8))
+		s := randomSym(rng, n)
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			trace += s.At(i, i)
+		}
+		e := EigSym(s)
+		sum := 0.0
+		for _, v := range e.Values {
+			sum += v
+		}
+		return math.Abs(trace-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigSymSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	e := EigSym(randomSym(rng, 12))
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1] {
+			t.Fatalf("eigenvalues not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestDoubleCenterRowsSumToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n, d := 10, 3
+	pts := make([]float64, n*d)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	dist := PairwiseEuclidean(pts, n, d)
+	b := DoubleCenter(dist)
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			row += b.At(i, j)
+		}
+		if math.Abs(row) > 1e-9 {
+			t.Fatalf("row %d of centred Gram sums to %g", i, row)
+		}
+	}
+}
+
+func TestDoubleCenterRecoversGram(t *testing.T) {
+	// For points with zero centroid, B = X·Xᵀ exactly.
+	pts := []float64{
+		1, 0,
+		-1, 0,
+		0, 2,
+		0, -2,
+	}
+	n, d := 4, 2
+	dist := PairwiseEuclidean(pts, n, d)
+	b := DoubleCenter(dist)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < d; k++ {
+				want += pts[i*d+k] * pts[j*d+k]
+			}
+			if math.Abs(b.At(i, j)-want) > 1e-9 {
+				t.Fatalf("B[%d][%d] = %g, want %g", i, j, b.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestPairwiseEuclideanKnown(t *testing.T) {
+	pts := []float64{0, 0, 3, 4}
+	dist := PairwiseEuclidean(pts, 2, 2)
+	if math.Abs(dist.At(0, 1)-5) > 1e-12 {
+		t.Fatalf("distance = %g, want 5", dist.At(0, 1))
+	}
+	if dist.At(0, 0) != 0 || dist.At(1, 1) != 0 {
+		t.Fatal("self-distance must be zero")
+	}
+}
+
+// Property: pairwise distances satisfy the triangle inequality.
+func TestPairwiseTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 6, 4
+		pts := make([]float64, n*d)
+		for i := range pts {
+			pts[i] = rng.NormFloat64()
+		}
+		dist := PairwiseEuclidean(pts, n, d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if dist.At(i, j) > dist.At(i, k)+dist.At(k, j)+1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package mds implements classical (Torgerson) multidimensional scaling
+// and, on top of it, the paper's Table 1 privacy-leakage metric: the
+// similarity between raw depth images and the CNN-output feature maps the
+// UE actually transmits, measured in a low-dimensional MDS embedding of
+// the joint image set (following the methodology of Hout et al., 2016,
+// which the paper cites).
+//
+// The paper does not fully specify its pipeline, so ours is documented
+// here and in DESIGN.md: vectors are centred and L2-normalised (so the
+// comparison is exposure of *structure*, not brightness), the joint set of
+// raw and feature vectors is embedded into 2-D by classical MDS, and the
+// leakage is the mean Cauchy similarity 1/(1 + d_k/s̄) between each raw
+// image and its own feature map, where s̄ is the mean pairwise distance of
+// the whole embedded set. Leakage lies in (0, 1]: 1 means the transmitted
+// features sit exactly on their raw images (everything leaks), values
+// near 0 mean the features are indistinguishable from noise relative to
+// the set's geometry.
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Classical embeds the n objects of a symmetric distance matrix into
+// dims dimensions by double centering and truncated eigendecomposition.
+// The returned slice is row-major n×dims. Non-positive eigenvalues are
+// clamped to zero (the distances are then not perfectly Euclidean, which
+// is expected for quantised image data).
+func Classical(dist *linalg.Sym, dims int) ([]float64, error) {
+	n := dist.N
+	if dims <= 0 || dims > n {
+		return nil, fmt.Errorf("mds: bad embedding dimension %d for %d objects", dims, n)
+	}
+	b := linalg.DoubleCenter(dist)
+	eig := linalg.EigSym(b)
+	emb := make([]float64, n*dims)
+	for k := 0; k < dims; k++ {
+		lambda := eig.Values[k]
+		if lambda < 0 {
+			lambda = 0
+		}
+		scale := math.Sqrt(lambda)
+		for i := 0; i < n; i++ {
+			emb[i*dims+k] = scale * eig.Vectors[i*n+k]
+		}
+	}
+	return emb, nil
+}
+
+// Stress1 returns Kruskal's stress-1 of an embedding against the original
+// distances: sqrt(Σ(d_ij − δ_ij)² / Σ δ_ij²). 0 is a perfect embedding.
+func Stress1(dist *linalg.Sym, emb []float64, dims int) float64 {
+	n := dist.N
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			orig := dist.At(i, j)
+			d := 0.0
+			for k := 0; k < dims; k++ {
+				diff := emb[i*dims+k] - emb[j*dims+k]
+				d += diff * diff
+			}
+			d = math.Sqrt(d)
+			num += (d - orig) * (d - orig)
+			den += orig * orig
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// LeakageResult carries the Table 1 privacy metric and its ingredients.
+type LeakageResult struct {
+	Leakage      float64 // mean similarity in (0, 1]
+	MeanPairDist float64 // d̄ between raw image and own feature map
+	SetScale     float64 // s̄, mean pairwise distance over all 2n points
+	Stress       float64 // embedding quality (Kruskal stress-1)
+}
+
+// ErrBadInput is returned for structurally invalid leakage inputs.
+var ErrBadInput = errors.New("mds: bad privacy-leakage input")
+
+// PrivacyLeakage computes the Table 1 metric for n (raw image, feature
+// map) pairs. Each raw[i] and feat[i] must be equal-length vectors —
+// callers upsample pooled feature maps back to image resolution first.
+func PrivacyLeakage(raw, feat [][]float64) (LeakageResult, error) {
+	n := len(raw)
+	if n < 2 || len(feat) != n {
+		return LeakageResult{}, fmt.Errorf("%w: %d raw vs %d feature vectors", ErrBadInput, n, len(feat))
+	}
+	dim := len(raw[0])
+	for i := 0; i < n; i++ {
+		if len(raw[i]) != dim || len(feat[i]) != dim {
+			return LeakageResult{}, fmt.Errorf("%w: vector %d has inconsistent length", ErrBadInput, i)
+		}
+	}
+
+	// Centre and L2-normalise every vector so the metric compares image
+	// structure rather than brightness or contrast. Then align each
+	// feature map's sign to its raw image: a global sign flip is
+	// trivially invertible by an adversary, so it must not read as
+	// privacy (a negated image leaks exactly as much as the image).
+	points := make([]float64, 2*n*dim)
+	for i := 0; i < n; i++ {
+		rawVec := points[i*dim : (i+1)*dim]
+		featVec := points[(n+i)*dim : (n+i+1)*dim]
+		normalizeInto(rawVec, raw[i])
+		normalizeInto(featVec, feat[i])
+		dot := 0.0
+		for j := range rawVec {
+			dot += rawVec[j] * featVec[j]
+		}
+		if dot < 0 {
+			for j := range featVec {
+				featVec[j] = -featVec[j]
+			}
+		}
+	}
+
+	dist := linalg.PairwiseEuclidean(points, 2*n, dim)
+	const embedDims = 2
+	emb, err := Classical(dist, embedDims)
+	if err != nil {
+		return LeakageResult{}, err
+	}
+
+	// Mean pairwise distance over the embedded set (the scale reference).
+	var setSum float64
+	var setCount int
+	for i := 0; i < 2*n; i++ {
+		for j := i + 1; j < 2*n; j++ {
+			setSum += embDist(emb, i, j, embedDims)
+			setCount++
+		}
+	}
+	setScale := setSum / float64(setCount)
+	if setScale <= 0 {
+		// All points identical: everything about the image is exposed.
+		return LeakageResult{Leakage: 1}, nil
+	}
+
+	var pairSum, leak float64
+	for i := 0; i < n; i++ {
+		d := embDist(emb, i, n+i, embedDims)
+		pairSum += d
+		leak += 1 / (1 + d/setScale)
+	}
+	return LeakageResult{
+		Leakage:      leak / float64(n),
+		MeanPairDist: pairSum / float64(n),
+		SetScale:     setScale,
+		Stress:       Stress1(dist, emb, embedDims),
+	}, nil
+}
+
+// normalizeInto writes the centred, unit-norm version of src into dst.
+// A constant vector (e.g. the 1-pixel feature map) normalises to zero,
+// which is exactly right: it carries no structural information.
+func normalizeInto(dst, src []float64) {
+	mean := 0.0
+	for _, v := range src {
+		mean += v
+	}
+	mean /= float64(len(src))
+	norm := 0.0
+	for i, v := range src {
+		dst[i] = v - mean
+		norm += dst[i] * dst[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= norm
+	}
+}
+
+func embDist(emb []float64, i, j, dims int) float64 {
+	s := 0.0
+	for k := 0; k < dims; k++ {
+		d := emb[i*dims+k] - emb[j*dims+k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,182 @@
+package mds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestClassicalRecoversPlanarConfiguration(t *testing.T) {
+	// Points already in R²: classical MDS must reproduce their pairwise
+	// distances exactly (up to rigid motion), i.e. stress ≈ 0.
+	pts := []float64{
+		0, 0,
+		1, 0,
+		0, 2,
+		3, 1,
+		-1, -1,
+	}
+	n, d := 5, 2
+	dist := linalg.PairwiseEuclidean(pts, n, d)
+	emb, err := Classical(dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Stress1(dist, emb, 2); s > 1e-9 {
+		t.Fatalf("stress = %g for perfectly 2-D data", s)
+	}
+	// And every pairwise distance is preserved.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			got := embDist(emb, i, j, 2)
+			if math.Abs(got-dist.At(i, j)) > 1e-9 {
+				t.Fatalf("distance (%d,%d): %g != %g", i, j, got, dist.At(i, j))
+			}
+		}
+	}
+}
+
+func TestClassicalHigherDimensionalData(t *testing.T) {
+	// 10-D Gaussian data into 2-D: stress is positive but the embedding
+	// must still correlate strongly with the true distances.
+	rng := rand.New(rand.NewSource(1))
+	n, d := 20, 10
+	pts := make([]float64, n*d)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	dist := linalg.PairwiseEuclidean(pts, n, d)
+	emb, err := Classical(dist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stress1(dist, emb, 2)
+	if s <= 0 || s > 0.8 {
+		t.Fatalf("stress = %g, want moderate positive value", s)
+	}
+}
+
+func TestClassicalBadDims(t *testing.T) {
+	dist := linalg.NewSym(3)
+	if _, err := Classical(dist, 0); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	if _, err := Classical(dist, 4); err == nil {
+		t.Fatal("dims>n accepted")
+	}
+}
+
+func TestStress1ZeroForSelf(t *testing.T) {
+	pts := []float64{0, 0, 3, 4, -2, 5}
+	dist := linalg.PairwiseEuclidean(pts, 3, 2)
+	if s := Stress1(dist, pts, 2); s > 1e-12 {
+		t.Fatalf("self-stress = %g", s)
+	}
+}
+
+// makeImagePair builds n synthetic (raw, feature) pairs where the feature
+// is raw blurred then degraded by the given amount of noise; higher
+// degradation should read as lower leakage.
+func makeImagePair(rng *rand.Rand, n, dim int, degrade float64) (raw, feat [][]float64) {
+	raw = make([][]float64, n)
+	feat = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		r := make([]float64, dim)
+		for j := range r {
+			r[j] = rng.Float64()
+		}
+		f := make([]float64, dim)
+		for j := range f {
+			f[j] = (1-degrade)*r[j] + degrade*rng.Float64()
+		}
+		raw[i], feat[i] = r, f
+	}
+	return raw, feat
+}
+
+func TestPrivacyLeakageIdenticalIsMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	raw, _ := makeImagePair(rng, 10, 64, 0)
+	res, err := PrivacyLeakage(raw, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leakage < 0.99 {
+		t.Fatalf("identical features leak %g, want ≈ 1", res.Leakage)
+	}
+}
+
+func TestPrivacyLeakageMonotoneInDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prev := 2.0
+	for _, degrade := range []float64{0.0, 0.5, 1.0} {
+		raw, feat := makeImagePair(rng, 15, 64, degrade)
+		res, err := PrivacyLeakage(raw, feat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Leakage >= prev {
+			t.Fatalf("leakage %g at degradation %g not below %g", res.Leakage, degrade, prev)
+		}
+		if res.Leakage <= 0 || res.Leakage > 1 {
+			t.Fatalf("leakage %g outside (0, 1]", res.Leakage)
+		}
+		prev = res.Leakage
+	}
+}
+
+func TestPrivacyLeakageConstantFeatures(t *testing.T) {
+	// The 1-pixel case upsamples to a constant image; constant vectors
+	// normalise to zero and should yield low (but finite, in-range) leakage.
+	rng := rand.New(rand.NewSource(4))
+	raw, _ := makeImagePair(rng, 10, 64, 0)
+	feat := make([][]float64, len(raw))
+	for i := range feat {
+		c := make([]float64, 64)
+		for j := range c {
+			c[j] = 0.42 // same constant everywhere: zero structure
+		}
+		feat[i] = c
+	}
+	res, err := PrivacyLeakage(raw, feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leakage <= 0 || res.Leakage >= 0.9 {
+		t.Fatalf("constant-feature leakage = %g, want small positive", res.Leakage)
+	}
+}
+
+func TestPrivacyLeakageInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	raw, feat := makeImagePair(rng, 4, 16, 0.2)
+	if _, err := PrivacyLeakage(raw[:1], feat[:1]); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := PrivacyLeakage(raw, feat[:3]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	feat[2] = feat[2][:8]
+	if _, err := PrivacyLeakage(raw, feat); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+}
+
+func TestNormalizeInto(t *testing.T) {
+	src := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	normalizeInto(dst, src)
+	mean, norm := 0.0, 0.0
+	for _, v := range dst {
+		mean += v
+		norm += v * v
+	}
+	if math.Abs(mean) > 1e-12 {
+		t.Fatalf("mean = %g after centring", mean)
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-12 {
+		t.Fatalf("norm = %g after normalising", math.Sqrt(norm))
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Event-conditioned error analysis. Fig. 3b's claim is qualitative: "RF
+// performs well in LoS conditions, whereas Img is good at predicting the
+// transitions between LoS and non-LoS". This file quantifies it by
+// splitting a ground-truth power trace into *transition* samples (within
+// a window of a large power jump) and *stable* samples, and reporting
+// RMSE on each subset separately.
+
+// EventReport carries the split error measures.
+type EventReport struct {
+	StableRMSE     float64 // RMSE over samples far from any jump
+	TransitionRMSE float64 // RMSE over samples near a jump
+	TransitionFrac float64 // fraction of samples classified as transition
+	Transitions    int     // number of distinct jump onsets found
+}
+
+// EventConditioned classifies truth samples and computes subset RMSEs.
+// A sample is a transition sample if any |truth[j+1] − truth[j]| ≥ jumpDB
+// occurs with |i − j| ≤ window. It returns an error (not a panic) for
+// degenerate classifications so callers can fall back to plain RMSE.
+func EventConditioned(pred, truth []float64, jumpDB float64, window int) (EventReport, error) {
+	mustPair(pred, truth, "EventConditioned")
+	if jumpDB <= 0 || window < 0 {
+		return EventReport{}, fmt.Errorf("metrics: bad event parameters jump=%g window=%d", jumpDB, window)
+	}
+	n := len(truth)
+	isTransition := make([]bool, n)
+	transitions := 0
+	for j := 0; j+1 < n; j++ {
+		if math.Abs(truth[j+1]-truth[j]) >= jumpDB {
+			transitions++
+			lo, hi := j-window, j+1+window
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= n {
+				hi = n - 1
+			}
+			for i := lo; i <= hi; i++ {
+				isTransition[i] = true
+			}
+		}
+	}
+
+	var sumT, sumS float64
+	var nT, nS int
+	for i := range truth {
+		d := pred[i] - truth[i]
+		if isTransition[i] {
+			sumT += d * d
+			nT++
+		} else {
+			sumS += d * d
+			nS++
+		}
+	}
+	if nT == 0 || nS == 0 {
+		return EventReport{}, fmt.Errorf("metrics: degenerate split (%d transition, %d stable samples)", nT, nS)
+	}
+	return EventReport{
+		StableRMSE:     math.Sqrt(sumS / float64(nS)),
+		TransitionRMSE: math.Sqrt(sumT / float64(nT)),
+		TransitionFrac: float64(nT) / float64(n),
+		Transitions:    transitions,
+	}, nil
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// stepTrace builds a trace that sits at -20, drops to -45 at index 10,
+// recovers at index 20.
+func stepTrace(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch {
+		case i >= 10 && i < 20:
+			out[i] = -45
+		default:
+			out[i] = -20
+		}
+	}
+	return out
+}
+
+func TestEventConditionedSplitsCorrectly(t *testing.T) {
+	truth := stepTrace(40)
+	// Prediction perfect in stable regions, off by 10 dB near jumps.
+	pred := append([]float64(nil), truth...)
+	pred[10] += 10 // just after onset
+	pred[20] += 10 // just after recovery
+
+	rep, err := EventConditioned(pred, truth, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2", rep.Transitions)
+	}
+	if rep.StableRMSE != 0 {
+		t.Fatalf("stable RMSE = %g, want 0", rep.StableRMSE)
+	}
+	if rep.TransitionRMSE <= 0 {
+		t.Fatal("transition RMSE should be positive")
+	}
+	// Jumps are detected at j=9 and j=19 (the indices *before* the step);
+	// window 1 marks {8..11} ∪ {18..21} → 8 of 40.
+	if math.Abs(rep.TransitionFrac-8.0/40) > 1e-12 {
+		t.Fatalf("transition fraction = %g, want %g", rep.TransitionFrac, 8.0/40)
+	}
+}
+
+func TestEventConditionedWindowZero(t *testing.T) {
+	truth := stepTrace(30)
+	pred := append([]float64(nil), truth...)
+	rep, err := EventConditioned(pred, truth, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0 marks only the two endpoints of each jump.
+	if math.Abs(rep.TransitionFrac-4.0/30) > 1e-12 {
+		t.Fatalf("fraction = %g", rep.TransitionFrac)
+	}
+}
+
+func TestEventConditionedDegenerate(t *testing.T) {
+	flat := make([]float64, 20)
+	if _, err := EventConditioned(flat, flat, 5, 2); err == nil {
+		t.Fatal("flat trace should be a degenerate split")
+	}
+	// All-transition trace: alternating jumps everywhere.
+	zig := make([]float64, 20)
+	for i := range zig {
+		if i%2 == 0 {
+			zig[i] = -45
+		} else {
+			zig[i] = -20
+		}
+	}
+	if _, err := EventConditioned(zig, zig, 5, 3); err == nil {
+		t.Fatal("all-transition trace should be a degenerate split")
+	}
+}
+
+func TestEventConditionedBadParams(t *testing.T) {
+	truth := stepTrace(30)
+	if _, err := EventConditioned(truth, truth, 0, 1); err == nil {
+		t.Fatal("jump 0 accepted")
+	}
+	if _, err := EventConditioned(truth, truth, 5, -1); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestEventConditionedImageVsRFShape(t *testing.T) {
+	// Synthetic sanity for the Fig. 3b claim: an "RF-like" predictor that
+	// lags by one sample has high transition error but zero stable error;
+	// an "image-like" predictor with small uniform noise has low error in
+	// both. The event metric must rank them accordingly.
+	truth := stepTrace(60)
+	rfLike := make([]float64, len(truth))
+	rfLike[0] = truth[0]
+	for i := 1; i < len(truth); i++ {
+		rfLike[i] = truth[i-1] // pure persistence
+	}
+	imgLike := append([]float64(nil), truth...)
+	for i := range imgLike {
+		imgLike[i] += 0.5 // small constant error
+	}
+
+	rf, err := EventConditioned(rfLike, truth, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := EventConditioned(imgLike, truth, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rf.TransitionRMSE > img.TransitionRMSE) {
+		t.Fatalf("persistence transition RMSE %g should exceed image-like %g",
+			rf.TransitionRMSE, img.TransitionRMSE)
+	}
+	if !(rf.StableRMSE < img.StableRMSE) {
+		t.Fatalf("persistence stable RMSE %g should beat image-like %g",
+			rf.StableRMSE, img.StableRMSE)
+	}
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer in NCHW layout with bias.
+type Conv2D struct {
+	K    *Param // kernel (Cout, Cin, KH, KW)
+	B    *Param // bias   (Cout)
+	Spec tensor.Conv2DSpec
+	in   *tensor.Tensor
+}
+
+// NewConv2D returns a convolution layer with He-normal initialised kernels
+// (appropriate for the ReLU activations used by the UE CNN) and zero bias.
+func NewConv2D(rng *rand.Rand, cin, cout, kh, kw int, spec tensor.Conv2DSpec) *Conv2D {
+	fanIn := float64(cin * kh * kw)
+	std := math.Sqrt(2.0 / fanIn)
+	return &Conv2D{
+		K:    NewParam("conv.k", tensor.Randn(rng, std, cout, cin, kh, kw)),
+		B:    NewParam("conv.b", tensor.New(cout)),
+		Spec: spec,
+	}
+}
+
+// NewConv2DSame returns a stride-1 convolution that preserves spatial size
+// for odd kernel sizes, as used by the UE-side CNN (the CNN output must be
+// an N_H × N_W "image" so the pooling arithmetic of the paper applies).
+func NewConv2DSame(rng *rand.Rand, cin, cout, k int) *Conv2D {
+	return NewConv2D(rng, cin, cout, k, k, tensor.Conv2DSpec{
+		StrideH: 1, StrideW: 1, PadH: k / 2, PadW: k / 2,
+	})
+}
+
+// Forward computes the convolution.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.in = x
+	return tensor.Conv2D(x, c.K.Value, c.B.Value.Data(), c.Spec)
+}
+
+// Backward accumulates kernel and bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.in == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	gradX, gradK, gradB := tensor.Conv2DBackward(c.in, c.K.Value, grad, c.Spec)
+	c.K.Grad.AddInPlace(gradK)
+	bg := c.B.Grad.Data()
+	for i, v := range gradB {
+		bg[i] += v
+	}
+	return gradX
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.K, c.B} }
+
+// AvgPool2D is the paper's payload-compression stage: non-overlapping
+// average pooling with window (PH, PW). Over a 40×40 CNN output a 40×40
+// window yields the "one pixel image".
+type AvgPool2D struct {
+	PH, PW int
+}
+
+// NewAvgPool2D returns an average-pooling layer with the given window.
+func NewAvgPool2D(ph, pw int) *AvgPool2D { return &AvgPool2D{PH: ph, PW: pw} }
+
+// Forward pools each window to its mean.
+func (p *AvgPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPool2D(x, p.PH, p.PW)
+}
+
+// Backward spreads the gradient uniformly over each window.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPool2DBackward(grad, p.PH, p.PW)
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *AvgPool2D) Params() []*Param { return nil }

@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is the max-pooling counterpart of AvgPool2D, provided as a
+// compression-stage ablation: unlike the average, a window maximum is not
+// an unbiased payload summary, and (unlike average pooling) it is not a
+// linear map — the comparison quantifies how much that matters.
+type MaxPool2D struct {
+	PH, PW  int
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D returns a max-pooling layer with the given window.
+func NewMaxPool2D(ph, pw int) *MaxPool2D { return &MaxPool2D{PH: ph, PW: pw} }
+
+// Forward pools each window to its maximum.
+func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out, argmax := tensor.MaxPool2D(x, p.PH, p.PW)
+	p.argmax = argmax
+	p.inShape = x.Shape()
+	return out
+}
+
+// Backward routes each gradient to its window's argmax.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	return tensor.MaxPool2DBackward(grad, p.argmax, p.inShape)
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Dropout zeroes each activation independently with probability Rate
+// during training and scales the survivors by 1/(1−Rate) (inverted
+// dropout), so evaluation needs no rescaling. Call SetTraining(false)
+// before validation/inference.
+type Dropout struct {
+	Rate     float64
+	rng      *rand.Rand
+	training bool
+	mask     []float64
+}
+
+// NewDropout returns a dropout layer; rate must lie in [0, 1).
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %g outside [0, 1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng, training: true}
+}
+
+// SetTraining toggles between the stochastic (training) and identity
+// (evaluation) behaviours.
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Forward applies the mask (training) or the identity (evaluation).
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.training || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	d.mask = make([]float64, x.Size())
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			od[i] = xd[i] * scale
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i := range gd {
+		od[i] = gd[i] * d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// ClipGradNorm rescales all gradients in place so their global L2 norm
+// does not exceed maxNorm, the standard guard against exploding RNN
+// gradients. It returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic(fmt.Sprintf("nn: non-positive clip norm %g", maxNorm))
+	}
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Recurrent is the interface the BS-side sequence model satisfies; both
+// LSTM and GRU implement it, letting the split model treat the recurrent
+// core as an ablatable design choice.
+type Recurrent interface {
+	Layer
+	InputDim() int
+	HiddenDim() int
+}
+
+// InputDim returns the per-step input width.
+func (l *LSTM) InputDim() int { return l.InDim }
+
+// HiddenDim returns the hidden-state width.
+func (l *LSTM) HiddenDim() int { return l.Hidden }
+
+// GRU is a gated recurrent unit over (N, T, D) sequences returning the
+// final hidden state (N, H) — the lighter alternative to the LSTM with
+// three gates instead of four and no cell state.
+//
+// Gate layout in the packed matrices is [reset, update, candidate], with
+// the reset gate applied to the *projected* previous hidden state
+// (h·Whn + bh_n), the convention that allows a single packed
+// hidden-to-hidden product per step.
+type GRU struct {
+	Wx *Param // (D, 3H)
+	Wh *Param // (H, 3H)
+	Bx *Param // (1, 3H)
+	Bh *Param // (1, 3H)
+
+	InDim, Hidden int
+
+	// BPTT caches.
+	seqLen, batch int
+	xs            []*tensor.Tensor // per-step input (N, D)
+	hs            []*tensor.Tensor // hs[0] = h_{-1} = 0
+	gateR         []*tensor.Tensor
+	gateZ         []*tensor.Tensor
+	gateN         []*tensor.Tensor
+	hnPre         []*tensor.Tensor // h_{t-1}·Whn + bh_n (pre reset gate)
+}
+
+// NewGRU returns a GRU with Glorot-uniform weights.
+func NewGRU(rng *rand.Rand, inDim, hidden int) *GRU {
+	limitX := math.Sqrt(6.0 / float64(inDim+3*hidden))
+	limitH := math.Sqrt(6.0 / float64(hidden+3*hidden))
+	return &GRU{
+		Wx:     NewParam("gru.wx", tensor.RandUniform(rng, -limitX, limitX, inDim, 3*hidden)),
+		Wh:     NewParam("gru.wh", tensor.RandUniform(rng, -limitH, limitH, hidden, 3*hidden)),
+		Bx:     NewParam("gru.bx", tensor.New(1, 3*hidden)),
+		Bh:     NewParam("gru.bh", tensor.New(1, 3*hidden)),
+		InDim:  inDim,
+		Hidden: hidden,
+	}
+}
+
+// InputDim returns the per-step input width.
+func (g *GRU) InputDim() int { return g.InDim }
+
+// HiddenDim returns the hidden-state width.
+func (g *GRU) HiddenDim() int { return g.Hidden }
+
+// Forward consumes a (N, T, D) sequence and returns the final hidden
+// state (N, H).
+func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(2) != g.InDim {
+		panic(fmt.Sprintf("nn: GRU input shape %v, want (N, T, %d)", x.Shape(), g.InDim))
+	}
+	n, T, hid := x.Dim(0), x.Dim(1), g.Hidden
+	g.batch, g.seqLen = n, T
+	g.xs = make([]*tensor.Tensor, T)
+	g.hs = make([]*tensor.Tensor, T+1)
+	g.gateR = make([]*tensor.Tensor, T)
+	g.gateZ = make([]*tensor.Tensor, T)
+	g.gateN = make([]*tensor.Tensor, T)
+	g.hnPre = make([]*tensor.Tensor, T)
+	g.hs[0] = tensor.New(n, hid)
+
+	xd := x.Data()
+	for t := 0; t < T; t++ {
+		xt := tensor.New(n, g.InDim)
+		for i := 0; i < n; i++ {
+			copy(xt.Data()[i*g.InDim:(i+1)*g.InDim], xd[(i*T+t)*g.InDim:(i*T+t+1)*g.InDim])
+		}
+		g.xs[t] = xt
+
+		zx := tensor.MatMul(xt, g.Wx.Value)      // (N, 3H)
+		zh := tensor.MatMul(g.hs[t], g.Wh.Value) // (N, 3H)
+		bx, bh := g.Bx.Value.Data(), g.Bh.Value.Data()
+
+		r := tensor.New(n, hid)
+		z := tensor.New(n, hid)
+		nn := tensor.New(n, hid)
+		pre := tensor.New(n, hid)
+		hNew := tensor.New(n, hid)
+		hPrev := g.hs[t].Data()
+		for i := 0; i < n; i++ {
+			xrow := zx.Data()[i*3*hid : (i+1)*3*hid]
+			hrow := zh.Data()[i*3*hid : (i+1)*3*hid]
+			for j := 0; j < hid; j++ {
+				rv := sigmoid(xrow[j] + bx[j] + hrow[j] + bh[j])
+				zv := sigmoid(xrow[hid+j] + bx[hid+j] + hrow[hid+j] + bh[hid+j])
+				pv := hrow[2*hid+j] + bh[2*hid+j]
+				nv := math.Tanh(xrow[2*hid+j] + bx[2*hid+j] + rv*pv)
+				k := i*hid + j
+				r.Data()[k], z.Data()[k], nn.Data()[k], pre.Data()[k] = rv, zv, nv, pv
+				hNew.Data()[k] = (1-zv)*nv + zv*hPrev[k]
+			}
+		}
+		g.gateR[t], g.gateZ[t], g.gateN[t], g.hnPre[t] = r, z, nn, pre
+		g.hs[t+1] = hNew
+	}
+	return g.hs[T]
+}
+
+// Backward runs BPTT from the gradient of the final hidden state and
+// returns the input-sequence gradient (N, T, D).
+func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if g.xs == nil {
+		panic("nn: GRU.Backward before Forward")
+	}
+	n, T, hid := g.batch, g.seqLen, g.Hidden
+	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != hid {
+		panic(fmt.Sprintf("nn: GRU gradient shape %v, want (%d, %d)", grad.Shape(), n, hid))
+	}
+	dx := tensor.New(n, T, g.InDim)
+	dh := grad.Clone()
+
+	for t := T - 1; t >= 0; t-- {
+		r, z, nn, pre := g.gateR[t], g.gateZ[t], g.gateN[t], g.hnPre[t]
+		hPrev := g.hs[t]
+
+		// dax packs [dar, daz, dan] (pre-activation input-side grads);
+		// dah packs [dar, daz, d(hnPre)] (hidden-side grads).
+		dax := tensor.New(n, 3*hid)
+		dah := tensor.New(n, 3*hid)
+		dhNext := tensor.New(n, hid)
+
+		for i := 0; i < n; i++ {
+			for j := 0; j < hid; j++ {
+				k := i*hid + j
+				rv, zv, nv, pv := r.Data()[k], z.Data()[k], nn.Data()[k], pre.Data()[k]
+				dhv := dh.Data()[k]
+
+				dz := dhv * (hPrev.Data()[k] - nv)
+				dn := dhv * (1 - zv)
+				dhPrev := dhv * zv
+
+				dan := dn * (1 - nv*nv)
+				dr := dan * pv
+				dpre := dan * rv
+				daz := dz * zv * (1 - zv)
+				dar := dr * rv * (1 - rv)
+
+				xrow := dax.Data()[i*3*hid : (i+1)*3*hid]
+				hrow := dah.Data()[i*3*hid : (i+1)*3*hid]
+				xrow[j], xrow[hid+j], xrow[2*hid+j] = dar, daz, dan
+				hrow[j], hrow[hid+j], hrow[2*hid+j] = dar, daz, dpre
+
+				dhNext.Data()[k] = dhPrev
+			}
+		}
+
+		g.Wx.Grad.AddInPlace(tensor.MatMulTransA(g.xs[t], dax))
+		g.Wh.Grad.AddInPlace(tensor.MatMulTransA(hPrev, dah))
+		bxg, bhg := g.Bx.Grad.Data(), g.Bh.Grad.Data()
+		for i := 0; i < n; i++ {
+			xrow := dax.Data()[i*3*hid : (i+1)*3*hid]
+			hrow := dah.Data()[i*3*hid : (i+1)*3*hid]
+			for j := range xrow {
+				bxg[j] += xrow[j]
+				bhg[j] += hrow[j]
+			}
+		}
+
+		dxt := tensor.MatMulTransB(dax, g.Wx.Value)
+		for i := 0; i < n; i++ {
+			copy(dx.Data()[(i*T+t)*g.InDim:(i*T+t+1)*g.InDim], dxt.Data()[i*g.InDim:(i+1)*g.InDim])
+		}
+		dh = tensor.MatMulTransB(dah, g.Wh.Value)
+		dh.AddInPlace(dhNext)
+	}
+	return dx
+}
+
+// Params returns the packed parameters.
+func (g *GRU) Params() []*Param { return []*Param{g.Wx, g.Wh, g.Bx, g.Bh} }

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGRUForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGRU(rng, 5, 7)
+	x := tensor.Randn(rng, 1, 3, 4, 5)
+	h := g.Forward(x)
+	if h.Rank() != 2 || h.Dim(0) != 3 || h.Dim(1) != 7 {
+		t.Fatalf("GRU output shape = %v", h.Shape())
+	}
+	if g.InputDim() != 5 || g.HiddenDim() != 7 {
+		t.Fatalf("dims = %d/%d", g.InputDim(), g.HiddenDim())
+	}
+}
+
+func TestGRUOutputBounded(t *testing.T) {
+	// h is a convex combination of tanh outputs and zero-initialised
+	// state, so |h| < 1.
+	rng := rand.New(rand.NewSource(2))
+	g := NewGRU(rng, 3, 5)
+	x := tensor.Randn(rng, 5, 8, 6, 3)
+	h := g.Forward(x)
+	if h.Max() >= 1 || h.Min() <= -1 {
+		t.Fatalf("GRU hidden escaped (-1,1): [%g, %g]", h.Min(), h.Max())
+	}
+}
+
+func TestGRUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGRU(rng, 3, 4)
+	x := tensor.Randn(rng, 1, 2, 3, 3)
+	checkLayerGradients(t, g, x, 1e-5)
+}
+
+func TestGRUDeterministicForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewGRU(rng, 2, 3)
+	x := tensor.Randn(rng, 1, 2, 4, 2)
+	h1 := g.Forward(x)
+	h2 := g.Forward(x)
+	if tensor.MaxAbsDiff(h1, h2) != 0 {
+		t.Fatal("GRU forward not deterministic")
+	}
+}
+
+func TestGRUBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGRU(rng, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g.Backward(tensor.Ones(1, 3))
+}
+
+func TestGRUFewerParamsThanLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := NewGRU(rng, 10, 8)
+	l := NewLSTM(rng, 10, 8)
+	if CountParams(g.Params()) >= CountParams(l.Params()) {
+		t.Fatalf("GRU (%d) should be smaller than LSTM (%d)",
+			CountParams(g.Params()), CountParams(l.Params()))
+	}
+}
+
+func TestRecurrentInterface(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range []Recurrent{NewLSTM(rng, 4, 6), NewGRU(rng, 4, 6)} {
+		if r.InputDim() != 4 || r.HiddenDim() != 6 {
+			t.Fatalf("%T dims = %d/%d", r, r.InputDim(), r.HiddenDim())
+		}
+		x := tensor.Randn(rng, 1, 2, 3, 4)
+		h := r.Forward(x)
+		if h.Dim(0) != 2 || h.Dim(1) != 6 {
+			t.Fatalf("%T output %v", r, h.Shape())
+		}
+	}
+}
+
+func TestGRUTrainsTinyRegression(t *testing.T) {
+	// GRU + head must fit "predict last step's first feature".
+	rng := rand.New(rand.NewSource(8))
+	g := NewGRU(rng, 2, 8)
+	head := NewDense(rng, 8, 1)
+	params := append(g.Params(), head.Params()...)
+
+	x := tensor.Randn(rng, 1, 32, 3, 2)
+	target := tensor.New(32, 1)
+	for i := 0; i < 32; i++ {
+		target.Data()[i] = x.At(i, 2, 0)
+	}
+
+	var loss float64
+	lr := 0.05
+	for step := 0; step < 400; step++ {
+		ZeroGrads(params)
+		pred := head.Forward(g.Forward(x))
+		var grad *tensor.Tensor
+		loss, grad = MSE(pred, target)
+		g.Backward(head.Backward(grad))
+		for _, p := range params {
+			p.Value.AddScaledInPlace(p.Grad, -lr)
+		}
+	}
+	if loss > 0.05 {
+		t.Fatalf("GRU failed to fit: loss %g", loss)
+	}
+}

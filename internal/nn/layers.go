@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully-connected layer y = x·W + b for x of shape (N, In).
+type Dense struct {
+	W, B *Param
+	in   *tensor.Tensor // cached input of the latest Forward
+}
+
+// NewDense returns a Dense layer with Glorot-uniform weights and zero bias.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	limit := math.Sqrt(6.0 / float64(in+out))
+	return &Dense{
+		W: NewParam("dense.w", tensor.RandUniform(rng, -limit, limit, in, out)),
+		B: NewParam("dense.b", tensor.New(1, out)),
+	}
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.W.Value.Dim(0) {
+		panic(fmt.Sprintf("nn: Dense input shape %v incompatible with W %v", x.Shape(), d.W.Value.Shape()))
+	}
+	d.in = x
+	out := tensor.MatMul(x, d.W.Value)
+	n, o := out.Dim(0), out.Dim(1)
+	bd := d.B.Value.Data()
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		row := od[i*o : (i+1)*o]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀ·g, db = Σg and returns dx = g·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.in == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	d.W.Grad.AddInPlace(tensor.MatMulTransA(d.in, grad))
+	n, o := grad.Dim(0), grad.Dim(1)
+	gb := d.B.Grad.Data()
+	gd := grad.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*o : (i+1)*o]
+		for j := range row {
+			gb[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(grad, d.W.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Flatten reshapes (N, ...) to (N, prod(...)). Backward restores the shape.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the leading (batch) dimension.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten.Backward before Forward")
+	}
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Activation is a parameter-free element-wise layer defined by a function
+// and the derivative expressed in terms of the cached output.
+type Activation struct {
+	name  string
+	fn    func(float64) float64
+	deriv func(out float64) float64 // derivative as a function of the output
+	out   *tensor.Tensor
+}
+
+// NewReLU returns max(0, x).
+func NewReLU() *Activation {
+	return &Activation{
+		name: "relu",
+		fn:   func(v float64) float64 { return math.Max(0, v) },
+		deriv: func(out float64) float64 {
+			if out > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// NewTanh returns tanh(x); d/dx = 1 - out².
+func NewTanh() *Activation {
+	return &Activation{
+		name:  "tanh",
+		fn:    math.Tanh,
+		deriv: func(out float64) float64 { return 1 - out*out },
+	}
+}
+
+// NewSigmoid returns σ(x) = 1/(1+e^{-x}); d/dx = out·(1-out).
+func NewSigmoid() *Activation {
+	return &Activation{
+		name:  "sigmoid",
+		fn:    sigmoid,
+		deriv: func(out float64) float64 { return out * (1 - out) },
+	}
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Forward applies the activation element-wise.
+func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
+	a.out = tensor.Apply(x, a.fn)
+	return a.out
+}
+
+// Backward multiplies the upstream gradient by the local derivative.
+func (a *Activation) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.out == nil {
+		panic(fmt.Sprintf("nn: %s.Backward before Forward", a.name))
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od, rd := grad.Data(), a.out.Data(), out.Data()
+	for i := range rd {
+		rd[i] = gd[i] * a.deriv(od[i])
+	}
+	return out
+}
+
+// Params returns nil; activations have no parameters.
+func (a *Activation) Params() []*Param { return nil }

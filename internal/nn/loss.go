@@ -1,0 +1,31 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MSE computes the paper's loss Σ (P̂ - P)² / |B| over a mini-batch and
+// its gradient 2(P̂ - P)/|B| with respect to the prediction.
+func MSE(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	n := float64(pred.Size())
+	grad = tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	for i := range pd {
+		diff := pd[i] - td[i]
+		loss += diff * diff
+		gd[i] = 2 * diff / n
+	}
+	return loss / n, grad
+}
+
+// RMSE returns √MSE — the paper reports validation loss in RMSE (dB).
+func RMSE(pred, target *tensor.Tensor) float64 {
+	loss, _ := MSE(pred, target)
+	return math.Sqrt(loss)
+}

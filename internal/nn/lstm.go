@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network over input
+// sequences of shape (N, T, D), returning the final hidden state (N, H).
+// This is the BS-side recurrent model of the paper: at each of the T = L
+// time steps it consumes the concatenation of the pooled CNN output pixels
+// and the RF received power, and its final state drives the regression
+// head that predicts the future received power.
+//
+// Gate layout in the packed weight matrices is [input, forget, cell, output].
+type LSTM struct {
+	Wx *Param // (D, 4H)
+	Wh *Param // (H, 4H)
+	B  *Param // (1, 4H)
+
+	InDim, Hidden int
+
+	// Forward caches for BPTT.
+	seqLen  int
+	batch   int
+	xs      []*tensor.Tensor // per-step input (N, D)
+	hs      []*tensor.Tensor // per-step hidden, hs[0] is h_{-1} = 0
+	cs      []*tensor.Tensor // per-step cell,   cs[0] is c_{-1} = 0
+	gateI   []*tensor.Tensor
+	gateF   []*tensor.Tensor
+	gateG   []*tensor.Tensor
+	gateO   []*tensor.Tensor
+	tanhCts []*tensor.Tensor
+}
+
+// NewLSTM returns an LSTM with Glorot-uniform weights and the customary
+// forget-gate bias of 1 (helps gradient flow early in training).
+func NewLSTM(rng *rand.Rand, inDim, hidden int) *LSTM {
+	limitX := math.Sqrt(6.0 / float64(inDim+4*hidden))
+	limitH := math.Sqrt(6.0 / float64(hidden+4*hidden))
+	l := &LSTM{
+		Wx:     NewParam("lstm.wx", tensor.RandUniform(rng, -limitX, limitX, inDim, 4*hidden)),
+		Wh:     NewParam("lstm.wh", tensor.RandUniform(rng, -limitH, limitH, hidden, 4*hidden)),
+		B:      NewParam("lstm.b", tensor.New(1, 4*hidden)),
+		InDim:  inDim,
+		Hidden: hidden,
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.Value.Set(1, 0, j) // forget gate slice
+	}
+	return l
+}
+
+// Forward consumes a (N, T, D) sequence and returns the final hidden state
+// (N, H).
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(2) != l.InDim {
+		panic(fmt.Sprintf("nn: LSTM input shape %v, want (N, T, %d)", x.Shape(), l.InDim))
+	}
+	n, T := x.Dim(0), x.Dim(1)
+	h, hid := tensor.New(n, l.Hidden), l.Hidden
+	c := tensor.New(n, l.Hidden)
+
+	l.batch, l.seqLen = n, T
+	l.xs = make([]*tensor.Tensor, T)
+	l.hs = make([]*tensor.Tensor, T+1)
+	l.cs = make([]*tensor.Tensor, T+1)
+	l.gateI = make([]*tensor.Tensor, T)
+	l.gateF = make([]*tensor.Tensor, T)
+	l.gateG = make([]*tensor.Tensor, T)
+	l.gateO = make([]*tensor.Tensor, T)
+	l.tanhCts = make([]*tensor.Tensor, T)
+	l.hs[0], l.cs[0] = h, c
+
+	xd := x.Data()
+	for t := 0; t < T; t++ {
+		// Slice step t out of the (N, T, D) input into a contiguous (N, D).
+		xt := tensor.New(n, l.InDim)
+		for i := 0; i < n; i++ {
+			copy(xt.Data()[i*l.InDim:(i+1)*l.InDim], xd[(i*T+t)*l.InDim:(i*T+t+1)*l.InDim])
+		}
+		l.xs[t] = xt
+
+		z := tensor.MatMul(xt, l.Wx.Value)
+		z.AddInPlace(tensor.MatMul(l.hs[t], l.Wh.Value))
+		zd, bd := z.Data(), l.B.Value.Data()
+		for i := 0; i < n; i++ {
+			row := zd[i*4*hid : (i+1)*4*hid]
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+
+		gi := tensor.New(n, hid)
+		gf := tensor.New(n, hid)
+		gg := tensor.New(n, hid)
+		go_ := tensor.New(n, hid)
+		cNew := tensor.New(n, hid)
+		hNew := tensor.New(n, hid)
+		tc := tensor.New(n, hid)
+		cPrev := l.cs[t].Data()
+		for i := 0; i < n; i++ {
+			zrow := zd[i*4*hid : (i+1)*4*hid]
+			for j := 0; j < hid; j++ {
+				iv := sigmoid(zrow[j])
+				fv := sigmoid(zrow[hid+j])
+				gv := math.Tanh(zrow[2*hid+j])
+				ov := sigmoid(zrow[3*hid+j])
+				cv := fv*cPrev[i*hid+j] + iv*gv
+				tcv := math.Tanh(cv)
+				gi.Data()[i*hid+j] = iv
+				gf.Data()[i*hid+j] = fv
+				gg.Data()[i*hid+j] = gv
+				go_.Data()[i*hid+j] = ov
+				cNew.Data()[i*hid+j] = cv
+				tc.Data()[i*hid+j] = tcv
+				hNew.Data()[i*hid+j] = ov * tcv
+			}
+		}
+		l.gateI[t], l.gateF[t], l.gateG[t], l.gateO[t] = gi, gf, gg, go_
+		l.cs[t+1], l.hs[t+1], l.tanhCts[t] = cNew, hNew, tc
+	}
+	return l.hs[T]
+}
+
+// Backward runs truncated BPTT from the gradient of the final hidden state
+// (N, H) and returns the gradient with respect to the input sequence
+// (N, T, D).
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.xs == nil {
+		panic("nn: LSTM.Backward before Forward")
+	}
+	n, T, hid := l.batch, l.seqLen, l.Hidden
+	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != hid {
+		panic(fmt.Sprintf("nn: LSTM gradient shape %v, want (%d, %d)", grad.Shape(), n, hid))
+	}
+	dx := tensor.New(n, T, l.InDim)
+	dh := grad.Clone()
+	dc := tensor.New(n, hid)
+
+	for t := T - 1; t >= 0; t-- {
+		gi, gf, gg, go_ := l.gateI[t], l.gateF[t], l.gateG[t], l.gateO[t]
+		tc := l.tanhCts[t]
+		cPrev := l.cs[t]
+		dz := tensor.New(n, 4*hid)
+
+		dhD, dcD := dh.Data(), dc.Data()
+		for i := 0; i < n; i++ {
+			for j := 0; j < hid; j++ {
+				k := i*hid + j
+				iv, fv, gv, ov := gi.Data()[k], gf.Data()[k], gg.Data()[k], go_.Data()[k]
+				tcv := tc.Data()[k]
+				dhv := dhD[k]
+				dcv := dcD[k] + dhv*ov*(1-tcv*tcv)
+				do := dhv * tcv
+				di := dcv * gv
+				df := dcv * cPrev.Data()[k]
+				dg := dcv * iv
+				zrow := dz.Data()[i*4*hid : (i+1)*4*hid]
+				zrow[j] = di * iv * (1 - iv)
+				zrow[hid+j] = df * fv * (1 - fv)
+				zrow[2*hid+j] = dg * (1 - gv*gv)
+				zrow[3*hid+j] = do * ov * (1 - ov)
+				dcD[k] = dcv * fv // carried to step t-1
+			}
+		}
+
+		// Parameter gradients.
+		l.Wx.Grad.AddInPlace(tensor.MatMulTransA(l.xs[t], dz))
+		l.Wh.Grad.AddInPlace(tensor.MatMulTransA(l.hs[t], dz))
+		bg := l.B.Grad.Data()
+		zd := dz.Data()
+		for i := 0; i < n; i++ {
+			row := zd[i*4*hid : (i+1)*4*hid]
+			for j := range row {
+				bg[j] += row[j]
+			}
+		}
+
+		// Input and recurrent gradients.
+		dxt := tensor.MatMulTransB(dz, l.Wx.Value)
+		for i := 0; i < n; i++ {
+			copy(dx.Data()[(i*T+t)*l.InDim:(i*T+t+1)*l.InDim], dxt.Data()[i*l.InDim:(i+1)*l.InDim])
+		}
+		dh = tensor.MatMulTransB(dz, l.Wh.Value)
+	}
+	return dx
+}
+
+// Params returns the packed input, recurrent and bias parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

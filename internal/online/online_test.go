@@ -1,0 +1,166 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dataset"
+	"repro/internal/radio"
+	"repro/internal/split"
+)
+
+// smallWorld builds a trained-ish model over a small dataset.
+func smallWorld(t *testing.T, m split.Modality, pool int) (*split.Model, *dataset.Dataset, *dataset.Split) {
+	t.Helper()
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = 400
+	gen.Seed = 21
+	gen.Scene.ImageH, gen.Scene.ImageW = 8, 8
+	gen.Scene.FocalPixels = 5
+	d, err := dataset.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := split.DefaultConfig(m, pool)
+	cfg.SeqLen = 2
+	cfg.HorizonFrames = 2
+	cfg.BatchSize = 8
+	cfg.HiddenSize = 6
+	sp, err := dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := dataset.FitNormalizer(d, sp.Train)
+	model, err := split.NewModel(cfg, d, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := split.NewTrainer(model, d, sp, split.IdealLink{})
+	for i := 0; i < 30; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return model, d, sp
+}
+
+func paperUplink(seed int64) *channel.Channel {
+	return channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
+		rand.New(rand.NewSource(seed)))
+}
+
+// narrowband returns a power-starved 100 kHz control-channel uplink:
+// ~100 bits decode per slot, so multi-kilobit frames miss the 33-slot
+// deadline while sub-slot payloads stream freely. (Bandwidth alone is not
+// enough — less bandwidth also means less noise — so transmit power drops
+// with it.)
+func narrowband(seed int64) *channel.Channel {
+	b := radio.PaperUplink()
+	b.BandwidthHz = 100e3
+	b.TxPowerDBm = -35
+	return channel.MustNew(b, radio.PaperSlotSeconds, rand.New(rand.NewSource(seed)))
+}
+
+func TestStreamWideband(t *testing.T) {
+	model, d, sp := smallWorld(t, split.ImageRF, 4)
+	res, err := Stream(model, d, paperUplink(1), DefaultConfig(), sp.Val[0], sp.Val[0]+60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Outages != 0 {
+		t.Fatalf("wideband inference had %d outages", res.Stats.Outages)
+	}
+	if res.Stats.MeanStaleness != 0 {
+		t.Fatalf("staleness %g on an outage-free run", res.Stats.MeanStaleness)
+	}
+	if len(res.PredDBm) != 61 {
+		t.Fatalf("%d predictions, want 61", len(res.PredDBm))
+	}
+	if res.Stats.RMSEdB <= 0 || res.Stats.RMSEdB > 60 {
+		t.Fatalf("RMSE = %g dB", res.Stats.RMSEdB)
+	}
+}
+
+func TestStreamNarrowbandOnePixelSurvives(t *testing.T) {
+	// 8×8 pooling of 8×8 images → 1 px/frame: tiny payload streams even
+	// at 100 kHz.
+	model, d, sp := smallWorld(t, split.ImageRF, 8)
+	res, err := Stream(model, d, narrowband(2), DefaultConfig(), sp.Val[0], sp.Val[0]+40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Outages != 0 {
+		t.Fatalf("1-pixel narrowband streaming had %d outages", res.Stats.Outages)
+	}
+}
+
+func TestStreamNarrowbandUnpooledStarves(t *testing.T) {
+	// 1×1 pooling → 64 px/frame at Depth32 ≈ 2 kbit/frame; a 100 kHz
+	// channel decodes at most 100 bits/slot-ish, so frames miss their
+	// 33-slot deadline routinely.
+	model, d, sp := smallWorld(t, split.ImageRF, 1)
+	res, err := Stream(model, d, narrowband(3), DefaultConfig(), sp.Val[0], sp.Val[0]+40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Outages == 0 {
+		t.Fatal("unpooled narrowband streaming reported no outages")
+	}
+	if res.Stats.MaxStaleness == 0 {
+		t.Fatal("outages without staleness")
+	}
+}
+
+func TestStreamRFOnlyNeedsNoChannel(t *testing.T) {
+	model, d, sp := smallWorld(t, split.RFOnly, 1)
+	res, err := Stream(model, d, nil, DefaultConfig(), sp.Val[0], sp.Val[0]+30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Frames != 0 || res.Stats.SlotsUsed != 0 {
+		t.Fatalf("RF-only used the uplink: %+v", res.Stats)
+	}
+	if len(res.PredDBm) != 31 {
+		t.Fatalf("%d predictions", len(res.PredDBm))
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	model, d, sp := smallWorld(t, split.ImageRF, 4)
+	ch := paperUplink(4)
+	if _, err := Stream(model, d, ch, DefaultConfig(), 0, 10); err == nil {
+		t.Fatal("window before first usable anchor accepted")
+	}
+	if _, err := Stream(model, d, ch, Config{FrameBudgetSlots: 0}, sp.Val[0], sp.Val[0]+5); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := Stream(model, d, nil, DefaultConfig(), sp.Val[0], sp.Val[0]+5); err == nil {
+		t.Fatal("image scheme without channel accepted")
+	}
+}
+
+func TestStreamMatchesBatchPredictionWhenFresh(t *testing.T) {
+	// With zero outages and a full history window, streaming predictions
+	// must equal the batch PredictAnchors output for the same anchors.
+	model, d, sp := smallWorld(t, split.ImageRF, 4)
+	first := sp.Val[0]
+	res, err := Stream(model, d, paperUplink(5), DefaultConfig(), first, first+20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := model.PredictAnchors(res.Anchors)
+	for i := range batch {
+		diff := res.PredDBm[i] - batch[i]
+		if diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("anchor %d: streaming %g != batch %g", res.Anchors[i], res.PredDBm[i], batch[i])
+		}
+	}
+}
+
+func TestDefaultConfigBudget(t *testing.T) {
+	// γ/τ = 33 ms / 1 ms.
+	if got := DefaultConfig().FrameBudgetSlots; got != 33 {
+		t.Fatalf("frame budget = %d slots, want 33", got)
+	}
+}

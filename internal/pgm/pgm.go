@@ -1,0 +1,92 @@
+// Package pgm renders grayscale images — raw depth frames and CNN output
+// feature maps — as portable graymap (P5) files and as ASCII art for
+// terminal inspection. It is how this repository reproduces Fig. 2.
+package pgm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Write emits a binary P5 PGM of the row-major h×w image. Pixel values
+// are min-max normalised into 0..255 over the image itself so feature
+// maps with arbitrary dynamic range remain visible.
+func Write(w io.Writer, img []float64, h, width int) error {
+	if len(img) != h*width {
+		return fmt.Errorf("pgm: %d pixels for %dx%d image", len(img), h, width)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", width, h); err != nil {
+		return err
+	}
+	lo, hi := minMax(img)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for _, v := range img {
+		if err := bw.WriteByte(byte(math.Round((v - lo) / span * 255))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a PGM to a path.
+func WriteFile(path string, img []float64, h, w int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, img, h, w); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// asciiRamp orders glyphs from dark to bright.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCII renders the image as terminal art, one glyph per pixel, rows
+// separated by newlines.
+func ASCII(img []float64, h, w int) string {
+	lo, hi := minMax(img)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	b.Grow((w + 1) * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (img[y*w+x] - lo) / span
+			idx := int(v * float64(len(asciiRamp)-1))
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func minMax(img []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range img {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,81 @@
+package pgm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteHeaderAndSize(t *testing.T) {
+	img := []float64{0, 0.5, 1, 0.25, 0.75, 0.1}
+	var buf bytes.Buffer
+	if err := Write(&buf, img, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("header = %q", data[:12])
+	}
+	if len(data) != len("P5\n3 2\n255\n")+6 {
+		t.Fatalf("file size = %d", len(data))
+	}
+}
+
+func TestWriteNormalises(t *testing.T) {
+	// Arbitrary dynamic range must map to the full 0..255 span.
+	img := []float64{-40, -20}
+	var buf bytes.Buffer
+	if err := Write(&buf, img, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	px := buf.Bytes()[len(buf.Bytes())-2:]
+	if px[0] != 0 || px[1] != 255 {
+		t.Fatalf("pixels = %v, want [0 255]", px)
+	}
+}
+
+func TestWriteConstantImage(t *testing.T) {
+	img := []float64{0.42, 0.42, 0.42, 0.42}
+	var buf bytes.Buffer
+	if err := Write(&buf, img, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRejectsBadSize(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, []float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.pgm")
+	if err := WriteFile(path, []float64{0, 1}, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("P5\n")) {
+		t.Fatal("file is not a PGM")
+	}
+}
+
+func TestASCIIShape(t *testing.T) {
+	img := []float64{0, 1, 0.5, 0.5}
+	art := ASCII(img, 2, 2)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("ASCII layout: %q", art)
+	}
+	// Darkest pixel maps to space, brightest to '@'.
+	if art[0] != ' ' {
+		t.Fatalf("dark glyph = %q", art[0])
+	}
+	if art[1] != '@' {
+		t.Fatalf("bright glyph = %q", art[1])
+	}
+}

@@ -1,0 +1,124 @@
+// Package radio provides the link-budget arithmetic shared by the channel
+// simulator and the dataset generator: dB/linear conversions, the paper's
+// power-law path loss P·r^{−α}, and thermal-noise power over a bandwidth.
+//
+// Conventions: transmit powers are dBm, noise spectral density is dBm/Hz,
+// bandwidths are Hz, distances are metres. Linear-domain powers are mW.
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// DBmToMilliwatt converts dBm to mW.
+func DBmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattToDBm converts mW to dBm. It panics for non-positive input,
+// which always indicates a bug upstream.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		panic(fmt.Sprintf("radio: non-positive power %g mW", mw))
+	}
+	return 10 * math.Log10(mw)
+}
+
+// DBToLinear converts a dB ratio to linear.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear ratio to dB.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		panic(fmt.Sprintf("radio: non-positive ratio %g", lin))
+	}
+	return 10 * math.Log10(lin)
+}
+
+// PathGain returns the paper's power-law path gain r^{−α} (linear).
+func PathGain(r, alpha float64) float64 {
+	if r <= 0 {
+		panic(fmt.Sprintf("radio: non-positive distance %g", r))
+	}
+	return math.Pow(r, -alpha)
+}
+
+// NoisePowerMilliwatt returns σ²·W in mW for a noise power spectral
+// density σ² in dBm/Hz over bandwidth W in Hz.
+func NoisePowerMilliwatt(noiseDBmPerHz, bandwidthHz float64) float64 {
+	if bandwidthHz <= 0 {
+		panic(fmt.Sprintf("radio: non-positive bandwidth %g", bandwidthHz))
+	}
+	return DBmToMilliwatt(noiseDBmPerHz) * bandwidthHz
+}
+
+// MeanSNR returns the mean received SNR (linear) of the paper's channel
+// model: P·r^{−α}/(σ²·W), i.e. the SNR when the Exp(1) fading term equals
+// its unit mean.
+func MeanSNR(txPowerDBm, r, alpha, noiseDBmPerHz, bandwidthHz float64) float64 {
+	rx := DBmToMilliwatt(txPowerDBm) * PathGain(r, alpha)
+	return rx / NoisePowerMilliwatt(noiseDBmPerHz, bandwidthHz)
+}
+
+// LinkBudget describes one direction of the paper's UE↔BS link.
+type LinkBudget struct {
+	TxPowerDBm    float64 // P^(x)
+	BandwidthHz   float64 // W^(x)
+	DistanceM     float64 // r
+	PathLossExp   float64 // α
+	NoiseDBmPerHz float64 // σ²
+}
+
+// MeanSNR returns the budget's mean SNR (linear).
+func (l LinkBudget) MeanSNR() float64 {
+	return MeanSNR(l.TxPowerDBm, l.DistanceM, l.PathLossExp, l.NoiseDBmPerHz, l.BandwidthHz)
+}
+
+// MeanSNRdB returns the budget's mean SNR in dB.
+func (l LinkBudget) MeanSNRdB() float64 { return LinearToDB(l.MeanSNR()) }
+
+// Validate reports the first configuration error, if any.
+func (l LinkBudget) Validate() error {
+	switch {
+	case l.BandwidthHz <= 0:
+		return fmt.Errorf("radio: bandwidth %g Hz must be positive", l.BandwidthHz)
+	case l.DistanceM <= 0:
+		return fmt.Errorf("radio: distance %g m must be positive", l.DistanceM)
+	case l.PathLossExp <= 0:
+		return fmt.Errorf("radio: path-loss exponent %g must be positive", l.PathLossExp)
+	}
+	return nil
+}
+
+// Paper's experimental wireless parameters (Section 3).
+const (
+	PaperUplinkPowerDBm   = 7.5   // P^(UL)
+	PaperDownlinkPowerDBm = 40.0  // P^(DL)
+	PaperUplinkBWHz       = 30e6  // W^(UL)
+	PaperDownlinkBWHz     = 100e6 // W^(DL)
+	PaperDistanceM        = 4.0   // r
+	PaperPathLossExp      = 5.0   // α
+	PaperSlotSeconds      = 1e-3  // τ
+	PaperNoiseDBmPerHz    = -174.0
+)
+
+// PaperUplink returns the uplink budget from the paper's parameter table.
+func PaperUplink() LinkBudget {
+	return LinkBudget{
+		TxPowerDBm:    PaperUplinkPowerDBm,
+		BandwidthHz:   PaperUplinkBWHz,
+		DistanceM:     PaperDistanceM,
+		PathLossExp:   PaperPathLossExp,
+		NoiseDBmPerHz: PaperNoiseDBmPerHz,
+	}
+}
+
+// PaperDownlink returns the downlink budget from the paper's parameter table.
+func PaperDownlink() LinkBudget {
+	return LinkBudget{
+		TxPowerDBm:    PaperDownlinkPowerDBm,
+		BandwidthHz:   PaperDownlinkBWHz,
+		DistanceM:     PaperDistanceM,
+		PathLossExp:   PaperPathLossExp,
+		NoiseDBmPerHz: PaperNoiseDBmPerHz,
+	}
+}

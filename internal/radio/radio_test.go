@@ -1,0 +1,126 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBmMilliwattKnown(t *testing.T) {
+	if got := DBmToMilliwatt(0); got != 1 {
+		t.Fatalf("0 dBm = %g mW, want 1", got)
+	}
+	if got := DBmToMilliwatt(30); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("30 dBm = %g mW, want 1000", got)
+	}
+	if got := MilliwattToDBm(100); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("100 mW = %g dBm, want 20", got)
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 200) // keep in a numerically sane band
+		return math.Abs(MilliwattToDBm(DBmToMilliwatt(dbm))-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-50, -3, 0, 3, 10, 76.6} {
+		if got := LinearToDB(DBToLinear(db)); math.Abs(got-db) > 1e-9 {
+			t.Fatalf("round trip %g -> %g", db, got)
+		}
+	}
+}
+
+func TestMilliwattToDBmPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 mW")
+		}
+	}()
+	MilliwattToDBm(0)
+}
+
+func TestPathGain(t *testing.T) {
+	// Paper's geometry: r = 4 m, α = 5 → 4^-5 = 1/1024.
+	if got := PathGain(4, 5); math.Abs(got-1.0/1024) > 1e-15 {
+		t.Fatalf("PathGain(4,5) = %g, want 1/1024", got)
+	}
+	if PathGain(1, 7) != 1 {
+		t.Fatal("unit distance must have unit gain")
+	}
+}
+
+func TestNoisePower(t *testing.T) {
+	// -174 dBm/Hz over 30 MHz ≈ -99.23 dBm.
+	n := NoisePowerMilliwatt(-174, 30e6)
+	if got := MilliwattToDBm(n); math.Abs(got-(-99.229)) > 0.01 {
+		t.Fatalf("noise = %g dBm, want ≈ -99.23", got)
+	}
+}
+
+func TestPaperUplinkMeanSNR(t *testing.T) {
+	// The calibration in DESIGN.md §2: mean uplink SNR ≈ 4.60e7 (76.6 dB).
+	snr := PaperUplink().MeanSNR()
+	if snr < 4.5e7 || snr > 4.7e7 {
+		t.Fatalf("paper uplink mean SNR = %g, want ≈ 4.6e7", snr)
+	}
+	if db := PaperUplink().MeanSNRdB(); math.Abs(db-76.6) > 0.1 {
+		t.Fatalf("paper uplink mean SNR = %g dB, want ≈ 76.6", db)
+	}
+}
+
+func TestPaperDownlinkStrongerThanUplink(t *testing.T) {
+	// 40 dBm vs 7.5 dBm transmit power dominates the wider noise bandwidth.
+	if PaperDownlink().MeanSNR() <= PaperUplink().MeanSNR() {
+		t.Fatal("downlink should have higher mean SNR than uplink")
+	}
+}
+
+func TestMeanSNRMonotonicity(t *testing.T) {
+	base := PaperUplink()
+	// More transmit power → more SNR.
+	hiP := base
+	hiP.TxPowerDBm += 3
+	if hiP.MeanSNR() <= base.MeanSNR() {
+		t.Fatal("SNR not increasing in transmit power")
+	}
+	// More distance → less SNR.
+	far := base
+	far.DistanceM *= 2
+	if far.MeanSNR() >= base.MeanSNR() {
+		t.Fatal("SNR not decreasing in distance")
+	}
+	// More bandwidth → more noise → less SNR.
+	wide := base
+	wide.BandwidthHz *= 2
+	if wide.MeanSNR() >= base.MeanSNR() {
+		t.Fatal("SNR not decreasing in bandwidth")
+	}
+}
+
+func TestLinkBudgetValidate(t *testing.T) {
+	good := PaperUplink()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper budget invalid: %v", err)
+	}
+	bad := good
+	bad.BandwidthHz = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad = good
+	bad.DistanceM = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative distance accepted")
+	}
+	bad = good
+	bad.PathLossExp = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero path-loss exponent accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package scene
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newScene(t *testing.T, seed int64) *Scene {
+	t.Helper()
+	s, err := New(DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.LinkLength = 0 },
+		func(c *Config) { c.ImageH = 0 },
+		func(c *Config) { c.MeanInterarrival = -1 },
+		func(c *Config) { c.SpeedMin = 0 },
+		func(c *Config) { c.SpeedMax = 0.1 }, // < SpeedMin
+		func(c *Config) { c.CrossXMax = 99 }, // outside link
+		func(c *Config) { c.MaxRangeM = 0 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsNilRNG(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+func TestPedestrianTrajectory(t *testing.T) {
+	p := &Pedestrian{
+		CrossX: 2, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 10, Radius: 0.25, Height: 1.75,
+	}
+	if _, ok := p.PositionAt(9); ok {
+		t.Fatal("visible before entry")
+	}
+	pos, ok := p.PositionAt(13) // 3 s after entry at 1 m/s from y=-3 → y=0
+	if !ok {
+		t.Fatal("not visible mid-walk")
+	}
+	if math.Abs(pos.Y) > 1e-12 || pos.X != 2 {
+		t.Fatalf("position = %+v, want y=0, x=2", pos)
+	}
+	if got := p.ExitTime(); math.Abs(got-16) > 1e-12 {
+		t.Fatalf("exit time = %g, want 16", got)
+	}
+	if _, ok := p.PositionAt(16.5); ok {
+		t.Fatal("visible after exit")
+	}
+}
+
+func TestAdvanceSpawnsAndRetires(t *testing.T) {
+	s := newScene(t, 1)
+	s.Advance(60)
+	// With 4 s mean inter-arrival and ~5 s transit, some walkers should be
+	// active at t=60 after the catch-up spawning — but all of them must
+	// actually be inside the corridor.
+	for _, w := range s.Walkers() {
+		if w.ExitTime() <= 60 {
+			t.Fatal("retired walker still active")
+		}
+	}
+	// All spawned walkers cross inside the configured band.
+	for _, w := range s.Walkers() {
+		if w.CrossX < 1.0 || w.CrossX > 3.0 {
+			t.Fatalf("crossing x = %g outside [1, 3]", w.CrossX)
+		}
+	}
+}
+
+func TestBlockageZeroWithNoWalkers(t *testing.T) {
+	s := newScene(t, 2)
+	if loss := s.BlockageLossDB(0); loss != 0 {
+		t.Fatalf("empty corridor blockage = %g dB", loss)
+	}
+}
+
+func TestBlockageFullWhenBodyOnLoS(t *testing.T) {
+	s := newScene(t, 3)
+	s.walkers = []*Pedestrian{{
+		CrossX: 2, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 0, Radius: 0.25, Height: 1.75,
+	}}
+	// At t=3 the walker is exactly on the LoS (y=0).
+	loss := s.BlockageLossDB(3)
+	if math.Abs(loss-DefaultConfig().BlockageLossDB) > 1e-9 {
+		t.Fatalf("on-LoS blockage = %g dB, want %g", loss, DefaultConfig().BlockageLossDB)
+	}
+	// Far from the LoS the loss is negligible.
+	if loss := s.BlockageLossDB(0.5); loss > 0.01 {
+		t.Fatalf("distant walker leaks %g dB of blockage", loss)
+	}
+}
+
+func TestBlockageMonotoneInDistance(t *testing.T) {
+	s := newScene(t, 4)
+	s.walkers = []*Pedestrian{{
+		CrossX: 2, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 0, Radius: 0.25, Height: 1.75,
+	}}
+	// Walking from y=-3 to y=0 between t=0 and t=3: loss must be
+	// non-decreasing as the body approaches the LoS.
+	prev := -1.0
+	for tt := 0.0; tt <= 3.0; tt += 0.1 {
+		loss := s.BlockageLossDB(tt)
+		if loss < prev-1e-9 {
+			t.Fatalf("blockage decreased while approaching LoS at t=%g", tt)
+		}
+		prev = loss
+	}
+}
+
+func TestReceivedPowerLoSLevel(t *testing.T) {
+	// With no walkers the power stays near the LoS level.
+	s := newScene(t, 5)
+	s.cfg.MeanInterarrival = 1e12 // effectively no arrivals
+	sum, n := 0.0, 0
+	for tt := 0.0; tt < 30; tt += 0.033 {
+		sum += s.ReceivedPowerDBm(tt)
+		n++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-(-20)) > 1.0 {
+		t.Fatalf("unblocked mean power = %g dBm, want ≈ -20", mean)
+	}
+}
+
+func TestReceivedPowerDropDuringBlockage(t *testing.T) {
+	s := newScene(t, 6)
+	s.cfg.MeanInterarrival = 1e12
+	s.walkers = []*Pedestrian{{
+		CrossX: 2, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 0, Radius: 0.25, Height: 1.75,
+	}}
+	blocked := s.ReceivedPowerDBm(3) // body on LoS
+	if blocked > -40 {
+		t.Fatalf("blocked power = %g dBm, want ≤ -40 (≈ -45 as in Fig. 3b)", blocked)
+	}
+}
+
+func TestRenderDepthBackgroundOnly(t *testing.T) {
+	s := newScene(t, 7)
+	img := s.RenderDepth(0)
+	c := DefaultConfig()
+	if len(img) != c.ImageH*c.ImageW {
+		t.Fatalf("image length = %d", len(img))
+	}
+	// Empty corridor: all pixels near the background level.
+	bg := 1 - (c.CameraPos.X+0.7)/c.MaxRangeM
+	for i, v := range img {
+		if math.Abs(v-bg) > 5*c.PixelNoise+1e-9 {
+			t.Fatalf("pixel %d = %g, background %g", i, v, bg)
+		}
+	}
+}
+
+func TestRenderDepthShowsPedestrian(t *testing.T) {
+	s := newScene(t, 8)
+	s.walkers = []*Pedestrian{{
+		CrossX: 2, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 0, Radius: 0.25, Height: 1.75,
+	}}
+	c := DefaultConfig()
+	bg := 1 - (c.CameraPos.X+0.7)/c.MaxRangeM
+	// At t=2 the walker is at y=-1, well inside the field of view.
+	img := s.RenderDepth(2)
+	bright := 0
+	for _, v := range img {
+		if v > bg+0.1 {
+			bright++
+		}
+	}
+	if bright == 0 {
+		t.Fatal("pedestrian not visible in depth image")
+	}
+	// The silhouette must sit left of centre (y=-1 projects to u < W/2).
+	leftBright, rightBright := 0, 0
+	for py := 0; py < c.ImageH; py++ {
+		for px := 0; px < c.ImageW; px++ {
+			if img[py*c.ImageW+px] > bg+0.1 {
+				if px < c.ImageW/2 {
+					leftBright++
+				} else {
+					rightBright++
+				}
+			}
+		}
+	}
+	if leftBright <= rightBright {
+		t.Fatalf("silhouette not on expected side: left=%d right=%d", leftBright, rightBright)
+	}
+}
+
+func TestRenderNearerWalkerIsBrighter(t *testing.T) {
+	s := newScene(t, 9)
+	near := &Pedestrian{CrossX: 3.5, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 0, Radius: 0.25, Height: 1.75}
+	far := &Pedestrian{CrossX: 0.5, StartY: -3, Direction: 1, SpeedMPS: 1,
+		EnterTime: 0, Radius: 0.25, Height: 1.75}
+	s.walkers = []*Pedestrian{far, near}
+	s.cfg.PixelNoise = 0
+	img := s.RenderDepth(3) // both on LoS, y=0: near occludes centre
+	max := 0.0
+	for _, v := range img {
+		if v > max {
+			max = v
+		}
+	}
+	c := s.cfg
+	wantNear := 1 - (c.CameraPos.X-3.5)/c.MaxRangeM
+	if math.Abs(max-wantNear) > 1e-9 {
+		t.Fatalf("brightest pixel = %g, want near-walker depth %g", max, wantNear)
+	}
+}
+
+// TestCausality is invariant 4 of DESIGN.md: every pedestrian is visible
+// in the camera before it causes meaningful blockage.
+func TestCausality(t *testing.T) {
+	s := newScene(t, 10)
+	s.cfg.PixelNoise = 0
+	c := s.cfg
+	bg := 1 - (c.CameraPos.X+0.7)/c.MaxRangeM
+
+	w := &Pedestrian{CrossX: 2, StartY: -3, Direction: 1, SpeedMPS: 1.2,
+		EnterTime: 0, Radius: 0.25, Height: 1.75}
+	s.walkers = []*Pedestrian{w}
+
+	firstVisible, firstBlocked := math.Inf(1), math.Inf(1)
+	for tt := 0.0; tt < 6.0; tt += 0.033 {
+		img := s.RenderDepth(tt)
+		for _, v := range img {
+			if v > bg+0.1 {
+				if tt < firstVisible {
+					firstVisible = tt
+				}
+				break
+			}
+		}
+		if s.BlockageLossDB(tt) > 3 && tt < firstBlocked {
+			firstBlocked = tt
+		}
+	}
+	if math.IsInf(firstVisible, 1) {
+		t.Fatal("walker never visible")
+	}
+	if math.IsInf(firstBlocked, 1) {
+		t.Fatal("walker never blocked the link")
+	}
+	if firstBlocked-firstVisible < 0.12 {
+		t.Fatalf("advance warning only %g s; image modality carries no predictive signal",
+			firstBlocked-firstVisible)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, b := newScene(t, 42), newScene(t, 42)
+	for tt := 0.0; tt < 5; tt += 0.033 {
+		a.Advance(tt)
+		b.Advance(tt)
+		pa, pb := a.ReceivedPowerDBm(tt), b.ReceivedPowerDBm(tt)
+		if pa != pb {
+			t.Fatalf("t=%g: %g != %g under same seed", tt, pa, pb)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClockAccumulates(t *testing.T) {
+	c := New()
+	if c.Elapsed() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(100 * time.Millisecond)
+	c.AdvanceSeconds(0.4)
+	if got := c.Seconds(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("elapsed = %g s, want 0.5", got)
+	}
+}
+
+func TestClockRejectsNegative(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance accepted")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestCostModelStepSeconds(t *testing.T) {
+	m := CostModel{SecondsPerMFLOP: 1e-3, FixedPerStep: 2e-3}
+	// 5 MFLOP → 2 ms + 5 ms.
+	if got := m.StepSeconds(5e6); math.Abs(got-7e-3) > 1e-12 {
+		t.Fatalf("step = %g s, want 0.007", got)
+	}
+	if got := m.StepSeconds(0); got != 2e-3 {
+		t.Fatalf("zero-flop step = %g s, want fixed cost", got)
+	}
+}
+
+func TestCostModelMonotone(t *testing.T) {
+	m := DefaultCostModel()
+	if m.StepSeconds(1e6) >= m.StepSeconds(1e7) {
+		t.Fatal("cost not increasing in flops")
+	}
+}
+
+func TestCostModelRejectsNegativeFlops(t *testing.T) {
+	m := DefaultCostModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative flops accepted")
+		}
+	}()
+	m.StepSeconds(-1)
+}

@@ -1,0 +1,331 @@
+package split
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ---- GRU core ---------------------------------------------------------------
+
+func TestGRUCoreTrains(t *testing.T) {
+	d := tinyDataset(t, 200)
+	cfg := tinyConfig(ImageRF, 4)
+	cfg.RNN = RNNGRU
+	cfg.BatchSize = 16
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	if _, ok := model.BS.Core.(*nn.GRU); !ok {
+		t.Fatalf("core is %T, want *nn.GRU", model.BS.Core)
+	}
+	tr := NewTrainer(model, d, sp, IdealLink{})
+	before, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("GRU scheme did not improve: %.3f -> %.3f dB", before, after)
+	}
+}
+
+func TestGRUFullModelGradients(t *testing.T) {
+	d := tinyDataset(t, 40)
+	cfg := tinyConfig(ImageRF, 4)
+	cfg.RNN = RNNGRU
+	cfg.BatchSize = 2
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	anchors := sp.Train[:2]
+
+	lossOf := func() float64 {
+		pred, _ := model.ForwardBatch(anchors)
+		loss, _ := nn.MSE(pred, model.targets(anchors))
+		return loss
+	}
+	nn.ZeroGrads(model.Params())
+	pred, _ := model.ForwardBatch(anchors)
+	_, lossGrad := nn.MSE(pred, model.targets(anchors))
+	model.BackwardBatch(lossGrad)
+
+	const eps = 1e-6
+	for pi, p := range model.Params() {
+		for i := 0; i < p.Value.Size(); i++ {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + eps
+			plus := lossOf()
+			p.Value.Data()[i] = orig - eps
+			minus := lossOf()
+			p.Value.Data()[i] = orig
+			num := (plus - minus) / (2 * eps)
+			got := p.Grad.Data()[i]
+			if diff := got - num; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("param %d (%s) grad[%d] = %g, numeric %g", pi, p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestGRUFLOPsBelowLSTM(t *testing.T) {
+	d := tinyDataset(t, 60)
+	lstm := tinyConfig(ImageRF, 4)
+	gru := tinyConfig(ImageRF, 4)
+	gru.RNN = RNNGRU
+	sp := makeSplit(t, d, lstm)
+	ml := buildModel(t, lstm, d, sp)
+	mg := buildModel(t, gru, d, sp)
+	if mg.StepFLOPs() >= ml.StepFLOPs() {
+		t.Fatalf("GRU step (%g) should be cheaper than LSTM (%g)", mg.StepFLOPs(), ml.StepFLOPs())
+	}
+}
+
+func TestRNNKindString(t *testing.T) {
+	if RNNLSTM.String() != "LSTM" || RNNGRU.String() != "GRU" {
+		t.Fatalf("names: %s / %s", RNNLSTM, RNNGRU)
+	}
+}
+
+// ---- wire quantisation --------------------------------------------------------
+
+func TestQuantizeWireDepth64IsTransparent(t *testing.T) {
+	// Depth64 round-trips are lossless, so quantised and unquantised
+	// training must produce identical parameters.
+	d := tinyDataset(t, 150)
+	base := tinyConfig(ImageRF, 4)
+	quant := base
+	quant.QuantizeWire = true
+	quant.BitDepth = tensor.Depth64
+	sp := makeSplit(t, d, base)
+
+	run := func(cfg Config) *Model {
+		model := buildModel(t, cfg, d, sp)
+		tr := NewTrainer(model, d, sp, IdealLink{})
+		for i := 0; i < 15; i++ {
+			if _, err := tr.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return model
+	}
+	a, b := run(base), run(quant)
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if tensor.MaxAbsDiff(pa[i].Value, pb[i].Value) != 0 {
+			t.Fatalf("Depth64 quantisation changed parameter %d", i)
+		}
+	}
+}
+
+func TestQuantizeWireDepth8StillLearns(t *testing.T) {
+	d := tinyDataset(t, 200)
+	cfg := tinyConfig(ImageRF, 4)
+	cfg.QuantizeWire = true
+	cfg.BitDepth = tensor.Depth8
+	cfg.BatchSize = 16
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	tr := NewTrainer(model, d, sp, IdealLink{})
+	before, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("8-bit wire training did not improve: %.3f -> %.3f dB", before, after)
+	}
+}
+
+func TestQuantizeWireChangesActivations(t *testing.T) {
+	d := tinyDataset(t, 60)
+	cfg := tinyConfig(ImageRF, 4)
+	cfg.QuantizeWire = true
+	cfg.BitDepth = tensor.Depth8
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	anchors := sp.Train[:4]
+
+	// The returned pooled tensor is the post-quantisation payload;
+	// compare against an unquantised clone of the same model.
+	ref := cfg
+	ref.QuantizeWire = false
+	refModel := buildModel(t, ref, d, sp)
+	_, quantPooled := model.ForwardBatch(anchors)
+	_, rawPooled := refModel.ForwardBatch(anchors)
+	if tensor.MaxAbsDiff(quantPooled, rawPooled) == 0 {
+		t.Fatal("8-bit quantisation left activations bit-identical (suspicious)")
+	}
+	// But close: quantisation error bounded by one step of the range.
+	span := rawPooled.Max() - rawPooled.Min()
+	if tensor.MaxAbsDiff(quantPooled, rawPooled) > span/250+1e-9 {
+		t.Fatal("quantisation error exceeds one 8-bit step")
+	}
+}
+
+// ---- checkpointing -------------------------------------------------------------
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	d := tinyDataset(t, 150)
+	cfg := tinyConfig(ImageRF, 4)
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	tr := NewTrainer(model, d, sp, IdealLink{})
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a freshly initialised model with different seed.
+	cfg2 := cfg
+	cfg2.Seed = 999
+	restored := buildModel(t, cfg2, d, sp)
+	if ParamsEqual(model, restored) {
+		t.Fatal("fresh model should differ before restore")
+	}
+	// fingerprint ignores seed, so the load must succeed.
+	if err := LoadCheckpoint(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if !ParamsEqual(model, restored) {
+		t.Fatal("restored parameters differ")
+	}
+
+	// Restored model predicts identically.
+	anchors := sp.Val[:4]
+	a := model.PredictAnchors(anchors)
+	b := restored.PredictAnchors(anchors)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs after restore", i)
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	d := tinyDataset(t, 100)
+	cfg := tinyConfig(RFOnly, 1)
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	path := t.TempDir() + "/model.ckpt"
+	if err := SaveCheckpointFile(path, model); err != nil {
+		t.Fatal(err)
+	}
+	clone := buildModel(t, cfg, d, sp)
+	if err := LoadCheckpointFile(path, clone); err != nil {
+		t.Fatal(err)
+	}
+	if !ParamsEqual(model, clone) {
+		t.Fatal("file round trip lost parameters")
+	}
+}
+
+func TestCheckpointRejectsIncompatible(t *testing.T) {
+	d := tinyDataset(t, 100)
+	cfgA := tinyConfig(ImageRF, 4)
+	cfgB := tinyConfig(ImageRF, 2) // different pooling → different arch
+	sp := makeSplit(t, d, cfgA)
+	a := buildModel(t, cfgA, d, sp)
+	b := buildModel(t, cfgB, d, sp)
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	err := LoadCheckpoint(&buf, b)
+	if !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("incompatible load: err = %v, want ErrCheckpoint", err)
+	}
+}
+
+func TestCheckpointRejectsCorrupt(t *testing.T) {
+	d := tinyDataset(t, 100)
+	cfg := tinyConfig(RFOnly, 1)
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[3] = 'X' // corrupt magic
+	if err := LoadCheckpoint(bytes.NewReader(data), model); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	// Truncation
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()[:20]), model); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestMaxPoolCompressionTrains(t *testing.T) {
+	d := tinyDataset(t, 200)
+	cfg := tinyConfig(ImageRF, 4)
+	cfg.Pooling = PoolMax
+	cfg.BatchSize = 16
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	tr := NewTrainer(model, d, sp, IdealLink{})
+	before, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := tr.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("max-pool scheme did not improve: %.3f -> %.3f dB", before, after)
+	}
+}
+
+func TestPoolKindString(t *testing.T) {
+	if PoolAvg.String() != "avg" || PoolMax.String() != "max" {
+		t.Fatalf("names: %s / %s", PoolAvg, PoolMax)
+	}
+}
+
+func TestCheckpointDistinguishesPoolKind(t *testing.T) {
+	d := tinyDataset(t, 100)
+	avg := tinyConfig(ImageRF, 4)
+	mx := avg
+	mx.Pooling = PoolMax
+	sp := makeSplit(t, d, avg)
+	a := buildModel(t, avg, d, sp)
+	b := buildModel(t, mx, d, sp)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(&buf, b); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("pool-kind mismatch accepted: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package split
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/radio"
+)
+
+// CutLink models the wireless hop at the split point. The trainer asks it
+// to "deliver" each forward activation payload (uplink) and each cut-layer
+// gradient payload (downlink) and charges the returned delay to the
+// virtual clock.
+type CutLink interface {
+	// ForwardDelay delivers an uplink payload of the given size and
+	// returns the virtual latency consumed.
+	ForwardDelay(bits int) (time.Duration, error)
+	// BackwardDelay delivers a downlink payload of the given size.
+	BackwardDelay(bits int) (time.Duration, error)
+}
+
+// IdealLink delivers instantly; used for accuracy-only experiments and
+// the split-equals-monolithic equivalence test.
+type IdealLink struct{}
+
+// ForwardDelay returns zero delay.
+func (IdealLink) ForwardDelay(int) (time.Duration, error) { return 0, nil }
+
+// BackwardDelay returns zero delay.
+func (IdealLink) BackwardDelay(int) (time.Duration, error) { return 0, nil }
+
+// SimLink is the paper's channel: slotted transmissions with Exp(1)
+// fading and geometric retransmission on both directions.
+type SimLink struct {
+	Uplink   *channel.Channel
+	Downlink *channel.Channel
+}
+
+// NewPaperSimLink builds a SimLink with the paper's uplink and downlink
+// budgets, deriving independent RNG streams from the seed.
+func NewPaperSimLink(seed int64) *SimLink {
+	return &SimLink{
+		Uplink: channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
+			rand.New(rand.NewSource(seed))),
+		Downlink: channel.MustNew(radio.PaperDownlink(), radio.PaperSlotSeconds,
+			rand.New(rand.NewSource(seed+1))),
+	}
+}
+
+// ForwardDelay simulates the uplink delivery.
+func (l *SimLink) ForwardDelay(bits int) (time.Duration, error) {
+	return delay(l.Uplink, bits)
+}
+
+// BackwardDelay simulates the downlink delivery.
+func (l *SimLink) BackwardDelay(bits int) (time.Duration, error) {
+	return delay(l.Downlink, bits)
+}
+
+func delay(ch *channel.Channel, bits int) (time.Duration, error) {
+	if bits == 0 {
+		return 0, nil
+	}
+	secs, err := ch.TransmitDelay(bits)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}

@@ -1,0 +1,186 @@
+package split
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Trainer runs the paper's training procedure: uniform mini-batches from
+// K_train, Adam updates, validation after every epoch, stopping when the
+// validation RMSE reaches the target or the epoch budget is exhausted.
+// All compute and communication costs accrue to a virtual clock.
+type Trainer struct {
+	Model *Model
+	Link  CutLink
+	Clock *simclock.Clock
+	Cost  simclock.CostModel
+
+	data    *dataset.Dataset
+	split   *dataset.Split
+	sampler *dataset.Sampler
+	adam    *opt.Adam
+
+	// ValBatch limits validation to at most this many anchors per epoch
+	// (uniformly spaced over K_val) so paper-scale runs stay tractable;
+	// 0 means the full validation set.
+	ValBatch int
+}
+
+// NewTrainer wires a model to a dataset split and link.
+func NewTrainer(m *Model, d *dataset.Dataset, sp *dataset.Split, link CutLink) *Trainer {
+	return &Trainer{
+		Model: m,
+		Link:  link,
+		Clock: simclock.New(),
+		Cost:  simclock.DefaultCostModel(),
+
+		data:    d,
+		split:   sp,
+		sampler: dataset.NewSampler(sp.Train, rand.New(rand.NewSource(m.Cfg.Seed+1000))),
+		adam:    opt.NewAdam(m.Params(), m.Cfg.LR, m.Cfg.Beta1, m.Cfg.Beta2),
+	}
+}
+
+// Step performs one SGD step: forward across the link, loss, backward
+// across the link, Adam update. It returns the mini-batch loss on the
+// normalised scale.
+func (t *Trainer) Step() (float64, error) {
+	cfg := t.Model.Cfg
+	anchors := t.sampler.Batch(cfg.BatchSize)
+
+	nn.ZeroGrads(t.Model.Params())
+	pred, _ := t.Model.ForwardBatch(anchors)
+
+	// Uplink: the pooled activations cross the channel before the BS can
+	// compute the loss.
+	upDelay, err := t.Link.ForwardDelay(cfg.UplinkPayloadBits(t.data))
+	if err != nil {
+		return 0, fmt.Errorf("split: uplink transfer: %w", err)
+	}
+	t.Clock.Advance(upDelay)
+
+	loss, lossGrad := nn.MSE(pred, t.Model.targets(anchors))
+
+	cutGrad := t.Model.BackwardBatch(lossGrad)
+	if cutGrad != nil {
+		downDelay, err := t.Link.BackwardDelay(cfg.DownlinkPayloadBits(t.data))
+		if err != nil {
+			return 0, fmt.Errorf("split: downlink transfer: %w", err)
+		}
+		t.Clock.Advance(downDelay)
+	}
+
+	t.adam.Step()
+	t.Clock.AdvanceSeconds(t.Cost.StepSeconds(t.Model.StepFLOPs()))
+	return loss, nil
+}
+
+// valAnchors returns the validation anchors used each epoch.
+func (t *Trainer) valAnchors() []int {
+	val := t.split.Val
+	if t.ValBatch <= 0 || t.ValBatch >= len(val) {
+		return val
+	}
+	out := make([]int, t.ValBatch)
+	stride := float64(len(val)) / float64(t.ValBatch)
+	for i := range out {
+		out[i] = val[int(float64(i)*stride)]
+	}
+	return out
+}
+
+// Validate computes the validation RMSE in dB. Validation inference runs
+// at the BS on activations the UE streams up once per epoch; the transfer
+// is charged like one forward payload (its size is identical per batch
+// and the clock effect is secondary to training traffic).
+func (t *Trainer) Validate() (float64, error) {
+	anchors := t.valAnchors()
+	cfg := t.Model.Cfg
+
+	var sumSq float64
+	for start := 0; start < len(anchors); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(anchors) {
+			end = len(anchors)
+		}
+		batch := anchors[start:end]
+		pred, _ := t.Model.ForwardBatch(batch)
+		target := t.Model.targets(batch)
+		for i := range batch {
+			diff := pred.Data()[i] - target.Data()[i]
+			sumSq += diff * diff
+		}
+	}
+	// One epoch-level validation transfer.
+	delay, err := t.Link.ForwardDelay(cfg.UplinkPayloadBits(t.data))
+	if err != nil {
+		return 0, fmt.Errorf("split: validation transfer: %w", err)
+	}
+	t.Clock.Advance(delay)
+
+	rmseNorm := math.Sqrt(sumSq / float64(len(anchors)))
+	return t.Model.Norm.DenormalizeRMSE(rmseNorm), nil
+}
+
+// Run executes the full training schedule and returns the learning curve.
+// Training stops early once the validation RMSE reaches the configured
+// target, as in the paper.
+func (t *Trainer) Run() (*trace.LearningCurve, error) {
+	cfg := t.Model.Cfg
+	curve := &trace.LearningCurve{Scheme: SchemeName(cfg)}
+
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		var epochLoss float64
+		for s := 0; s < cfg.StepsPerEpoch; s++ {
+			loss, err := t.Step()
+			if err != nil {
+				return curve, err
+			}
+			epochLoss += loss
+		}
+		rmse, err := t.Validate()
+		if err != nil {
+			return curve, err
+		}
+		curve.Add(trace.CurvePoint{
+			Epoch:   epoch,
+			TimeS:   t.Clock.Seconds(),
+			RMSEdB:  rmse,
+			TrainMS: epochLoss / float64(cfg.StepsPerEpoch),
+		})
+		if rmse <= cfg.TargetRMSEdB {
+			curve.Converged = true
+			break
+		}
+	}
+	return curve, nil
+}
+
+// PredictWindow returns de-normalised predictions for the consecutive
+// anchor range [first, last] (inclusive), for Fig. 3b.
+func (t *Trainer) PredictWindow(first, last int) ([]float64, error) {
+	cfg := t.Model.Cfg
+	if first < cfg.SeqLen-1 || last+cfg.HorizonFrames >= t.data.Len() || first > last {
+		return nil, fmt.Errorf("split: window [%d, %d] outside usable range", first, last)
+	}
+	anchors := make([]int, 0, last-first+1)
+	for k := first; k <= last; k++ {
+		anchors = append(anchors, k)
+	}
+	out := make([]float64, 0, len(anchors))
+	for start := 0; start < len(anchors); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(anchors) {
+			end = len(anchors)
+		}
+		out = append(out, t.Model.PredictAnchors(anchors[start:end])...)
+	}
+	return out, nil
+}

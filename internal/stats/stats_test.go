@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	cases := []struct {
+		a, x, want float64
+	}{
+		// P(1, x) = 1 − e^{−x} (exponential CDF).
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 2, 1 - math.Exp(-2)},
+		// P(a, a) → 1/2 for large a (median near mean).
+		{100, 100, 0.5}, // within ~0.03
+		// χ² with 2k dof: P(k, x/2).
+		{2, 1, 1 - math.Exp(-1)*(1+1)}, // Erlang-2 CDF at 2: 1-e^-x(1+x), x=1
+	}
+	tols := []float64{1e-12, 1e-12, 0.03, 1e-12}
+	for i, c := range cases {
+		if got := GammaP(c.a, c.x); math.Abs(got-c.want) > tols[i] {
+			t.Errorf("P(%g, %g) = %.15g, want %.15g", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.1 + rng.Float64()*20
+		x := rng.Float64() * 40
+		return math.Abs(GammaP(a, x)+GammaQ(a, x)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 3, 10} {
+		prev := -1.0
+		for x := 0.0; x < 30; x += 0.25 {
+			p := GammaP(a, x)
+			if p < prev-1e-14 {
+				t.Fatalf("P(%g, ·) not monotone at x=%g", a, x)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("P(%g, %g) = %g outside [0,1]", a, x, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestGammaPBoundaries(t *testing.T) {
+	if GammaP(3, 0) != 0 {
+		t.Fatal("P(a, 0) != 0")
+	}
+	if GammaQ(3, 0) != 1 {
+		t.Fatal("Q(a, 0) != 1")
+	}
+	if got := GammaP(2, 1e3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("P(2, 1000) = %g, want ≈ 1", got)
+	}
+}
+
+func TestGammaPanicsOnBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"a=0":  func() { GammaP(0, 1) },
+		"x<0":  func() { GammaP(1, -1) },
+		"Qa=0": func() { GammaQ(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSampleGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {3, 0.5}, {9, 1.5},
+	} {
+		const n = 60000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := SampleGamma(rng, tc.shape, tc.scale)
+			if v <= 0 {
+				t.Fatalf("non-positive gamma sample %g", v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("Gamma(%g,%g) mean = %g, want %g", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Gamma(%g,%g) var = %g, want %g", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestSampleGammaPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for shape 0")
+		}
+	}()
+	SampleGamma(rng, 0, 1)
+}
+
+func TestNakagamiUnitMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []float64{0.5, 1, 2, 8} {
+		const n = 60000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += SampleNakagamiPower(rng, m)
+		}
+		if mean := sum / n; math.Abs(mean-1) > 0.03 {
+			t.Errorf("Nakagami-%g power mean = %g, want 1", m, mean)
+		}
+	}
+}
+
+func TestNakagamiM1IsExponential(t *testing.T) {
+	// m = 1 power CCDF must equal exp(-x) — the paper's fading model.
+	for _, x := range []float64{0.1, 0.5, 1, 3, 7} {
+		got := NakagamiPowerCCDF(1, x)
+		want := math.Exp(-x)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("CCDF_1(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestNakagamiCCDFMatchesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range []float64{0.5, 2, 5} {
+		const n = 40000
+		const x = 0.8
+		count := 0
+		for i := 0; i < n; i++ {
+			if SampleNakagamiPower(rng, m) > x {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		want := NakagamiPowerCCDF(m, x)
+		if math.Abs(emp-want) > 0.01 {
+			t.Errorf("m=%g: empirical CCDF %g vs analytic %g", m, emp, want)
+		}
+	}
+}
+
+func TestNakagamiHardeningWithM(t *testing.T) {
+	// Larger m → less fading → CCDF above the mean-threshold region rises
+	// below x=1 and falls above x=1 (channel hardening around the mean).
+	if !(NakagamiPowerCCDF(8, 0.5) > NakagamiPowerCCDF(1, 0.5)) {
+		t.Fatal("below-mean CCDF should increase with m")
+	}
+	if !(NakagamiPowerCCDF(8, 2.0) < NakagamiPowerCCDF(1, 2.0)) {
+		t.Fatal("above-mean CCDF should decrease with m")
+	}
+}

@@ -1,0 +1,442 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conv2DSpec describes a 2-D convolution in NCHW layout.
+// Input:  (N, Cin, H, W). Kernel: (Cout, Cin, KH, KW). Output:
+// (N, Cout, OH, OW) with OH = (H+2*PadH-KH)/StrideH + 1 and likewise for OW.
+type Conv2DSpec struct {
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutSize returns the output spatial size for an input of size (h, w) under
+// kernel (kh, kw) and this spec. It panics if the geometry is inconsistent.
+func (s Conv2DSpec) OutSize(h, w, kh, kw int) (oh, ow int) {
+	if s.StrideH <= 0 || s.StrideW <= 0 {
+		panic("tensor: convolution stride must be positive")
+	}
+	oh = (h+2*s.PadH-kh)/s.StrideH + 1
+	ow = (w+2*s.PadW-kw)/s.StrideW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: convolution output size %dx%d not positive (in %dx%d, kernel %dx%d, spec %+v)",
+			oh, ow, h, w, kh, kw, s))
+	}
+	return oh, ow
+}
+
+// Conv2D computes the cross-correlation (the deep-learning "convolution")
+// of x (N,Cin,H,W) with kernel k (Cout,Cin,KH,KW), adding bias[co] to each
+// output channel if bias is non-nil. Zero padding is used.
+func Conv2D(x, k *Tensor, bias []float64, spec Conv2DSpec) *Tensor {
+	if x.Rank() != 4 || k.Rank() != 4 {
+		panic("tensor: Conv2D requires NCHW input and OIHW kernel")
+	}
+	n, cin, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, cink, kh, kw := k.shape[0], k.shape[1], k.shape[2], k.shape[3]
+	if cin != cink {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input Cin=%d kernel Cin=%d", cin, cink))
+	}
+	if bias != nil && len(bias) != cout {
+		panic(fmt.Sprintf("tensor: Conv2D bias length %d != Cout %d", len(bias), cout))
+	}
+	oh, ow := spec.OutSize(h, w, kh, kw)
+	out := New(n, cout, oh, ow)
+	xd, kd, od := x.data, k.data, out.data
+
+	// Each batch element's output block is independent: parallelise over
+	// the batch with the deterministic worker pool.
+	parallelFor(n, func(start, stride int) {
+		for ni := start; ni < n; ni += stride {
+			convOneSample(xd, kd, od, bias, ni, cin, cout, h, w, kh, kw, oh, ow, spec)
+		}
+	})
+	return out
+}
+
+// convOneSample computes the full output block of batch element ni.
+func convOneSample(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, kw, oh, ow int, spec Conv2DSpec) {
+	if spec.StrideH == 1 && spec.StrideW == 1 {
+		convOneSampleStride1(xd, kd, od, bias, ni, cin, cout, h, w, kh, kw, oh, ow, spec.PadH, spec.PadW)
+		return
+	}
+	{
+		for co := 0; co < cout; co++ {
+			b := 0.0
+			if bias != nil {
+				b = bias[co]
+			}
+			obase := ((ni * cout) + co) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*spec.StrideH - spec.PadH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*spec.StrideW - spec.PadW
+					acc := b
+					for ci := 0; ci < cin; ci++ {
+						xbase := ((ni * cin) + ci) * h * w
+						kbase := ((co * cin) + ci) * kh * kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xrow := xd[xbase+iy*w : xbase+(iy+1)*w]
+							krow := kd[kbase+ky*kw : kbase+(ky+1)*kw]
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += xrow[ix] * krow[kx]
+							}
+						}
+					}
+					od[obase+oy*ow+ox] = acc
+				}
+			}
+		}
+	}
+}
+
+// convOneSampleStride1 is the stride-1 fast path: the innermost loop runs
+// over a contiguous span of output columns with no per-element bounds
+// checks, which matters because the UE CNN is stride-1 everywhere and the
+// convolution dominates training compute.
+func convOneSampleStride1(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, kw, oh, ow, padH, padW int) {
+	for co := 0; co < cout; co++ {
+		b := 0.0
+		if bias != nil {
+			b = bias[co]
+		}
+		obase := ((ni * cout) + co) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			oRow := od[obase+oy*ow : obase+(oy+1)*ow]
+			for ox := range oRow {
+				oRow[ox] = b
+			}
+			for ci := 0; ci < cin; ci++ {
+				xbase := ((ni * cin) + ci) * h * w
+				kbase := ((co * cin) + ci) * kh * kw
+				for ky := 0; ky < kh; ky++ {
+					iy := oy - padH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					xRow := xd[xbase+iy*w : xbase+(iy+1)*w]
+					for kx := 0; kx < kw; kx++ {
+						kv := kd[kbase+ky*kw+kx]
+						if kv == 0 {
+							continue
+						}
+						shift := kx - padW // ix = ox + shift
+						lo, hi := 0, ow-1
+						if -shift > lo {
+							lo = -shift
+						}
+						if w-1-shift < hi {
+							hi = w - 1 - shift
+						}
+						for ox := lo; ox <= hi; ox++ {
+							oRow[ox] += kv * xRow[ox+shift]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2DBackward computes the gradients of a Conv2D call given the upstream
+// gradient gradOut (N,Cout,OH,OW). It returns the gradient with respect to
+// the input x, the kernel k, and the bias (summed over batch and space).
+func Conv2DBackward(x, k, gradOut *Tensor, spec Conv2DSpec) (gradX, gradK *Tensor, gradBias []float64) {
+	n, cin, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, _, kh, kw := k.shape[0], k.shape[1], k.shape[2], k.shape[3]
+	oh, ow := spec.OutSize(h, w, kh, kw)
+	if gradOut.Rank() != 4 || gradOut.shape[0] != n || gradOut.shape[1] != cout ||
+		gradOut.shape[2] != oh || gradOut.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: Conv2DBackward gradOut shape %v, want [%d %d %d %d]",
+			gradOut.shape, n, cout, oh, ow))
+	}
+	gradX = New(n, cin, h, w)
+	gradK = New(cout, cin, kh, kw)
+	gradBias = make([]float64, cout)
+	xd, kd := x.data, k.data
+	gxd, god := gradX.data, gradOut.data
+
+	// gradX blocks are disjoint per batch element; kernel and bias
+	// gradients are accumulated into per-worker buffers and reduced in
+	// worker order so the result is bit-deterministic.
+	nWorkers := parallelWorkers
+	if n < parallelThreshold {
+		nWorkers = 1
+	}
+	kSize := cout * cin * kh * kw
+	partialK := make([]float64, nWorkers*kSize)
+	partialB := make([]float64, nWorkers*cout)
+
+	parallelFor(n, func(start, stride int) {
+		worker := start
+		if stride == 1 {
+			worker = 0
+		}
+		gkd := partialK[worker*kSize : (worker+1)*kSize]
+		gbd := partialB[worker*cout : (worker+1)*cout]
+		if spec.StrideH == 1 && spec.StrideW == 1 {
+			for ni := start; ni < n; ni += stride {
+				convBackOneSampleStride1(xd, kd, gxd, god, gkd, gbd,
+					ni, cin, cout, h, w, kh, kw, oh, ow, spec.PadH, spec.PadW)
+			}
+			return
+		}
+		for ni := start; ni < n; ni += stride {
+			for co := 0; co < cout; co++ {
+				obase := ((ni * cout) + co) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy0 := oy*spec.StrideH - spec.PadH
+					for ox := 0; ox < ow; ox++ {
+						g := god[obase+oy*ow+ox]
+						if g == 0 {
+							continue
+						}
+						gbd[co] += g
+						ix0 := ox*spec.StrideW - spec.PadW
+						for ci := 0; ci < cin; ci++ {
+							xbase := ((ni * cin) + ci) * h * w
+							kbase := ((co * cin) + ci) * kh * kw
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									xi := xbase + iy*w + ix
+									ki := kbase + ky*kw + kx
+									gxd[xi] += g * kd[ki]
+									gkd[ki] += g * xd[xi]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+
+	gkdFinal := gradK.data
+	for wkr := 0; wkr < nWorkers; wkr++ {
+		pk := partialK[wkr*kSize : (wkr+1)*kSize]
+		for i, v := range pk {
+			gkdFinal[i] += v
+		}
+		pb := partialB[wkr*cout : (wkr+1)*cout]
+		for i, v := range pb {
+			gradBias[i] += v
+		}
+	}
+	return gradX, gradK, gradBias
+}
+
+// convBackOneSampleStride1 is the stride-1 fast path of Conv2DBackward:
+// for each (ky, kx) tap, the input- and kernel-gradient contributions of
+// one output row reduce to a shifted fused multiply-add over a contiguous
+// span, eliminating all per-pixel bounds checks.
+func convBackOneSampleStride1(xd, kd, gxd, god, gkd, gbd []float64,
+	ni, cin, cout, h, w, kh, kw, oh, ow, padH, padW int) {
+	for co := 0; co < cout; co++ {
+		obase := ((ni * cout) + co) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			gRow := god[obase+oy*ow : obase+(oy+1)*ow]
+			rowSum := 0.0
+			for _, g := range gRow {
+				rowSum += g
+			}
+			gbd[co] += rowSum
+			for ci := 0; ci < cin; ci++ {
+				xbase := ((ni * cin) + ci) * h * w
+				kbase := ((co * cin) + ci) * kh * kw
+				for ky := 0; ky < kh; ky++ {
+					iy := oy - padH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					xRow := xd[xbase+iy*w : xbase+(iy+1)*w]
+					gxRow := gxd[xbase+iy*w : xbase+(iy+1)*w]
+					for kx := 0; kx < kw; kx++ {
+						ki := kbase + ky*kw + kx
+						kv := kd[ki]
+						shift := kx - padW
+						lo, hi := 0, ow-1
+						if -shift > lo {
+							lo = -shift
+						}
+						if w-1-shift < hi {
+							hi = w - 1 - shift
+						}
+						s := 0.0
+						for ox := lo; ox <= hi; ox++ {
+							g := gRow[ox]
+							gxRow[ox+shift] += g * kv
+							s += g * xRow[ox+shift]
+						}
+						gkd[ki] += s
+					}
+				}
+			}
+		}
+	}
+}
+
+// AvgPool2D applies non-overlapping average pooling with window (ph, pw) to
+// x (N,C,H,W). H must be divisible by ph and W by pw — the paper's pooling
+// dimensions (1×1, 4×4, 10×10, 40×40 over 40×40 images) all satisfy this.
+func AvgPool2D(x *Tensor, ph, pw int) *Tensor {
+	if x.Rank() != 4 {
+		panic("tensor: AvgPool2D requires NCHW input")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if ph <= 0 || pw <= 0 || h%ph != 0 || w%pw != 0 {
+		panic(fmt.Sprintf("tensor: AvgPool2D window %dx%d incompatible with input %dx%d", ph, pw, h, w))
+	}
+	oh, ow := h/ph, w/pw
+	out := New(n, c, oh, ow)
+	inv := 1.0 / float64(ph*pw)
+	xd, od := x.data, out.data
+	for nc := 0; nc < n*c; nc++ {
+		xbase := nc * h * w
+		obase := nc * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := 0.0
+				for dy := 0; dy < ph; dy++ {
+					row := xd[xbase+(oy*ph+dy)*w:]
+					for dx := 0; dx < pw; dx++ {
+						acc += row[ox*pw+dx]
+					}
+				}
+				od[obase+oy*ow+ox] = acc * inv
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2DBackward distributes the upstream gradient gradOut (N,C,OH,OW)
+// of an AvgPool2D call uniformly over each pooling window, returning the
+// gradient with respect to the input of shape (N,C,H,W).
+func AvgPool2DBackward(gradOut *Tensor, ph, pw int) *Tensor {
+	if gradOut.Rank() != 4 {
+		panic("tensor: AvgPool2DBackward requires NCHW gradient")
+	}
+	n, c, oh, ow := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
+	h, w := oh*ph, ow*pw
+	out := New(n, c, h, w)
+	inv := 1.0 / float64(ph*pw)
+	god, od := gradOut.data, out.data
+	for nc := 0; nc < n*c; nc++ {
+		gbase := nc * oh * ow
+		obase := nc * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := god[gbase+oy*ow+ox] * inv
+				for dy := 0; dy < ph; dy++ {
+					row := od[obase+(oy*ph+dy)*w:]
+					for dx := 0; dx < pw; dx++ {
+						row[ox*pw+dx] += g
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UpsampleNearest2D scales x (N,C,H,W) by integer factors (fh, fw) using
+// nearest-neighbour replication. Used by the privacy metric to compare
+// pooled feature maps against raw images at equal resolution.
+func UpsampleNearest2D(x *Tensor, fh, fw int) *Tensor {
+	if x.Rank() != 4 {
+		panic("tensor: UpsampleNearest2D requires NCHW input")
+	}
+	if fh <= 0 || fw <= 0 {
+		panic("tensor: UpsampleNearest2D factors must be positive")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := h*fh, w*fw
+	out := New(n, c, oh, ow)
+	xd, od := x.data, out.data
+	for nc := 0; nc < n*c; nc++ {
+		xbase := nc * h * w
+		obase := nc * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			srow := xd[xbase+(oy/fh)*w:]
+			drow := od[obase+oy*ow:]
+			for ox := 0; ox < ow; ox++ {
+				drow[ox] = srow[ox/fw]
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies non-overlapping max pooling with window (ph, pw) to
+// x (N,C,H,W), returning the pooled tensor and the flat argmax index of
+// each window (needed by the backward pass). Geometry constraints match
+// AvgPool2D.
+func MaxPool2D(x *Tensor, ph, pw int) (*Tensor, []int) {
+	if x.Rank() != 4 {
+		panic("tensor: MaxPool2D requires NCHW input")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if ph <= 0 || pw <= 0 || h%ph != 0 || w%pw != 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D window %dx%d incompatible with input %dx%d", ph, pw, h, w))
+	}
+	oh, ow := h/ph, w/pw
+	out := New(n, c, oh, ow)
+	argmax := make([]int, out.Size())
+	xd, od := x.data, out.data
+	for nc := 0; nc < n*c; nc++ {
+		xbase := nc * h * w
+		obase := nc * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for dy := 0; dy < ph; dy++ {
+					rowBase := xbase + (oy*ph+dy)*w
+					for dx := 0; dx < pw; dx++ {
+						idx := rowBase + ox*pw + dx
+						if xd[idx] > best {
+							best = xd[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				od[obase+oy*ow+ox] = best
+				argmax[obase+oy*ow+ox] = bestIdx
+			}
+		}
+	}
+	return out, argmax
+}
+
+// MaxPool2DBackward routes each upstream gradient element to the input
+// position that achieved the window maximum.
+func MaxPool2DBackward(gradOut *Tensor, argmax []int, inShape []int) *Tensor {
+	if gradOut.Size() != len(argmax) {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackward argmax length %d != grad size %d",
+			len(argmax), gradOut.Size()))
+	}
+	out := New(inShape...)
+	for i, g := range gradOut.data {
+		out.data[argmax[i]] += g
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 1×1×3×3 input, 1×1×2×2 kernel of ones, stride 1, no pad:
+	// each output is the sum of a 2×2 window.
+	x := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	k := Ones(1, 1, 2, 2)
+	out := Conv2D(x, k, nil, Conv2DSpec{StrideH: 1, StrideW: 1})
+	want := []float64{12, 16, 24, 28}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("Conv2D = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	x := Ones(1, 1, 2, 2)
+	k := Ones(2, 1, 1, 1) // two output channels, identity kernels
+	out := Conv2D(x, k, []float64{10, -10}, Conv2DSpec{StrideH: 1, StrideW: 1})
+	if out.At(0, 0, 0, 0) != 11 || out.At(0, 1, 0, 0) != -9 {
+		t.Fatalf("bias not applied: %v", out.Data())
+	}
+}
+
+func TestConv2DSamePadding(t *testing.T) {
+	// 3×3 kernel with pad 1 keeps spatial size.
+	x := Ones(1, 1, 5, 5)
+	k := Ones(1, 1, 3, 3)
+	out := Conv2D(x, k, nil, Conv2DSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+	sh := out.Shape()
+	if sh[2] != 5 || sh[3] != 5 {
+		t.Fatalf("same-pad output shape = %v", sh)
+	}
+	// Centre sees all 9 ones; corner sees only 4.
+	if out.At(0, 0, 2, 2) != 9 {
+		t.Fatalf("centre = %g, want 9", out.At(0, 0, 2, 2))
+	}
+	if out.At(0, 0, 0, 0) != 4 {
+		t.Fatalf("corner = %g, want 4", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	x := Ones(1, 1, 4, 4)
+	k := Ones(1, 1, 2, 2)
+	out := Conv2D(x, k, nil, Conv2DSpec{StrideH: 2, StrideW: 2})
+	sh := out.Shape()
+	if sh[2] != 2 || sh[3] != 2 {
+		t.Fatalf("strided output shape = %v", sh)
+	}
+	for _, v := range out.Data() {
+		if v != 4 {
+			t.Fatalf("strided conv output = %v", out.Data())
+		}
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Two input channels; kernel sums them with weights 1 and 2.
+	x := New(1, 2, 2, 2)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i + 1) // ch0: 1..4, ch1: 5..8
+	}
+	k := New(1, 2, 1, 1)
+	k.Set(1, 0, 0, 0, 0)
+	k.Set(2, 0, 1, 0, 0)
+	out := Conv2D(x, k, nil, Conv2DSpec{StrideH: 1, StrideW: 1})
+	// out(0,0) = 1*1 + 2*5 = 11
+	if out.At(0, 0, 0, 0) != 11 {
+		t.Fatalf("multi-channel conv = %v", out.Data())
+	}
+}
+
+// numericGrad computes a central-difference estimate of d(sum(f(x)))/dx_i.
+func numericGrad(x *Tensor, f func(*Tensor) *Tensor) *Tensor {
+	const eps = 1e-6
+	grad := New(x.Shape()...)
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		plus := f(x).Sum()
+		x.Data()[i] = orig - eps
+		minus := f(x).Sum()
+		x.Data()[i] = orig
+		grad.Data()[i] = (plus - minus) / (2 * eps)
+	}
+	return grad
+}
+
+func TestConv2DBackwardMatchesNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := Randn(rng, 1, 2, 2, 5, 5)
+	k := Randn(rng, 0.5, 3, 2, 3, 3)
+	bias := []float64{0.1, -0.2, 0.3}
+	spec := Conv2DSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+
+	out := Conv2D(x, k, bias, spec)
+	gradOut := Ones(out.Shape()...) // d(sum(out))/d(out) = 1
+	gradX, gradK, gradBias := Conv2DBackward(x, k, gradOut, spec)
+
+	numX := numericGrad(x, func(xx *Tensor) *Tensor { return Conv2D(xx, k, bias, spec) })
+	if d := MaxAbsDiff(gradX, numX); d > 1e-6 {
+		t.Fatalf("input gradient off by %g", d)
+	}
+	numK := numericGrad(k, func(kk *Tensor) *Tensor { return Conv2D(x, kk, bias, spec) })
+	if d := MaxAbsDiff(gradK, numK); d > 1e-6 {
+		t.Fatalf("kernel gradient off by %g", d)
+	}
+	// Bias gradient: d(sum(out))/d(bias_c) = N*OH*OW.
+	wantB := float64(out.Dim(0) * out.Dim(2) * out.Dim(3))
+	for c, g := range gradBias {
+		if math.Abs(g-wantB) > 1e-9 {
+			t.Fatalf("bias gradient[%d] = %g, want %g", c, g, wantB)
+		}
+	}
+}
+
+func TestConv2DBackwardStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := Randn(rng, 1, 1, 1, 6, 6)
+	k := Randn(rng, 1, 2, 1, 2, 2)
+	spec := Conv2DSpec{StrideH: 2, StrideW: 2}
+	out := Conv2D(x, k, nil, spec)
+	gradX, gradK, _ := Conv2DBackward(x, k, Ones(out.Shape()...), spec)
+	numX := numericGrad(x, func(xx *Tensor) *Tensor { return Conv2D(xx, k, nil, spec) })
+	if d := MaxAbsDiff(gradX, numX); d > 1e-6 {
+		t.Fatalf("strided input gradient off by %g", d)
+	}
+	numK := numericGrad(k, func(kk *Tensor) *Tensor { return Conv2D(x, kk, nil, spec) })
+	if d := MaxAbsDiff(gradK, numK); d > 1e-6 {
+		t.Fatalf("strided kernel gradient off by %g", d)
+	}
+}
+
+func TestAvgPool2DKnown(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := AvgPool2D(x, 2, 2)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("AvgPool2D = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAvgPool2DFullWindowIsGlobalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := Randn(rng, 1, 2, 1, 40, 40)
+	out := AvgPool2D(x, 40, 40)
+	if out.Size() != 2 {
+		t.Fatalf("40×40 pooling of 40×40 image should give 1 px/sample, got %d", out.Size())
+	}
+	for n := 0; n < 2; n++ {
+		mean := 0.0
+		for i := 0; i < 1600; i++ {
+			mean += x.Data()[n*1600+i]
+		}
+		mean /= 1600
+		if math.Abs(out.Data()[n]-mean) > 1e-12 {
+			t.Fatalf("global pool != mean: %g vs %g", out.Data()[n], mean)
+		}
+	}
+}
+
+func TestAvgPool2DIdentityWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := Randn(rng, 1, 1, 1, 8, 8)
+	if MaxAbsDiff(AvgPool2D(x, 1, 1), x) != 0 {
+		t.Fatal("1×1 pooling must be the identity")
+	}
+}
+
+func TestAvgPool2DPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible pooling did not panic")
+		}
+	}()
+	AvgPool2D(New(1, 1, 5, 5), 2, 2)
+}
+
+func TestAvgPool2DBackwardMatchesNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := Randn(rng, 1, 2, 1, 4, 4)
+	gradX := AvgPool2DBackward(Ones(2, 1, 2, 2), 2, 2)
+	numX := numericGrad(x, func(xx *Tensor) *Tensor { return AvgPool2D(xx, 2, 2) })
+	if d := MaxAbsDiff(gradX, numX); d > 1e-6 {
+		t.Fatalf("pool gradient off by %g", d)
+	}
+}
+
+// Property: average pooling preserves the global mean.
+func TestAvgPool2DPreservesMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := Randn(r, 1, 1, 1, 8, 8)
+		return math.Abs(AvgPool2D(x, 4, 4).Mean()-x.Mean()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pooling is linear: pool(a+b) = pool(a) + pool(b).
+func TestAvgPool2DLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(r, 1, 1, 1, 4, 4)
+		b := Randn(r, 1, 1, 1, 4, 4)
+		lhs := AvgPool2D(Add(a, b), 2, 2)
+		rhs := Add(AvgPool2D(a, 2, 2), AvgPool2D(b, 2, 2))
+		return MaxAbsDiff(lhs, rhs) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpsampleNearest2D(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	up := UpsampleNearest2D(x, 2, 2)
+	sh := up.Shape()
+	if sh[2] != 4 || sh[3] != 4 {
+		t.Fatalf("upsample shape = %v", sh)
+	}
+	if up.At(0, 0, 0, 0) != 1 || up.At(0, 0, 0, 1) != 1 || up.At(0, 0, 1, 1) != 1 {
+		t.Fatal("upsample did not replicate top-left block")
+	}
+	if up.At(0, 0, 3, 3) != 4 {
+		t.Fatal("upsample did not replicate bottom-right block")
+	}
+}
+
+// Property: upsample is the right inverse of average pooling.
+func TestUpsampleThenPoolIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := Randn(r, 1, 1, 1, 4, 4)
+		roundTrip := AvgPool2D(UpsampleNearest2D(x, 3, 3), 3, 3)
+		return MaxAbsDiff(roundTrip, x) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

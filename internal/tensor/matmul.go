@@ -1,0 +1,136 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for rank-2 tensors a (m×k) and
+// b (k×n). The inner loop is ordered i-k-j so the b rows stream through the
+// cache; this is the standard cache-friendly triple loop and is fast enough
+// for the model sizes in this repository.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d (%v × %v)", k, k2, a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	parallelFor(m, func(start, stride int) {
+		for i := start; i < m; i += stride {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), without materialising
+// the transpose. The result is m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", k, k2))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	// Parallelise over output rows i: each row i accumulates
+	// Σ_p a[p,i]·b[p,·] independently of other rows.
+	parallelFor(m, func(start, stride int) {
+		for i := start; i < m; i += stride {
+			orow := od[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), without materialising
+// the transpose. The result is m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", k, k2))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	parallelFor(m, func(start, stride int) {
+		for i := start; i < m; i += stride {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose2D requires a rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x for a (m×n) and x of length n.
+func MatVec(a *Tensor, x []float64) []float64 {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec requires a rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	if len(x) != n {
+		panic(fmt.Sprintf("tensor: MatVec length %d != %d", len(x), n))
+	}
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package tensor
+
+import "sync"
+
+// Deterministic parallelism: hot operations fan work out to a FIXED
+// number of workers with a FIXED index-stride assignment and reduce
+// partial results in worker order. Results are therefore bit-identical
+// to the sequential implementation regardless of GOMAXPROCS or
+// scheduling — a property the split-learning equivalence tests rely on.
+const parallelWorkers = 8
+
+// parallelThreshold is the minimum task count before goroutines pay off.
+const parallelThreshold = 16
+
+// parallelFor runs f(start, stride) on parallelWorkers goroutines with
+// start ∈ [0, workers) and stride = workers; the caller iterates
+// `for i := start; i < n; i += stride`.
+func parallelFor(n int, f func(start, stride int)) {
+	if n < parallelThreshold {
+		f(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(parallelWorkers)
+	for w := 0; w < parallelWorkers; w++ {
+		go func(start int) {
+			defer wg.Done()
+			f(start, parallelWorkers)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,192 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format: uint8 rank, rank × uint32 dims, then the elements.
+// Elements are encoded at a caller-chosen bit depth; the paper's payload
+// model B^UL = N_H·N_W·B·R·L/(w_H·w_W) parameterises the bit depth R, so the
+// codec supports R ∈ {8, 16, 32, 64}. 8/16-bit encodings quantise linearly
+// over a [lo, hi] range carried in the header; 32-bit uses float32; 64-bit is
+// lossless float64.
+
+// BitDepth selects the per-element wire encoding.
+type BitDepth uint8
+
+// Supported bit depths. Depth32 matches the paper's calibrated R = 32.
+const (
+	Depth8  BitDepth = 8
+	Depth16 BitDepth = 16
+	Depth32 BitDepth = 32
+	Depth64 BitDepth = 64
+)
+
+// Valid reports whether b is a supported encoding depth.
+func (b BitDepth) Valid() bool {
+	switch b {
+	case Depth8, Depth16, Depth32, Depth64:
+		return true
+	}
+	return false
+}
+
+// ErrCorruptTensor is returned when a tensor payload fails structural
+// validation during decoding.
+var ErrCorruptTensor = errors.New("tensor: corrupt serialized tensor")
+
+const maxWireRank = 8
+
+// EncodedSize returns the number of bytes Encode will write for t at depth d.
+func EncodedSize(t *Tensor, d BitDepth) int {
+	header := 1 + 1 + 4*t.Rank()
+	if d == Depth8 || d == Depth16 {
+		header += 16 // quantisation range (lo, hi) as two float64
+	}
+	return header + t.Size()*int(d)/8
+}
+
+// EncodedBits returns the payload size in bits, the unit used by the
+// wireless channel model.
+func EncodedBits(t *Tensor, d BitDepth) int { return EncodedSize(t, d) * 8 }
+
+// Encode writes t to w at the given bit depth.
+func Encode(w io.Writer, t *Tensor, d BitDepth) error {
+	if !d.Valid() {
+		return fmt.Errorf("tensor: unsupported bit depth %d", d)
+	}
+	if t.Rank() > maxWireRank {
+		return fmt.Errorf("tensor: rank %d exceeds wire maximum %d", t.Rank(), maxWireRank)
+	}
+	buf := make([]byte, 0, EncodedSize(t, d))
+	buf = append(buf, byte(d), byte(t.Rank()))
+	for _, dim := range t.shape {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(dim))
+	}
+	switch d {
+	case Depth64:
+		for _, v := range t.data {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	case Depth32:
+		for _, v := range t.data {
+			buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(v)))
+		}
+	case Depth16, Depth8:
+		lo, hi := t.Min(), t.Max()
+		if hi <= lo {
+			hi = lo + 1 // degenerate constant tensor: any range decodes back to lo
+		}
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(lo))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(hi))
+		scale := 1.0 / (hi - lo)
+		if d == Depth16 {
+			for _, v := range t.data {
+				q := uint16(math.Round(clamp01((v-lo)*scale) * 65535))
+				buf = binary.BigEndian.AppendUint16(buf, q)
+			}
+		} else {
+			for _, v := range t.data {
+				buf = append(buf, byte(math.Round(clamp01((v-lo)*scale)*255)))
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Decode reads a tensor previously written by Encode.
+func Decode(r io.Reader) (*Tensor, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	d := BitDepth(hdr[0])
+	rank := int(hdr[1])
+	if !d.Valid() {
+		return nil, fmt.Errorf("%w: bad bit depth %d", ErrCorruptTensor, hdr[0])
+	}
+	if rank == 0 || rank > maxWireRank {
+		return nil, fmt.Errorf("%w: bad rank %d", ErrCorruptTensor, rank)
+	}
+	dimBuf := make([]byte, 4*rank)
+	if _, err := io.ReadFull(r, dimBuf); err != nil {
+		return nil, err
+	}
+	shape := make([]int, rank)
+	vol := 1
+	for i := range shape {
+		dim := int(binary.BigEndian.Uint32(dimBuf[4*i:]))
+		if dim <= 0 || dim > 1<<20 {
+			return nil, fmt.Errorf("%w: bad dimension %d", ErrCorruptTensor, dim)
+		}
+		shape[i] = dim
+		vol *= dim
+		if vol > 1<<28 {
+			return nil, fmt.Errorf("%w: volume too large", ErrCorruptTensor)
+		}
+	}
+	t := New(shape...)
+	switch d {
+	case Depth64:
+		body := make([]byte, 8*vol)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		for i := range t.data {
+			t.data[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i:]))
+		}
+	case Depth32:
+		body := make([]byte, 4*vol)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		for i := range t.data {
+			t.data[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(body[4*i:])))
+		}
+	case Depth16, Depth8:
+		var rng [16]byte
+		if _, err := io.ReadFull(r, rng[:]); err != nil {
+			return nil, err
+		}
+		lo := math.Float64frombits(binary.BigEndian.Uint64(rng[0:]))
+		hi := math.Float64frombits(binary.BigEndian.Uint64(rng[8:]))
+		if math.IsNaN(lo) || math.IsNaN(hi) || hi <= lo {
+			return nil, fmt.Errorf("%w: bad quantisation range [%g,%g]", ErrCorruptTensor, lo, hi)
+		}
+		span := hi - lo
+		if d == Depth16 {
+			body := make([]byte, 2*vol)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, err
+			}
+			for i := range t.data {
+				q := binary.BigEndian.Uint16(body[2*i:])
+				t.data[i] = lo + span*float64(q)/65535
+			}
+		} else {
+			body := make([]byte, vol)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, err
+			}
+			for i := range t.data {
+				t.data[i] = lo + span*float64(body[i])/255
+			}
+		}
+	}
+	return t, nil
+}

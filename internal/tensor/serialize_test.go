@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeDepth64Lossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := Randn(rng, 3, 2, 3, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, x, Depth64); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != EncodedSize(x, Depth64) {
+		t.Fatalf("encoded size = %d, want %d", buf.Len(), EncodedSize(x, Depth64))
+	}
+	y, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.SameShape(y) {
+		t.Fatalf("shape %v != %v", x.Shape(), y.Shape())
+	}
+	if MaxAbsDiff(x, y) != 0 {
+		t.Fatal("Depth64 round trip not lossless")
+	}
+}
+
+func TestEncodeDecodeDepth32(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := Randn(rng, 1, 10, 10)
+	var buf bytes.Buffer
+	if err := Encode(&buf, x, Depth32); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(x, y); d > 1e-6 {
+		t.Fatalf("Depth32 error %g too large", d)
+	}
+}
+
+func TestEncodeDecodeQuantised(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range []BitDepth{Depth8, Depth16} {
+		x := RandUniform(rng, -30, -10, 5, 5) // dBm-like range
+		var buf bytes.Buffer
+		if err := Encode(&buf, x, d); err != nil {
+			t.Fatal(err)
+		}
+		y, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := x.Max() - x.Min()
+		tol := span / 250 // one quantisation step for Depth8
+		if d == Depth16 {
+			tol = span / 65000
+		}
+		if diff := MaxAbsDiff(x, y); diff > tol {
+			t.Fatalf("depth %d quantisation error %g > %g", d, diff, tol)
+		}
+	}
+}
+
+func TestEncodeConstantTensor(t *testing.T) {
+	x := Full(-25.5, 4, 4)
+	for _, d := range []BitDepth{Depth8, Depth16, Depth32, Depth64} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, x, d); err != nil {
+			t.Fatal(err)
+		}
+		y, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := MaxAbsDiff(x, y); diff > 1e-6 {
+			t.Fatalf("constant tensor at depth %d: error %g", d, diff)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptHeader(t *testing.T) {
+	cases := [][]byte{
+		{99, 2, 0, 0, 0, 1, 0, 0, 0, 1},        // bad depth
+		{byte(Depth64), 0},                     // zero rank
+		{byte(Depth64), 9},                     // rank too big
+		{byte(Depth64), 1, 0, 0, 0, 0},         // zero dim
+		{byte(Depth64), 1, 0xFF, 0xFF, 0, 0},   // absurd dim
+		{byte(Depth8), 1, 0, 0, 0, 2, 0, 0, 0}, // bad quant range (truncated)
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt payload accepted", i)
+		}
+	}
+}
+
+func TestDecodeCorruptIsTyped(t *testing.T) {
+	_, err := Decode(bytes.NewReader([]byte{99, 1, 0, 0, 0, 1}))
+	if !errors.Is(err, ErrCorruptTensor) {
+		t.Fatalf("want ErrCorruptTensor, got %v", err)
+	}
+}
+
+func TestDecodeTruncatedBody(t *testing.T) {
+	x := Ones(4, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, x, Depth64); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestEncodedBitsMatchesPaperPayloadFormula(t *testing.T) {
+	// The paper's uplink payload: B^UL = N_H·N_W·B·R·L/(w_H·w_W) bits. Our
+	// codec adds a fixed small header; body bits must match the formula.
+	const batch, seqLen, nh, nw, pool = 64, 4, 40, 40, 4
+	act := New(batch*seqLen, 1, nh/pool, nw/pool)
+	bodyBits := act.Size() * 32
+	wantBody := nh * nw * batch * 32 * seqLen / (pool * pool)
+	if bodyBits != wantBody {
+		t.Fatalf("body bits %d != paper formula %d", bodyBits, wantBody)
+	}
+	headerBits := EncodedBits(act, Depth32) - bodyBits
+	if headerBits <= 0 || headerBits > 64*8 {
+		t.Fatalf("unreasonable header size %d bits", headerBits)
+	}
+}
+
+// Property: encode/decode at Depth64 round-trips arbitrary finite tensors.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+		x := FromSlice(vals, len(vals))
+		var buf bytes.Buffer
+		if err := Encode(&buf, x, Depth64); err != nil {
+			return false
+		}
+		y, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(x, y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

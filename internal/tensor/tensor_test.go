@@ -1,0 +1,272 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", x.Rank())
+	}
+	if x.Size() != 24 {
+		t.Fatalf("size = %d, want 24", x.Size())
+	}
+	sh := x.Shape()
+	if sh[0] != 2 || sh[1] != 3 || sh[2] != 4 {
+		t.Fatalf("shape = %v", sh)
+	}
+	// Shape must be a copy: mutating it must not corrupt the tensor.
+	sh[0] = 99
+	if x.Dim(0) != 2 {
+		t.Fatal("Shape() leaked internal slice")
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {-1, 2}, {3, 0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At = %g, want 7.5", got)
+	}
+	// Row-major layout: element (2,1) is at flat index 2*4+1.
+	if x.Data()[9] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	_ = x.At(0, 2)
+}
+
+func TestFromSliceAliasesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 42
+	if x.At(0, 0) != 42 {
+		t.Fatal("FromSlice must not copy the slice")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	c := x.Clone()
+	c.Set(99, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone shares data with original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(42, 0, 1)
+	if x.At(0, 1) != 42 {
+		t.Fatal("Reshape must share backing data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("volume-mismatched reshape did not panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := Add(a, b).Data(); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data(); got[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, 2).Data(); got[2] != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	a.AddScaledInPlace(b, 10)
+	if a.At(0) != 41 {
+		t.Fatalf("AddScaledInPlace = %v", a.Data())
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 3), New(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched Add did not panic")
+		}
+	}()
+	Add(a, b)
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-1, 2, 7, 0}, 4)
+	if x.Sum() != 8 {
+		t.Fatalf("Sum = %g", x.Sum())
+	}
+	if x.Mean() != 2 {
+		t.Fatalf("Mean = %g", x.Mean())
+	}
+	if x.Max() != 7 || x.Min() != -1 {
+		t.Fatalf("Max/Min = %g/%g", x.Max(), x.Min())
+	}
+	if got := x.Norm2(); !almostEqual(got, math.Sqrt(54), 1e-12) {
+		t.Fatalf("Norm2 = %g", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, -5, 6}, 3)
+	if got := Dot(a, b); got != 12 {
+		t.Fatalf("Dot = %g, want 12", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float64{1, 4, 9}, 3)
+	y := Apply(x, math.Sqrt)
+	if y.At(2) != 3 {
+		t.Fatalf("Apply = %v", y.Data())
+	}
+	if x.At(2) != 9 {
+		t.Fatal("Apply mutated input")
+	}
+}
+
+func TestRandnStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 2.0, 100, 100)
+	mean := x.Mean()
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("Randn mean = %g, want ≈0", mean)
+	}
+	varSum := 0.0
+	for _, v := range x.Data() {
+		varSum += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(varSum / float64(x.Size()))
+	if math.Abs(sd-2.0) > 0.1 {
+		t.Fatalf("Randn stddev = %g, want ≈2", sd)
+	}
+}
+
+// --- MatMul -----------------------------------------------------------------
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data()[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(rng, 1, 5, 5)
+	eye := New(5, 5)
+	for i := 0; i < 5; i++ {
+		eye.Set(1, i, i)
+	}
+	if MaxAbsDiff(MatMul(a, eye), a) > 1e-15 {
+		t.Fatal("A·I != A")
+	}
+	if MaxAbsDiff(MatMul(eye, a), a) > 1e-15 {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulTransVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(rng, 1, 4, 6)
+	b := Randn(rng, 1, 6, 5)
+	ref := MatMul(a, b)
+	viaTransA := MatMulTransA(Transpose2D(a), b)
+	if MaxAbsDiff(ref, viaTransA) > 1e-12 {
+		t.Fatal("MatMulTransA disagrees with MatMul")
+	}
+	viaTransB := MatMulTransB(a, Transpose2D(b))
+	if MaxAbsDiff(ref, viaTransB) > 1e-12 {
+		t.Fatal("MatMulTransB disagrees with MatMul")
+	}
+}
+
+func TestTranspose2DInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Randn(rng, 1, 3, 7)
+	if MaxAbsDiff(Transpose2D(Transpose2D(a)), a) != 0 {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	got := MatVec(a, []float64{1, -1})
+	if got[0] != -1 || got[1] != -1 {
+		t.Fatalf("MatVec = %v", got)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(r, 1, 3, 4)
+		b := Randn(r, 1, 4, 2)
+		c := Randn(r, 1, 4, 2)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		return MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(r, 1, 3, 5)
+		b := Randn(r, 1, 5, 4)
+		lhs := Transpose2D(MatMul(a, b))
+		rhs := MatMul(Transpose2D(b), Transpose2D(a))
+		return MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Minimal SVG line-chart rendering, so `mmsl fig3a -svg` / `fig3b -svg`
+// emit directly viewable figures without any plotting dependency.
+
+// chartPalette cycles through visually distinct stroke colours.
+var chartPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+type series struct {
+	name   string
+	xs, ys []float64
+}
+
+// svgChart renders labelled series into an SVG line chart.
+func svgChart(w io.Writer, title, xLabel, yLabel string, ss []series, width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("trace: non-positive SVG size %dx%d", width, height)
+	}
+	const margin = 60
+	plotW, plotH := float64(width-2*margin), float64(height-2*margin)
+	if plotW <= 0 || plotH <= 0 {
+		return fmt.Errorf("trace: SVG size %dx%d too small for margins", width, height)
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for i := range s.xs {
+			minX = math.Min(minX, s.xs[i])
+			maxX = math.Max(maxX, s.xs[i])
+			minY = math.Min(minY, s.ys[i])
+			maxY = math.Max(maxY, s.ys[i])
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return fmt.Errorf("trace: no data to chart")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	px := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(height) - margin - (y-minY)/(maxY-minY)*plotH }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", width/2, title)
+
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		width/2, height-12, xLabel)
+	fmt.Fprintf(w, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		height/2, height/2, yLabel)
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" text-anchor="middle" font-size="10">%.3g</text>`+"\n",
+			px(xv), height-margin+16, xv)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end" font-size="10">%.3g</text>`+"\n",
+			margin-6, py(yv)+4, yv)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px(xv), margin, px(xv), height-margin)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			margin, py(yv), width-margin, py(yv))
+	}
+
+	// Series.
+	for si, s := range ss {
+		color := chartPalette[si%len(chartPalette)]
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="`, color)
+		for i := range s.xs {
+			fmt.Fprintf(w, "%.1f,%.1f ", px(s.xs[i]), py(s.ys[i]))
+		}
+		fmt.Fprint(w, `"/>`+"\n")
+		// Legend entry.
+		ly := margin + 16*si
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-margin-150, ly, width-margin-130, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n",
+			width-margin-125, ly+4, s.name)
+	}
+	fmt.Fprint(w, "</svg>\n")
+	return nil
+}
+
+// WriteCurvesSVG renders learning curves (Fig. 3a style: RMSE vs time).
+func WriteCurvesSVG(w io.Writer, curves []*LearningCurve, width, height int) error {
+	var ss []series
+	for _, c := range curves {
+		s := series{name: c.Scheme}
+		for _, p := range c.Points {
+			s.xs = append(s.xs, p.TimeS)
+			s.ys = append(s.ys, p.RMSEdB)
+		}
+		ss = append(ss, s)
+	}
+	return svgChart(w, "Validation loss vs elapsed training time",
+		"elapsed time (s)", "validation RMSE (dB)", ss, width, height)
+}
+
+// WriteSVG renders a prediction trace (Fig. 3b style: power vs time,
+// ground truth first).
+func (p *PredictionTrace) WriteSVG(w io.Writer, width, height int) error {
+	ss := []series{{name: "ground truth", xs: p.TimeS, ys: p.TruthDBm}}
+	for _, s := range p.Series {
+		ss = append(ss, series{name: s.Scheme, xs: s.TimeS, ys: s.PredDBm})
+	}
+	return svgChart(w, "Received power predictions",
+		"time (s)", "received power (dBm)", ss, width, height)
+}

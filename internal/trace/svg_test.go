@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleCurves() []*LearningCurve {
+	a := &LearningCurve{Scheme: "RF-only"}
+	b := &LearningCurve{Scheme: "Image+RF, 40×40 (1-pixel)"}
+	for e := 1; e <= 10; e++ {
+		a.Add(CurvePoint{Epoch: e, TimeS: float64(e), RMSEdB: 6 - 0.2*float64(e)})
+		b.Add(CurvePoint{Epoch: e, TimeS: 2 * float64(e), RMSEdB: 7 - 0.4*float64(e)})
+	}
+	return []*LearningCurve{a, b}
+}
+
+func TestWriteCurvesSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCurvesSVG(&buf, sampleCurves(), 800, 500); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+	if !strings.Contains(out, "RF-only") || !strings.Contains(out, "1-pixel") {
+		t.Fatal("legend entries missing")
+	}
+	if !strings.Contains(out, "validation RMSE (dB)") {
+		t.Fatal("axis label missing")
+	}
+}
+
+func TestPredictionTraceSVG(t *testing.T) {
+	tr := &PredictionTrace{
+		TimeS:    []float64{1, 2, 3},
+		TruthDBm: []float64{-20, -35, -21},
+	}
+	if err := tr.AddSeries("Image+RF", []float64{-21, -33, -22}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSVG(&buf, 600, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Ground truth + one scheme = 2 polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+	if !strings.Contains(out, "ground truth") {
+		t.Fatal("ground-truth legend missing")
+	}
+}
+
+func TestSVGRejectsBadSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCurvesSVG(&buf, sampleCurves(), 0, 100); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if err := WriteCurvesSVG(&buf, sampleCurves(), 80, 80); err == nil {
+		t.Fatal("size below margins accepted")
+	}
+}
+
+func TestSVGRejectsEmptyData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCurvesSVG(&buf, nil, 800, 500); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	// A flat series must not divide by zero.
+	c := &LearningCurve{Scheme: "flat"}
+	c.Add(CurvePoint{Epoch: 1, TimeS: 1, RMSEdB: 3})
+	c.Add(CurvePoint{Epoch: 2, TimeS: 1, RMSEdB: 3})
+	var buf bytes.Buffer
+	if err := WriteCurvesSVG(&buf, []*LearningCurve{c}, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"io"
+	"sync"
+)
+
+// CountingConn wraps a connection-like stream and tallies the bytes and
+// frames crossing it in each direction — the measurement hook for
+// comparing the real protocol's overhead against the paper's idealised
+// payload formula.
+type CountingConn struct {
+	inner io.ReadWriter
+
+	mu        sync.Mutex
+	bytesIn   int64
+	bytesOut  int64
+	readsOps  int64
+	writesOps int64
+}
+
+// NewCountingConn wraps inner.
+func NewCountingConn(inner io.ReadWriter) *CountingConn {
+	return &CountingConn{inner: inner}
+}
+
+// Read implements io.Reader.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.mu.Lock()
+	c.bytesIn += int64(n)
+	c.readsOps++
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements io.Writer.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.inner.Write(p)
+	c.mu.Lock()
+	c.bytesOut += int64(n)
+	c.writesOps++
+	c.mu.Unlock()
+	return n, err
+}
+
+// ConnStats is a snapshot of a CountingConn's counters.
+type ConnStats struct {
+	BytesIn, BytesOut int64
+	ReadOps, WriteOps int64
+}
+
+// Stats returns the current counters.
+func (c *CountingConn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ConnStats{
+		BytesIn: c.bytesIn, BytesOut: c.bytesOut,
+		ReadOps: c.readsOps, WriteOps: c.writesOps,
+	}
+}

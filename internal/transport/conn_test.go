@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+)
+
+func TestCountingConnTallies(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca := NewCountingConn(a)
+
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := ca.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Write(make([]byte, 6)); err != nil {
+		t.Fatal(err)
+	}
+	st := ca.Stats()
+	if st.BytesOut != 16 || st.WriteOps != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesIn != 0 {
+		t.Fatalf("unexpected inbound bytes: %+v", st)
+	}
+}
+
+func TestCountingConnMeasuresProtocolOverhead(t *testing.T) {
+	// The bytes the BS sends per training step must be close to (and
+	// bounded below by) the idealised cut-layer payload: a small framed
+	// overhead on top of the Depth64 tensor encoding.
+	d := tinyDataset(t, 120)
+	cfg := tinyConfig(split.ImageRF, 4)
+	sp, err := dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ueConn, bsConn := net.Pipe()
+	counted := NewCountingConn(bsConn)
+	ue, err := NewUEPeer(cfg, d, ueConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewBSPeer(cfg, d, sp, counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ue.Serve() }()
+
+	const steps = 5
+	for i := 0; i < steps; i++ {
+		if _, err := bs.TrainStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	ueConn.Close()
+	bsConn.Close()
+
+	st := counted.Stats()
+	// Per step the BS receives one activations tensor:
+	// (B·L, 1, 2, 2) float64 = 4·2·2·8 bytes = 128 B of body per step.
+	featBytes := int64(cfg.BatchSize * cfg.SeqLen * (8 / cfg.PoolH) * (8 / cfg.PoolW) * 8)
+	minIn := steps * featBytes
+	if st.BytesIn < minIn {
+		t.Fatalf("inbound %d B below tensor payload %d B", st.BytesIn, minIn)
+	}
+	// Protocol overhead (frames, headers, shape) stays under 2× body.
+	if st.BytesIn > 3*minIn {
+		t.Fatalf("inbound %d B suspiciously high vs payload %d B", st.BytesIn, minIn)
+	}
+	if st.BytesOut <= 0 || st.ReadOps <= 0 || st.WriteOps <= 0 {
+		t.Fatalf("counters not populated: %+v", st)
+	}
+}

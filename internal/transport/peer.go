@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/split"
+	"repro/internal/tensor"
+)
+
+// UEPeer is the camera-side endpoint. It owns the raw depth images and
+// the CNN half of the model; it serves forward passes on request and
+// applies its own optimiser to its own parameters when gradients arrive.
+// Raw images never cross the connection.
+type UEPeer struct {
+	Model *split.UEModel
+	Cfg   split.Config
+
+	data *dataset.Dataset
+	adam *opt.Adam
+	conn io.ReadWriter
+}
+
+// NewUEPeer constructs the UE endpoint over an established connection.
+func NewUEPeer(cfg split.Config, d *dataset.Dataset, conn io.ReadWriter) (*UEPeer, error) {
+	if !cfg.Modality.UsesImages() {
+		return nil, fmt.Errorf("transport: %v needs no UE peer", cfg.Modality)
+	}
+	if err := cfg.Validate(d); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := split.NewUEModel(rng, cfg, d)
+	return &UEPeer{
+		Model: model,
+		Cfg:   cfg,
+		data:  d,
+		adam:  opt.NewAdam(model.Params(), cfg.LR, cfg.Beta1, cfg.Beta2),
+		conn:  conn,
+	}, nil
+}
+
+// imageBatch assembles the (B·L, 1, H, W) stack for the anchors.
+func (u *UEPeer) imageBatch(anchors []int32) (*tensor.Tensor, error) {
+	d, L := u.data, u.Cfg.SeqLen
+	px := d.H * d.W
+	out := tensor.New(len(anchors)*L, 1, d.H, d.W)
+	for b, k := range anchors {
+		if int(k) < L-1 || int(k) >= d.Len() {
+			return nil, fmt.Errorf("transport: anchor %d outside usable range", k)
+		}
+		for t := 0; t < L; t++ {
+			frame := int(k) - L + 1 + t
+			copy(out.Data()[(b*L+t)*px:(b*L+t+1)*px], d.Image(frame))
+		}
+	}
+	return out, nil
+}
+
+// Serve processes requests until a shutdown message or connection error.
+// A clean shutdown returns nil.
+func (u *UEPeer) Serve() error {
+	for {
+		msg, err := ReadMessage(u.conn)
+		if err != nil {
+			return fmt.Errorf("transport: UE read: %w", err)
+		}
+		switch msg.Type {
+		case MsgShutdown:
+			return nil
+
+		case MsgBatchRequest, MsgEvalRequest:
+			batch, err := u.imageBatch(msg.Anchors)
+			if err != nil {
+				return err
+			}
+			act := u.Model.Forward(batch)
+			reply := &Message{Type: MsgActivations, Step: msg.Step, Tensor: act}
+			if err := WriteMessage(u.conn, reply); err != nil {
+				return fmt.Errorf("transport: UE write: %w", err)
+			}
+			if msg.Type == MsgEvalRequest {
+				continue // no backward pass for evaluation
+			}
+			grad, err := ReadMessage(u.conn)
+			if err != nil {
+				return fmt.Errorf("transport: UE read gradient: %w", err)
+			}
+			if grad.Type == MsgShutdown {
+				return nil
+			}
+			if grad.Type != MsgCutGradient || grad.Tensor == nil {
+				return fmt.Errorf("transport: UE expected CutGradient, got %v", grad.Type)
+			}
+			if grad.Step != msg.Step {
+				return fmt.Errorf("transport: gradient step %d for request %d", grad.Step, msg.Step)
+			}
+			nn.ZeroGrads(u.Model.Params())
+			u.Model.Backward(grad.Tensor)
+			u.adam.Step()
+
+		default:
+			return fmt.Errorf("transport: UE unexpected message %v", msg.Type)
+		}
+	}
+}
+
+// BSPeer is the base-station endpoint. It owns the received powers, the
+// labels, and the LSTM half; it orchestrates training by requesting
+// forward passes from the UE.
+type BSPeer struct {
+	Model *split.BSModel
+	Cfg   split.Config
+	Norm  dataset.Normalizer
+
+	data    *dataset.Dataset
+	adam    *opt.Adam
+	conn    io.ReadWriter
+	sampler *dataset.Sampler
+	step    uint32
+}
+
+// NewBSPeer constructs the BS endpoint over an established connection.
+func NewBSPeer(cfg split.Config, d *dataset.Dataset, sp *dataset.Split, conn io.ReadWriter) (*BSPeer, error) {
+	if err := cfg.Validate(d); err != nil {
+		return nil, err
+	}
+	// Match internal/split's construction order so distributed and
+	// in-process training are comparable: the BS draws from the same seed
+	// stream *after* the UE's layers, which NewModel achieves by building
+	// UE first. Here the halves live in different processes, so the BS
+	// replays the UE's draws by building a throwaway UE model.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Modality.UsesImages() {
+		_ = split.NewUEModel(rng, cfg, d)
+	}
+	model := split.NewBSModel(rng, cfg, cfg.RNNInputDim(d))
+	norm := dataset.FitNormalizer(d, sp.Train)
+	return &BSPeer{
+		Model:   model,
+		Cfg:     cfg,
+		Norm:    norm,
+		data:    d,
+		adam:    opt.NewAdam(model.Params(), cfg.LR, cfg.Beta1, cfg.Beta2),
+		conn:    conn,
+		sampler: dataset.NewSampler(sp.Train, rand.New(rand.NewSource(cfg.Seed+1000))),
+	}, nil
+}
+
+// requestActivations asks the UE for a forward pass over the anchors.
+func (b *BSPeer) requestActivations(t MsgType, anchors []int32) (*tensor.Tensor, error) {
+	b.step++
+	req := &Message{Type: t, Step: b.step, Anchors: anchors}
+	if err := WriteMessage(b.conn, req); err != nil {
+		return nil, fmt.Errorf("transport: BS write: %w", err)
+	}
+	reply, err := ReadMessage(b.conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: BS read: %w", err)
+	}
+	if reply.Type != MsgActivations || reply.Tensor == nil {
+		return nil, fmt.Errorf("transport: BS expected Activations, got %v", reply.Type)
+	}
+	if reply.Step != b.step {
+		return nil, fmt.Errorf("transport: reply step %d for request %d", reply.Step, b.step)
+	}
+	return reply.Tensor, nil
+}
+
+// fuse builds the (B, L, D) LSTM input from received activations and the
+// locally measured RF powers.
+func (b *BSPeer) fuse(anchors []int32, pooled *tensor.Tensor) *tensor.Tensor {
+	cfg, d := b.Cfg, b.data
+	L := cfg.SeqLen
+	featPx := cfg.FeaturePixels(d)
+	dim := cfg.RNNInputDim(d)
+	out := tensor.New(len(anchors), L, dim)
+	for bi, k := range anchors {
+		for t := 0; t < L; t++ {
+			row := out.Data()[(bi*L+t)*dim : (bi*L+t+1)*dim]
+			if pooled != nil {
+				copy(row[:featPx], pooled.Data()[(bi*L+t)*featPx:(bi*L+t+1)*featPx])
+			}
+			if cfg.Modality.UsesRF() {
+				row[dim-1] = b.Norm.Normalize(d.Powers[int(k)-L+1+t])
+			}
+		}
+	}
+	return out
+}
+
+func (b *BSPeer) targets(anchors []int32) *tensor.Tensor {
+	out := tensor.New(len(anchors), 1)
+	for i, k := range anchors {
+		out.Data()[i] = b.Norm.Normalize(b.data.Powers[int(k)+b.Cfg.HorizonFrames])
+	}
+	return out
+}
+
+// extractImageGrad pulls the image-feature block out of the fused
+// gradient as the cut-layer payload.
+func (b *BSPeer) extractImageGrad(grad *tensor.Tensor, batch int) *tensor.Tensor {
+	cfg, d := b.Cfg, b.data
+	L := cfg.SeqLen
+	featPx := cfg.FeaturePixels(d)
+	dim := cfg.RNNInputDim(d)
+	out := tensor.New(batch*L, 1, d.H/cfg.PoolH, d.W/cfg.PoolW)
+	for bi := 0; bi < batch; bi++ {
+		for t := 0; t < L; t++ {
+			src := grad.Data()[(bi*L+t)*dim : (bi*L+t)*dim+featPx]
+			copy(out.Data()[(bi*L+t)*featPx:(bi*L+t+1)*featPx], src)
+		}
+	}
+	return out
+}
+
+// TrainStep runs one distributed SGD step and returns the mini-batch loss
+// on the normalised scale.
+func (b *BSPeer) TrainStep() (float64, error) {
+	anchors := toInt32(b.sampler.Batch(b.Cfg.BatchSize))
+
+	var pooled *tensor.Tensor
+	if b.Cfg.Modality.UsesImages() {
+		var err error
+		pooled, err = b.requestActivations(MsgBatchRequest, anchors)
+		if err != nil {
+			return 0, err
+		}
+	}
+	nn.ZeroGrads(b.Model.Params())
+	pred := b.Model.Forward(b.fuse(anchors, pooled))
+	loss, lossGrad := nn.MSE(pred, b.targets(anchors))
+	fusedGrad := b.Model.Backward(lossGrad)
+	b.adam.Step()
+
+	if b.Cfg.Modality.UsesImages() {
+		cut := b.extractImageGrad(fusedGrad, len(anchors))
+		msg := &Message{Type: MsgCutGradient, Step: b.step, Tensor: cut}
+		if err := WriteMessage(b.conn, msg); err != nil {
+			return 0, fmt.Errorf("transport: BS write gradient: %w", err)
+		}
+	}
+	return loss, nil
+}
+
+// Evaluate computes the RMSE in dB over the given anchors without
+// touching any parameters.
+func (b *BSPeer) Evaluate(anchors []int) (float64, error) {
+	var sumSq float64
+	total := 0
+	for start := 0; start < len(anchors); start += b.Cfg.BatchSize {
+		end := start + b.Cfg.BatchSize
+		if end > len(anchors) {
+			end = len(anchors)
+		}
+		batch := toInt32(anchors[start:end])
+		var pooled *tensor.Tensor
+		if b.Cfg.Modality.UsesImages() {
+			var err error
+			pooled, err = b.requestActivations(MsgEvalRequest, batch)
+			if err != nil {
+				return 0, err
+			}
+		}
+		pred := b.Model.Forward(b.fuse(batch, pooled))
+		target := b.targets(batch)
+		for i := range batch {
+			diff := pred.Data()[i] - target.Data()[i]
+			sumSq += diff * diff
+		}
+		total += len(batch)
+	}
+	return b.Norm.DenormalizeRMSE(sqrt(sumSq / float64(total))), nil
+}
+
+// Shutdown tells the UE to stop serving. Safe to call when the scheme has
+// no UE peer (it is then a no-op on a nil-safe connection).
+func (b *BSPeer) Shutdown() error {
+	return WriteMessage(b.conn, &Message{Type: MsgShutdown})
+}
+
+func toInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+func sqrt(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// IsClosedConn reports whether err looks like a normal connection
+// teardown, for servers that want to treat peer disconnects as clean.
+func IsClosedConn(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe)
+}

@@ -1,0 +1,216 @@
+// Package transport runs the split-learning protocol over a real byte
+// stream. It is the distributed counterpart of internal/split's
+// in-process trainer: a UEPeer owns the camera images and the CNN half, a
+// BSPeer owns the received powers, the labels and the LSTM half, and the
+// two exchange cut-layer tensors through a framed, checksummed protocol
+// over any net.Conn (TCP between processes, net.Pipe inside tests).
+//
+// Each peer updates only its own parameter partition — the defining
+// property of split learning: raw images never leave the UE, labels and
+// the BS model never leave the BS; only the pooled CNN outputs and their
+// gradients cross the network.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol messages. The BS orchestrates: it requests forward passes for
+// batches of anchor indices and returns cut-layer gradients for training
+// steps (evaluation requests get no gradient).
+const (
+	MsgBatchRequest MsgType = iota + 1 // BS→UE: anchors for a training step
+	MsgEvalRequest                     // BS→UE: anchors for evaluation (no backward)
+	MsgActivations                     // UE→BS: pooled CNN outputs
+	MsgCutGradient                     // BS→UE: gradient of the cut layer
+	MsgShutdown                        // BS→UE: training finished
+)
+
+// String names the message type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgBatchRequest:
+		return "BatchRequest"
+	case MsgEvalRequest:
+		return "EvalRequest"
+	case MsgActivations:
+		return "Activations"
+	case MsgCutGradient:
+		return "CutGradient"
+	case MsgShutdown:
+		return "Shutdown"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	Type    MsgType
+	Step    uint32         // training step / request correlation id
+	Anchors []int32        // batch/eval requests
+	Tensor  *tensor.Tensor // activations / gradients
+}
+
+// Protocol limits; a frame that exceeds them is rejected as corrupt or
+// hostile rather than allocated.
+const (
+	maxFramePayload = 64 << 20 // 64 MiB
+	maxAnchors      = 1 << 20
+)
+
+var (
+	frameMagic = [2]byte{0xA5, 0x5C}
+
+	// ErrBadFrame is returned for structurally invalid frames.
+	ErrBadFrame = errors.New("transport: bad frame")
+	// ErrChecksum is returned when a frame fails CRC validation.
+	ErrChecksum = errors.New("transport: checksum mismatch")
+)
+
+// Frame layout:
+//
+//	magic(2) type(1) reserved(1) step(4) length(4) payload(length) crc32(4)
+//
+// crc32 (IEEE) covers everything from magic through payload.
+
+// WriteMessage encodes and writes one frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	payload, err := encodePayload(m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds limit", ErrBadFrame, len(payload))
+	}
+	header := make([]byte, 12)
+	header[0], header[1] = frameMagic[0], frameMagic[1]
+	header[2] = byte(m.Type)
+	binary.BigEndian.PutUint32(header[4:], m.Step)
+	binary.BigEndian.PutUint32(header[8:], uint32(len(payload)))
+
+	crc := crc32.NewIEEE()
+	crc.Write(header)
+	crc.Write(payload)
+	trailer := binary.BigEndian.AppendUint32(nil, crc.Sum32())
+
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err = w.Write(trailer)
+	return err
+}
+
+// ReadMessage reads and validates one frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	header := make([]byte, 12)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err
+	}
+	if header[0] != frameMagic[0] || header[1] != frameMagic[1] {
+		return nil, fmt.Errorf("%w: bad magic %x", ErrBadFrame, header[:2])
+	}
+	msgType := MsgType(header[2])
+	step := binary.BigEndian.Uint32(header[4:])
+	length := binary.BigEndian.Uint32(header[8:])
+	if length > maxFramePayload {
+		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrBadFrame, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	trailer := make([]byte, 4)
+	if _, err := io.ReadFull(r, trailer); err != nil {
+		return nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(header)
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
+	m := &Message{Type: msgType, Step: step}
+	if err := decodePayload(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Payload layout: uint32 anchor count, anchors as int32, then optional
+// tensor (presence flag byte + tensor encoding at Depth64 — the protocol
+// layer is lossless; lossy bit-depth is a channel-model concern).
+
+func encodePayload(m *Message) ([]byte, error) {
+	if len(m.Anchors) > maxAnchors {
+		return nil, fmt.Errorf("%w: %d anchors exceeds limit", ErrBadFrame, len(m.Anchors))
+	}
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(m.Anchors)))
+	for _, a := range m.Anchors {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a))
+	}
+	if m.Tensor == nil {
+		return append(buf, 0), nil
+	}
+	buf = append(buf, 1)
+	var tbuf sliceWriter
+	if err := tensor.Encode(&tbuf, m.Tensor, tensor.Depth64); err != nil {
+		return nil, err
+	}
+	return append(buf, tbuf...), nil
+}
+
+func decodePayload(m *Message, payload []byte) error {
+	if len(payload) < 5 {
+		return fmt.Errorf("%w: payload too short", ErrBadFrame)
+	}
+	n := binary.BigEndian.Uint32(payload)
+	if n > maxAnchors || len(payload) < int(4+4*n+1) {
+		return fmt.Errorf("%w: anchor count %d inconsistent with payload", ErrBadFrame, n)
+	}
+	payload = payload[4:]
+	if n > 0 {
+		m.Anchors = make([]int32, n)
+		for i := range m.Anchors {
+			m.Anchors[i] = int32(binary.BigEndian.Uint32(payload[4*i:]))
+		}
+	}
+	payload = payload[4*n:]
+	hasTensor := payload[0]
+	payload = payload[1:]
+	switch hasTensor {
+	case 0:
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: trailing bytes after empty tensor", ErrBadFrame)
+		}
+	case 1:
+		t, err := tensor.Decode(bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		m.Tensor = t
+	default:
+		return fmt.Errorf("%w: bad tensor flag %d", ErrBadFrame, hasTensor)
+	}
+	return nil
+}
+
+// sliceWriter is an io.Writer appending to itself.
+type sliceWriter []byte
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
