@@ -359,6 +359,55 @@ func BenchmarkProtocolRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkHandshakeRoundTrip measures encoding + decoding of the
+// session-hello/ack pair — the fixed per-UE join cost of the multi-UE
+// server.
+func BenchmarkHandshakeRoundTrip(b *testing.B) {
+	hello := &transport.Message{Type: transport.MsgSessionHello, Hello: &transport.Hello{
+		Version: transport.ProtocolVersion, SessionID: "ue-benchmark",
+		Seed: 42, Frames: 2400, Pool: 40, Modality: uint8(split.ImageRF),
+		ConfigFP: 0x1234567890ABCDEF,
+	}}
+	ack := &transport.Message{Type: transport.MsgSessionAck, Hello: &transport.Hello{
+		Version: transport.ProtocolVersion, SessionID: "ue-benchmark",
+		ConfigFP: 0x1234567890ABCDEF,
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		for _, m := range []*transport.Message{hello, ack} {
+			if err := transport.WriteMessage(&buf, m); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := transport.ReadMessage(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMultiUEServer4Sessions measures a complete 4-UE server cycle —
+// handshakes, concurrent training, evaluations, detach — at test scale
+// over net.Pipe, the end-to-end cost the multi-UE base station adds on
+// top of single-session training.
+func BenchmarkMultiUEServer4Sessions(b *testing.B) {
+	const nUE = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := transport.NewBSServer(transport.ServerConfig{
+			MaxUE: nUE, Sched: transport.SchedAsync,
+			Steps: 10, EvalEvery: 5, ValAnchors: 16,
+			Provision: multiUESessionEnv,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runMultiUESessions(b, srv, nUE)
+	}
+}
+
 // BenchmarkTrainStep1Pixel measures one full split training step of the
 // headline scheme over the simulated channel.
 func BenchmarkTrainStep1Pixel(b *testing.B) {

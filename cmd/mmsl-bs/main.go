@@ -1,10 +1,23 @@
 // Command mmsl-bs runs the base-station half of the split network: it
 // owns the received-power measurements and labels, the LSTM layers, and
-// the training loop. It connects to a running mmsl-ue, orchestrates
-// distributed SGD steps over the framed protocol, and reports validation
-// RMSE as training progresses.
+// the training loop.
 //
-// See cmd/mmsl-ue for the pairing instructions.
+// It has two modes:
+//
+//   - Single-UE (the original 1:1 topology): -connect dials a listening
+//     mmsl-ue and orchestrates one session over the framed protocol.
+//
+//   - Multi-UE server: -listen accepts up to -max-ue concurrent UEs, each
+//     opening its own session with the hello/ack handshake. Sessions get
+//     independent datasets, model halves and optimiser state derived from
+//     the seed each UE announces; -sched selects whether sessions train
+//     fully in parallel (async) or take turns (rr).
+//
+//     mmsl-bs -listen :9920 -max-ue 8 -sched async -steps 200
+//     mmsl-ue -connect localhost:9920 -session ue1 -seed 1
+//     mmsl-ue -connect localhost:9920 -session ue2 -seed 2
+//
+// See cmd/mmsl-ue for the single-UE pairing instructions.
 package main
 
 import (
@@ -19,30 +32,77 @@ import (
 )
 
 func main() {
-	connect := flag.String("connect", "localhost:9910", "UE address")
-	frames := flag.Int("frames", 2400, "synthetic dataset length (must match the UE)")
-	seed := flag.Int64("seed", 1, "shared experiment seed (must match the UE)")
-	pool := flag.Int("pool", 40, "square pooling size (must match the UE)")
-	steps := flag.Int("steps", 200, "distributed SGD steps")
+	connect := flag.String("connect", "", "single-UE mode: UE address to dial (e.g. localhost:9910)")
+	listen := flag.String("listen", "", "multi-UE mode: address to accept UE sessions on (e.g. :9920)")
+	maxUE := flag.Int("max-ue", 8, "multi-UE mode: concurrent session cap")
+	sched := flag.String("sched", "async", "multi-UE mode: scheduling policy (async or rr)")
+	frames := flag.Int("frames", 2400, "single-UE mode: synthetic dataset length (must match the UE)")
+	seed := flag.Int64("seed", 1, "single-UE mode: shared experiment seed (must match the UE)")
+	pool := flag.Int("pool", 40, "single-UE mode: square pooling size (must match the UE)")
+	steps := flag.Int("steps", 200, "distributed SGD steps per session")
 	evalEvery := flag.Int("eval-every", 40, "validate every N steps")
 	valAnchors := flag.Int("val-anchors", 128, "validation anchors per evaluation")
+	target := flag.Float64("target", 0, "stop a session early at this val RMSE in dB (0 = never)")
 	flag.Parse()
 
+	switch {
+	case *listen != "" && *connect != "":
+		log.Fatal("mmsl-bs: -listen and -connect are mutually exclusive")
+	case *listen != "":
+		serveMultiUE(*listen, *maxUE, *sched, *steps, *evalEvery, *valAnchors, *target)
+	case *connect != "":
+		runSingleUE(*connect, *frames, *seed, *pool, *steps, *evalEvery, *valAnchors, *target)
+	default:
+		// Original default behaviour: dial the standard mmsl-ue address.
+		runSingleUE("localhost:9910", *frames, *seed, *pool, *steps, *evalEvery, *valAnchors, *target)
+	}
+}
+
+// serveMultiUE runs the concurrent base station until interrupted.
+func serveMultiUE(addr string, maxUE int, sched string, steps, evalEvery, valAnchors int, target float64) {
+	policy, err := transport.ParseSchedPolicy(sched)
+	if err != nil {
+		log.Fatalf("mmsl-bs: %v", err)
+	}
+	srv, err := transport.NewBSServer(transport.ServerConfig{
+		MaxUE: maxUE, Sched: policy,
+		Steps: steps, EvalEvery: evalEvery, ValAnchors: valAnchors,
+		TargetRMSEdB: target,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("mmsl-bs: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("mmsl-bs: listen: %v", err)
+	}
+	defer ln.Close()
+	fmt.Printf("mmsl-bs: serving up to %d UEs on %s (%v scheduling, %d steps/session)\n",
+		maxUE, ln.Addr(), policy, steps)
+	if err := srv.Serve(ln); err != nil {
+		log.Printf("mmsl-bs: accept loop ended: %v", err)
+	}
+	srv.Wait()
+}
+
+// runSingleUE is the original 1:1 flow against a listening mmsl-ue.
+func runSingleUE(connect string, frames int, seed int64, pool, steps, evalEvery, valAnchors int, target float64) {
 	gen := dataset.DefaultGenConfig()
-	gen.NumFrames = *frames
-	gen.Seed = *seed
+	gen.NumFrames = frames
+	gen.Seed = seed
 	data, err := dataset.Generate(gen)
 	if err != nil {
 		log.Fatalf("mmsl-bs: generate dataset: %v", err)
 	}
-	cfg := split.DefaultConfig(split.ImageRF, *pool)
-	cfg.Seed = *seed
+	cfg := split.DefaultConfig(split.ImageRF, pool)
+	cfg.Seed = seed
 	sp, err := dataset.NewSplit(data, cfg.SeqLen, cfg.HorizonFrames, data.Len()*3/4)
 	if err != nil {
 		log.Fatalf("mmsl-bs: split: %v", err)
 	}
 
-	conn, err := net.Dial("tcp", *connect)
+	conn, err := net.Dial("tcp", connect)
 	if err != nil {
 		log.Fatalf("mmsl-bs: connect: %v", err)
 	}
@@ -55,26 +115,30 @@ func main() {
 	}
 
 	val := sp.Val
-	if len(val) > *valAnchors {
-		stride := len(val) / *valAnchors
-		sub := make([]int, 0, *valAnchors)
-		for i := 0; i < *valAnchors; i++ {
+	if len(val) > valAnchors {
+		stride := len(val) / valAnchors
+		sub := make([]int, 0, valAnchors)
+		for i := 0; i < valAnchors; i++ {
 			sub = append(sub, val[i*stride])
 		}
 		val = sub
 	}
 
-	for s := 1; s <= *steps; s++ {
+	for s := 1; s <= steps; s++ {
 		loss, err := bs.TrainStep()
 		if err != nil {
 			log.Fatalf("mmsl-bs: step %d: %v", s, err)
 		}
-		if s%*evalEvery == 0 || s == *steps {
+		if s%evalEvery == 0 || s == steps {
 			rmse, err := bs.Evaluate(val)
 			if err != nil {
 				log.Fatalf("mmsl-bs: evaluate: %v", err)
 			}
 			fmt.Printf("mmsl-bs: step %4d  batch loss %.4f  val RMSE %.2f dB\n", s, loss, rmse)
+			if target > 0 && rmse <= target {
+				fmt.Printf("mmsl-bs: reached target %.2f dB at step %d\n", target, s)
+				break
+			}
 		}
 	}
 	if err := bs.Shutdown(); err != nil {

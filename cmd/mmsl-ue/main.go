@@ -1,17 +1,31 @@
 // Command mmsl-ue runs the user-equipment half of the split network as a
 // standalone process: it owns the depth camera's frames and the CNN
-// layers, listens for a base station connection, and serves forward
-// passes over the framed split-learning protocol. Raw images never leave
-// this process — only pooled CNN outputs do.
+// layers, and serves forward passes over the framed split-learning
+// protocol. Raw images never leave this process — only pooled CNN
+// outputs do.
 //
-// Pair it with mmsl-bs:
+// It has two modes:
 //
-//	mmsl-ue -listen :9910 -seed 1 &
-//	mmsl-bs -connect localhost:9910 -seed 1 -steps 200
+//   - Single-UE (the original 1:1 topology): -listen waits for one
+//     mmsl-bs to dial in.
 //
-// Both sides must be started with the same -seed, -frames, -pool and
-// -scheme so that their model halves and dataset agree (in a real
-// deployment the dataset is the shared physical environment).
+//     mmsl-ue -listen :9910 -seed 1 &
+//     mmsl-bs -connect localhost:9910 -seed 1 -steps 200
+//
+//   - Multi-UE client: -connect dials a multi-UE mmsl-bs server, joins
+//     with the session-hello handshake under -session, and serves until
+//     the BS detaches the session. The BS provisions this session's
+//     model and labels from the announced seed, so many UEs with
+//     different seeds can train against one BS concurrently.
+//
+//     mmsl-bs -listen :9920 -max-ue 8 &
+//     mmsl-ue -connect localhost:9920 -session ue1 -seed 1
+//
+// In both modes the two sides must agree on -seed, -frames and -pool so
+// that their model halves and dataset agree (in a real deployment the
+// dataset is the shared physical environment); in multi-UE mode the
+// handshake carries those parameters and a config fingerprint, so a
+// mismatch is rejected at join time instead of corrupting training.
 package main
 
 import (
@@ -26,29 +40,76 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", ":9910", "address to listen for the BS")
+	listen := flag.String("listen", ":9910", "single-UE mode: address to listen for the BS")
+	connect := flag.String("connect", "", "multi-UE mode: BS server address to dial (e.g. localhost:9920)")
+	session := flag.String("session", "", "multi-UE mode: session id (default ue-<seed>)")
 	frames := flag.Int("frames", 2400, "synthetic dataset length")
 	seed := flag.Int64("seed", 1, "shared experiment seed")
 	pool := flag.Int("pool", 40, "square pooling size")
-	once := flag.Bool("once", true, "exit after serving one BS session")
+	once := flag.Bool("once", true, "single-UE mode: exit after serving one BS session")
 	flag.Parse()
 
+	if *connect != "" {
+		joinServer(*connect, *session, *seed, *frames, *pool)
+		return
+	}
+	listenLegacy(*listen, *frames, *seed, *pool, *once)
+}
+
+// joinServer dials a multi-UE BS and serves one session.
+func joinServer(addr, session string, seed int64, frames, pool int) {
+	if session == "" {
+		session = fmt.Sprintf("ue-%d", seed)
+	}
+	h := transport.Hello{
+		SessionID: session,
+		Seed:      seed,
+		Frames:    uint32(frames),
+		Pool:      uint16(pool),
+		Modality:  uint8(split.ImageRF),
+	}
+	cfg, data, _, err := transport.SessionEnv(h)
+	if err != nil {
+		log.Fatalf("mmsl-ue: session environment: %v", err)
+	}
+	h.ConfigFP = cfg.Fingerprint()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatalf("mmsl-ue: connect: %v", err)
+	}
+	defer conn.Close()
+	fmt.Printf("mmsl-ue: joining session %q at %s (seed %d, pooling %d×%d)\n",
+		session, conn.RemoteAddr(), seed, pool, pool)
+	err = transport.ServeUE(conn, h, cfg, data)
+	switch {
+	case err == nil:
+		fmt.Println("mmsl-ue: session detached cleanly")
+	case transport.IsClosedConn(err):
+		fmt.Println("mmsl-ue: BS disconnected")
+	default:
+		log.Fatalf("mmsl-ue: session: %v", err)
+	}
+}
+
+// listenLegacy is the original 1:1 flow: wait for a BS to dial in.
+func listenLegacy(addr string, frames int, seed int64, pool int, once bool) {
 	gen := dataset.DefaultGenConfig()
-	gen.NumFrames = *frames
-	gen.Seed = *seed
+	gen.NumFrames = frames
+	gen.Seed = seed
 	data, err := dataset.Generate(gen)
 	if err != nil {
 		log.Fatalf("mmsl-ue: generate dataset: %v", err)
 	}
-	cfg := split.DefaultConfig(split.ImageRF, *pool)
-	cfg.Seed = *seed
+	cfg := split.DefaultConfig(split.ImageRF, pool)
+	cfg.Seed = seed
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("mmsl-ue: listen: %v", err)
 	}
 	defer ln.Close()
-	fmt.Printf("mmsl-ue: serving CNN half (pooling %d×%d) on %s\n", *pool, *pool, ln.Addr())
+	fmt.Printf("mmsl-ue: serving CNN half (pooling %d×%d) on %s\n", pool, pool, ln.Addr())
 
 	for {
 		conn, err := ln.Accept()
@@ -70,7 +131,7 @@ func main() {
 		default:
 			log.Printf("mmsl-ue: session error: %v", err)
 		}
-		if *once {
+		if once {
 			return
 		}
 	}

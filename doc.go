@@ -3,14 +3,16 @@
 // Prediction" (Koda et al., CoNEXT '19 Companion).
 //
 // The library lives under internal/: the paper's contribution in
-// internal/split and internal/transport, and every substrate it depends
-// on — a neural-network library (internal/tensor, internal/nn,
+// internal/split and internal/transport (including the multi-UE
+// BSServer that trains many concurrent UE sessions), and every substrate
+// it depends on — a neural-network library (internal/tensor, internal/nn,
 // internal/opt), the slotted fading channel (internal/radio,
 // internal/channel), the synthetic corridor dataset (internal/scene,
 // internal/dataset), the MDS privacy metric (internal/linalg,
 // internal/mds), and the experiment drivers (internal/experiments).
 //
-// Run the paper's artefacts with cmd/mmsl; see README.md, DESIGN.md and
+// Run the paper's artefacts with cmd/mmsl, the distributed daemons with
+// cmd/mmsl-ue and cmd/mmsl-bs; see README.md, DESIGN.md and
 // EXPERIMENTS.md. Benchmarks regenerating every table and figure are in
 // bench_test.go next to this file.
 package repro

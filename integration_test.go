@@ -2,8 +2,11 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"sync"
 	"testing"
 
 	"repro/internal/channel"
@@ -163,6 +166,120 @@ func TestIntegrationProtocolRobustness(t *testing.T) {
 				t.Fatal("decoded mutant with absurd tensor")
 			}
 		}()
+	}
+}
+
+// multiUESessionEnv provisions test-scale session environments for the
+// multi-UE integration test: each hello gets its own small dataset and
+// config derived from its seed, like the production SessionEnv but sized
+// for CI.
+func multiUESessionEnv(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = int(h.Frames)
+	gen.Seed = h.Seed
+	gen.Scene.ImageH, gen.Scene.ImageW = 8, 8
+	gen.Scene.FocalPixels = 5
+	d, err := dataset.Generate(gen)
+	if err != nil {
+		return split.Config{}, nil, nil, err
+	}
+	cfg := split.DefaultConfig(split.Modality(h.Modality), int(h.Pool))
+	cfg.Seed = h.Seed
+	cfg.SeqLen = 2
+	cfg.HorizonFrames = 2
+	cfg.BatchSize = 4
+	cfg.HiddenSize = 6
+	sp, err := dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, d.Len()*3/4)
+	if err != nil {
+		return split.Config{}, nil, nil, err
+	}
+	return cfg, d, sp, nil
+}
+
+// runMultiUESessions trains n test-scale UEs (distinct seeds, hence
+// distinct datasets and model halves) concurrently against srv over
+// net.Pipe, failing tb on any session or UE error. Shared by the
+// integration test and the multi-UE benchmark.
+func runMultiUESessions(tb testing.TB, srv *transport.BSServer, n int) {
+	tb.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		h := transport.Hello{
+			SessionID: fmt.Sprintf("ue-%d", i),
+			Seed:      int64(100 + i),
+			Frames:    200,
+			Pool:      4,
+			Modality:  uint8(split.ImageRF),
+		}
+		cfg, d, _, err := multiUESessionEnv(h)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		h.ConfigFP = cfg.Fingerprint()
+		ueConn, bsConn := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := srv.Handle(bsConn); err != nil {
+				errs <- fmt.Errorf("BS %s: %w", h.SessionID, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := transport.ServeUE(ueConn, h, cfg, d); err != nil {
+				errs <- fmt.Errorf("UE %s: %w", h.SessionID, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Error(err)
+	}
+}
+
+// TestIntegrationMultiUESessions is the multi-UE deployment flow end to
+// end: one BSServer, three UEs with distinct seeds joining concurrently
+// over net.Pipe, each running the session-hello handshake, training,
+// periodic evaluation and detach. Every session must converge: its
+// validation RMSE after the last evaluation must improve on its first.
+func TestIntegrationMultiUESessions(t *testing.T) {
+	const nUE, steps = 3, 60
+	srv, err := transport.NewBSServer(transport.ServerConfig{
+		MaxUE: nUE, Sched: transport.SchedAsync,
+		Steps: steps, EvalEvery: 15, ValAnchors: 24,
+		Provision: multiUESessionEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMultiUESessions(t, srv, nUE)
+
+	snaps := srv.Sessions()
+	if len(snaps) != nUE {
+		t.Fatalf("got %d sessions, want %d", len(snaps), nUE)
+	}
+	for _, s := range snaps {
+		if s.State != transport.SessionDetached {
+			t.Errorf("session %s: state %v (err %q), want detached", s.ID, s.State, s.Err)
+			continue
+		}
+		if s.Steps != steps {
+			t.Errorf("session %s: %d steps, want %d", s.ID, s.Steps, steps)
+		}
+		hist := s.Metrics.ValRMSE.Values
+		if len(hist) < 2 {
+			t.Errorf("session %s: only %d evaluations", s.ID, len(hist))
+			continue
+		}
+		first, last := hist[0], hist[len(hist)-1]
+		if !(last > 0) || last >= first {
+			t.Errorf("session %s did not converge: val RMSE %.3f → %.3f dB", s.ID, first, last)
+		}
+		if s.BytesIn == 0 || s.BytesOut == 0 {
+			t.Errorf("session %s: no wire traffic counted", s.ID)
+		}
 	}
 }
 

@@ -1,0 +1,79 @@
+package metrics
+
+import "fmt"
+
+// Per-session training telemetry for the multi-UE base station: each
+// split-learning session tracks its mini-batch losses and validation
+// RMSEs as append-only series so the server can report convergence per
+// UE. The types are plain values — callers that share them across
+// goroutines (the session manager does) guard them with their own lock.
+
+// Series is a named, append-only scalar series indexed by training step,
+// with running summary statistics.
+type Series struct {
+	Name    string
+	Steps   []int
+	Values  []float64
+	Summary Running
+}
+
+// Add appends one observation at the given step.
+func (s *Series) Add(step int, v float64) {
+	s.Steps = append(s.Steps, step)
+	s.Values = append(s.Values, v)
+	s.Summary.Add(v)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Last returns the most recent observation, or ok = false when empty.
+func (s *Series) Last() (step int, v float64, ok bool) {
+	if len(s.Values) == 0 {
+		return 0, 0, false
+	}
+	return s.Steps[len(s.Steps)-1], s.Values[len(s.Values)-1], true
+}
+
+// Clone returns an independent deep copy — the snapshot primitive for
+// concurrent reporting.
+func (s *Series) Clone() Series {
+	return Series{
+		Name:    s.Name,
+		Steps:   append([]int(nil), s.Steps...),
+		Values:  append([]float64(nil), s.Values...),
+		Summary: s.Summary,
+	}
+}
+
+// SessionMetrics aggregates one split-learning session's series.
+type SessionMetrics struct {
+	SessionID string
+	Loss      Series // per-step mini-batch loss (normalised scale)
+	ValRMSE   Series // validation RMSE in dB at evaluation points
+}
+
+// NewSessionMetrics returns empty telemetry for a session.
+func NewSessionMetrics(id string) *SessionMetrics {
+	return &SessionMetrics{
+		SessionID: id,
+		Loss:      Series{Name: fmt.Sprintf("%s/loss", id)},
+		ValRMSE:   Series{Name: fmt.Sprintf("%s/val_rmse_db", id)},
+	}
+}
+
+// Converged reports whether the latest validation RMSE has reached the
+// target (false while no evaluation has run).
+func (m *SessionMetrics) Converged(targetRMSEdB float64) bool {
+	_, rmse, ok := m.ValRMSE.Last()
+	return ok && rmse <= targetRMSEdB
+}
+
+// Clone returns an independent deep copy.
+func (m *SessionMetrics) Clone() *SessionMetrics {
+	return &SessionMetrics{
+		SessionID: m.SessionID,
+		Loss:      m.Loss.Clone(),
+		ValRMSE:   m.ValRMSE.Clone(),
+	}
+}

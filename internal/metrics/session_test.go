@@ -1,0 +1,62 @@
+package metrics
+
+import "testing"
+
+func TestSeriesAddLast(t *testing.T) {
+	var s Series
+	if _, _, ok := s.Last(); ok {
+		t.Fatal("empty series has a last value")
+	}
+	s.Add(1, 5)
+	s.Add(2, 3)
+	s.Add(4, 4)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	step, v, ok := s.Last()
+	if !ok || step != 4 || v != 4 {
+		t.Fatalf("Last = (%d, %g, %v)", step, v, ok)
+	}
+	if s.Summary.N() != 3 || s.Summary.Mean() != 4 {
+		t.Fatalf("summary N=%d mean=%g", s.Summary.N(), s.Summary.Mean())
+	}
+	if s.Summary.Min() != 3 || s.Summary.Max() != 5 {
+		t.Fatalf("summary min=%g max=%g", s.Summary.Min(), s.Summary.Max())
+	}
+}
+
+func TestSeriesCloneIsIndependent(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	c := s.Clone()
+	s.Add(2, 9)
+	if c.Len() != 1 {
+		t.Fatalf("clone grew with original: len %d", c.Len())
+	}
+	if _, v, _ := c.Last(); v != 2 {
+		t.Fatalf("clone last = %g, want 2", v)
+	}
+}
+
+func TestSessionMetricsConverged(t *testing.T) {
+	m := NewSessionMetrics("ue-1")
+	if m.Converged(10) {
+		t.Fatal("converged before any evaluation")
+	}
+	m.ValRMSE.Add(20, 12.5)
+	if m.Converged(10) {
+		t.Fatal("converged above target")
+	}
+	m.ValRMSE.Add(40, 9.8)
+	if !m.Converged(10) {
+		t.Fatal("not converged below target")
+	}
+	c := m.Clone()
+	m.ValRMSE.Add(60, 50)
+	if _, v, _ := c.ValRMSE.Last(); v != 9.8 {
+		t.Fatalf("clone mutated: last RMSE %g", v)
+	}
+	if c.SessionID != "ue-1" || c.Loss.Name != "ue-1/loss" {
+		t.Fatalf("clone identity: %q %q", c.SessionID, c.Loss.Name)
+	}
+}

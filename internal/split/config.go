@@ -11,7 +11,9 @@
 package split
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/dataset"
 	"repro/internal/tensor"
@@ -142,6 +144,33 @@ func DefaultConfig(m Modality, pool int) Config {
 		StepsPerEpoch: 156,
 		Seed:          1,
 	}
+}
+
+// Fingerprint hashes every field that both halves of a split session must
+// agree on for their models, datasets and wire tensors to line up. Two
+// peers built from the same Config always fingerprint identically, so a
+// mismatch during the session handshake means the UE and BS were launched
+// with drifted parameters — caught before any tensor crosses the wire.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	put := func(vs ...int64) {
+		for _, v := range vs {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(v))
+			h.Write(b[:])
+		}
+	}
+	put(int64(c.Modality), int64(c.PoolH), int64(c.PoolW), int64(c.Pooling),
+		int64(c.SeqLen), int64(c.HorizonFrames), int64(c.BatchSize),
+		int64(c.HiddenSize), int64(c.KernelSize), int64(c.RNN),
+		int64(c.BitDepth), c.Seed)
+	if c.QuantizeWire {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(int64(c.LR*1e12), int64(c.Beta1*1e12), int64(c.Beta2*1e12))
+	return h.Sum64()
 }
 
 // Validate reports the first configuration error against a dataset's

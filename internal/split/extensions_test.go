@@ -329,3 +329,37 @@ func TestCheckpointDistinguishesPoolKind(t *testing.T) {
 		t.Fatalf("pool-kind mismatch accepted: %v", err)
 	}
 }
+
+// TestConfigFingerprint: identical configs agree, and every
+// wire-relevant knob perturbs the hash — the property the session
+// handshake's drift detection relies on.
+func TestConfigFingerprint(t *testing.T) {
+	base := DefaultConfig(ImageRF, 40)
+	if base.Fingerprint() != DefaultConfig(ImageRF, 40).Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	seen := map[uint64]string{base.Fingerprint(): "base"}
+	for name, mutate := range map[string]func(*Config){
+		"modality": func(c *Config) { c.Modality = ImageOnly },
+		"pool":     func(c *Config) { c.PoolH, c.PoolW = 10, 10 },
+		"pooling":  func(c *Config) { c.Pooling = PoolMax },
+		"seqlen":   func(c *Config) { c.SeqLen++ },
+		"horizon":  func(c *Config) { c.HorizonFrames++ },
+		"batch":    func(c *Config) { c.BatchSize++ },
+		"hidden":   func(c *Config) { c.HiddenSize++ },
+		"kernel":   func(c *Config) { c.KernelSize += 2 },
+		"rnn":      func(c *Config) { c.RNN = RNNGRU },
+		"bitdepth": func(c *Config) { c.BitDepth = tensor.Depth8 },
+		"quantize": func(c *Config) { c.QuantizeWire = true },
+		"lr":       func(c *Config) { c.LR *= 2 },
+		"seed":     func(c *Config) { c.Seed++ },
+	} {
+		c := base
+		mutate(&c)
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q collides with %q (fp %x)", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}

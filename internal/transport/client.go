@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+)
+
+// UE-side helpers for joining a BSServer. The handshake inverts the
+// original 1:1 topology: instead of the UE listening for its one BS, the
+// BS listens and each UE dials in, announces its session parameters with
+// a SessionHello, and serves its CNN half once the BS acks.
+
+// SessionEnv derives the dataset, configuration and train/val split that
+// a hello describes — the deterministic contract shared by a UE and the
+// default BSServer provisioner, so both ends reconstruct identical
+// environments from the handshake alone (in a real deployment the
+// dataset is the shared physical environment).
+func SessionEnv(h Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+	if h.Frames == 0 || h.Pool == 0 {
+		return split.Config{}, nil, nil, fmt.Errorf("transport: hello needs frames and pool (got %d, %d)", h.Frames, h.Pool)
+	}
+	gen := dataset.DefaultGenConfig()
+	gen.NumFrames = int(h.Frames)
+	gen.Seed = h.Seed
+	d, err := dataset.Generate(gen)
+	if err != nil {
+		return split.Config{}, nil, nil, err
+	}
+	cfg := split.DefaultConfig(split.Modality(h.Modality), int(h.Pool))
+	cfg.Seed = h.Seed
+	sp, err := dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, d.Len()*3/4)
+	if err != nil {
+		return split.Config{}, nil, nil, err
+	}
+	return cfg, d, sp, nil
+}
+
+// JoinSession performs the UE side of the handshake: it sends the hello
+// and waits for the ack, returning the BS's echoed session parameters.
+// A rejection ack becomes an error carrying the BS's reason.
+func JoinSession(conn io.ReadWriter, h Hello) (*Hello, error) {
+	h.Version = ProtocolVersion
+	if err := WriteMessage(conn, &Message{Type: MsgSessionHello, Hello: &h}); err != nil {
+		return nil, fmt.Errorf("transport: UE write hello: %w", err)
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: UE read ack: %w", err)
+	}
+	if reply.Type != MsgSessionAck || reply.Hello == nil {
+		return nil, fmt.Errorf("transport: UE expected SessionAck, got %v", reply.Type)
+	}
+	if reply.Hello.Err != "" {
+		return nil, fmt.Errorf("transport: session %q rejected: %s", h.SessionID, reply.Hello.Err)
+	}
+	if reply.Hello.SessionID != h.SessionID {
+		return nil, fmt.Errorf("transport: ack for session %q, want %q", reply.Hello.SessionID, h.SessionID)
+	}
+	return reply.Hello, nil
+}
+
+// ServeUE joins a session on an established connection and serves the UE
+// half until the BS shuts the session down. The config and dataset must
+// be the ones the hello describes (SessionEnv derives them); setting
+// h.ConfigFP beforehand lets the BS verify that.
+func ServeUE(conn io.ReadWriter, h Hello, cfg split.Config, d *dataset.Dataset) error {
+	if _, err := JoinSession(conn, h); err != nil {
+		return err
+	}
+	ue, err := NewUEPeer(cfg, d, conn)
+	if err != nil {
+		return err
+	}
+	return ue.Serve()
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"repro/internal/tensor"
 )
@@ -27,14 +28,22 @@ type MsgType uint8
 
 // Protocol messages. The BS orchestrates: it requests forward passes for
 // batches of anchor indices and returns cut-layer gradients for training
-// steps (evaluation requests get no gradient).
+// steps (evaluation requests get no gradient). A multi-UE session opens
+// with a hello/ack handshake before any training traffic.
 const (
 	MsgBatchRequest MsgType = iota + 1 // BS→UE: anchors for a training step
 	MsgEvalRequest                     // BS→UE: anchors for evaluation (no backward)
 	MsgActivations                     // UE→BS: pooled CNN outputs
 	MsgCutGradient                     // BS→UE: gradient of the cut layer
 	MsgShutdown                        // BS→UE: training finished
+	MsgSessionHello                    // UE→BS: join request with session parameters
+	MsgSessionAck                      // BS→UE: session accepted or rejected
 )
+
+// ProtocolVersion is stamped into every frame header. Version 0 is the
+// original 1:1 UE↔BS protocol without the session handshake; readers
+// accept any version up to their own and reject newer ones.
+const ProtocolVersion = 1
 
 // String names the message type for diagnostics.
 func (t MsgType) String() string {
@@ -49,9 +58,33 @@ func (t MsgType) String() string {
 		return "CutGradient"
 	case MsgShutdown:
 		return "Shutdown"
+	case MsgSessionHello:
+		return "SessionHello"
+	case MsgSessionAck:
+		return "SessionAck"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
+
+// Hello carries the handshake parameters of a multi-UE session. The UE
+// announces the dataset/model identity it was launched with; the BS
+// provisions a matching session (or rejects) and echoes its own view
+// back. ConfigFP lets both ends detect a drifted configuration before any
+// tensor crosses the wire.
+type Hello struct {
+	Version      uint8   // sender's ProtocolVersion
+	SessionID    string  // UE-chosen session name, unique per BS
+	Seed         int64   // shared experiment seed
+	Frames       uint32  // synthetic dataset length
+	Pool         uint16  // square pooling size w
+	Modality     uint8   // split.Modality the session trains
+	ConfigFP     uint64  // fingerprint of the derived split.Config
+	TargetRMSEdB float64 // UE's stopping criterion (0: use the server's)
+	Err          string  // ack only: non-empty means the session was rejected
+}
+
+// maxHelloString bounds the variable-length handshake fields.
+const maxHelloString = 256
 
 // Message is one protocol datagram.
 type Message struct {
@@ -59,6 +92,7 @@ type Message struct {
 	Step    uint32         // training step / request correlation id
 	Anchors []int32        // batch/eval requests
 	Tensor  *tensor.Tensor // activations / gradients
+	Hello   *Hello         // session handshake (hello/ack only)
 }
 
 // Protocol limits; a frame that exceeds them is rejected as corrupt or
@@ -79,9 +113,11 @@ var (
 
 // Frame layout:
 //
-//	magic(2) type(1) reserved(1) step(4) length(4) payload(length) crc32(4)
+//	magic(2) type(1) version(1) step(4) length(4) payload(length) crc32(4)
 //
-// crc32 (IEEE) covers everything from magic through payload.
+// crc32 (IEEE) covers everything from magic through payload. The version
+// byte was reserved (always 0) before ProtocolVersion 1 introduced the
+// session handshake; readers accept any version up to their own.
 
 // WriteMessage encodes and writes one frame.
 func WriteMessage(w io.Writer, m *Message) error {
@@ -95,6 +131,7 @@ func WriteMessage(w io.Writer, m *Message) error {
 	header := make([]byte, 12)
 	header[0], header[1] = frameMagic[0], frameMagic[1]
 	header[2] = byte(m.Type)
+	header[3] = ProtocolVersion
 	binary.BigEndian.PutUint32(header[4:], m.Step)
 	binary.BigEndian.PutUint32(header[8:], uint32(len(payload)))
 
@@ -121,6 +158,10 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	if header[0] != frameMagic[0] || header[1] != frameMagic[1] {
 		return nil, fmt.Errorf("%w: bad magic %x", ErrBadFrame, header[:2])
+	}
+	if header[3] > ProtocolVersion {
+		return nil, fmt.Errorf("%w: protocol version %d newer than %d",
+			ErrBadFrame, header[3], ProtocolVersion)
 	}
 	msgType := MsgType(header[2])
 	step := binary.BigEndian.Uint32(header[4:])
@@ -151,7 +192,10 @@ func ReadMessage(r io.Reader) (*Message, error) {
 
 // Payload layout: uint32 anchor count, anchors as int32, then optional
 // tensor (presence flag byte + tensor encoding at Depth64 — the protocol
-// layer is lossless; lossy bit-depth is a channel-model concern).
+// layer is lossless; lossy bit-depth is a channel-model concern), then an
+// optional hello section (presence flag byte + hello encoding). Version-0
+// frames simply end after the tensor section; their absence of a hello
+// flag decodes as Hello == nil.
 
 func encodePayload(m *Message) ([]byte, error) {
 	if len(m.Anchors) > maxAnchors {
@@ -162,14 +206,68 @@ func encodePayload(m *Message) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(a))
 	}
 	if m.Tensor == nil {
-		return append(buf, 0), nil
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		var tbuf sliceWriter
+		if err := tensor.Encode(&tbuf, m.Tensor, tensor.Depth64); err != nil {
+			return nil, err
+		}
+		buf = append(buf, tbuf...)
 	}
-	buf = append(buf, 1)
-	var tbuf sliceWriter
-	if err := tensor.Encode(&tbuf, m.Tensor, tensor.Depth64); err != nil {
-		return nil, err
+	if m.Hello == nil {
+		return buf, nil
 	}
-	return append(buf, tbuf...), nil
+	return appendHello(append(buf, 1), m.Hello)
+}
+
+func appendHello(buf []byte, h *Hello) ([]byte, error) {
+	if len(h.SessionID) > maxHelloString || len(h.Err) > maxHelloString {
+		return nil, fmt.Errorf("%w: hello string exceeds %d bytes", ErrBadFrame, maxHelloString)
+	}
+	buf = append(buf, h.Version, h.Modality)
+	buf = binary.BigEndian.AppendUint16(buf, h.Pool)
+	buf = binary.BigEndian.AppendUint32(buf, h.Frames)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Seed))
+	buf = binary.BigEndian.AppendUint64(buf, h.ConfigFP)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(h.TargetRMSEdB))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.SessionID)))
+	buf = append(buf, h.SessionID...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Err)))
+	return append(buf, h.Err...), nil
+}
+
+func decodeHello(payload []byte) (*Hello, error) {
+	const fixed = 1 + 1 + 2 + 4 + 8 + 8 + 8 // version, modality, pool, frames, seed, fingerprint, target
+	if len(payload) < fixed+2 {
+		return nil, fmt.Errorf("%w: hello section too short", ErrBadFrame)
+	}
+	h := &Hello{
+		Version:      payload[0],
+		Modality:     payload[1],
+		Pool:         binary.BigEndian.Uint16(payload[2:]),
+		Frames:       binary.BigEndian.Uint32(payload[4:]),
+		Seed:         int64(binary.BigEndian.Uint64(payload[8:])),
+		ConfigFP:     binary.BigEndian.Uint64(payload[16:]),
+		TargetRMSEdB: math.Float64frombits(binary.BigEndian.Uint64(payload[24:])),
+	}
+	payload = payload[fixed:]
+	for i, dst := range []*string{&h.SessionID, &h.Err} {
+		if len(payload) < 2 {
+			return nil, fmt.Errorf("%w: hello string %d truncated", ErrBadFrame, i)
+		}
+		n := int(binary.BigEndian.Uint16(payload))
+		payload = payload[2:]
+		if n > maxHelloString || len(payload) < n {
+			return nil, fmt.Errorf("%w: hello string %d length %d inconsistent", ErrBadFrame, i, n)
+		}
+		*dst = string(payload[:n])
+		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after hello", ErrBadFrame)
+	}
+	return h, nil
 }
 
 func decodePayload(m *Message, payload []byte) error {
@@ -192,18 +290,28 @@ func decodePayload(m *Message, payload []byte) error {
 	payload = payload[1:]
 	switch hasTensor {
 	case 0:
-		if len(payload) != 0 {
-			return fmt.Errorf("%w: trailing bytes after empty tensor", ErrBadFrame)
-		}
 	case 1:
-		t, err := tensor.Decode(bytes.NewReader(payload))
+		r := bytes.NewReader(payload)
+		t, err := tensor.Decode(r)
 		if err != nil {
 			return err
 		}
 		m.Tensor = t
+		payload = payload[len(payload)-r.Len():]
 	default:
 		return fmt.Errorf("%w: bad tensor flag %d", ErrBadFrame, hasTensor)
 	}
+	if len(payload) == 0 {
+		return nil // version-0 payload: no hello section
+	}
+	if payload[0] != 1 {
+		return fmt.Errorf("%w: bad hello flag %d", ErrBadFrame, payload[0])
+	}
+	h, err := decodeHello(payload[1:])
+	if err != nil {
+		return err
+	}
+	m.Hello = h
 	return nil
 }
 

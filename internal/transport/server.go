@@ -1,0 +1,580 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/split"
+)
+
+// BSServer is the multi-UE base station: one listener, N concurrent
+// split-learning sessions. Each accepted connection performs the
+// hello/ack handshake, is provisioned its own dataset/config/model from
+// the hello parameters, and then runs the ordinary BSPeer training loop
+// in a per-session goroutine. Sessions are fully isolated — separate
+// seeds, separate model halves, separate optimiser state — so the only
+// shared resource is the scheduler deciding which sessions may step.
+
+// SchedPolicy selects how concurrent sessions interleave their training
+// steps.
+type SchedPolicy int
+
+// Scheduling policies.
+const (
+	// SchedAsync runs every session flat out in parallel; steps from
+	// different UEs overlap freely (the throughput-oriented default).
+	SchedAsync SchedPolicy = iota
+	// SchedRoundRobin grants one session at a time a full step
+	// (train + optional eval) in join order — the sequential regime of
+	// a time-slotted base station serving UEs one subframe each.
+	SchedRoundRobin
+)
+
+// String names the policy as accepted by ParseSchedPolicy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedAsync:
+		return "async"
+	case SchedRoundRobin:
+		return "rr"
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", int(p))
+}
+
+// ParseSchedPolicy parses a -sched flag value.
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "async", "parallel":
+		return SchedAsync, nil
+	case "rr", "round-robin", "roundrobin":
+		return SchedRoundRobin, nil
+	}
+	return 0, fmt.Errorf("transport: unknown scheduling policy %q (want async or rr)", s)
+}
+
+// Provision builds the server-side environment for one session from its
+// hello. The default, SessionEnv, derives everything deterministically
+// from the hello's seed/frames/pool/modality; tests and custom
+// deployments substitute their own.
+type Provision func(h Hello) (split.Config, *dataset.Dataset, *dataset.Split, error)
+
+// ServerConfig tunes a BSServer.
+type ServerConfig struct {
+	MaxUE        int                              // concurrent session cap (≤0: 8)
+	Sched        SchedPolicy                      // step interleaving policy
+	Steps        int                              // max training steps per session (≤0: 200)
+	EvalEvery    int                              // validate every N steps (≤0: 20)
+	ValAnchors   int                              // validation anchors per evaluation (≤0: 64)
+	TargetRMSEdB float64                          // stop a session early at this val RMSE (≤0: never)
+	Provision    Provision                        // session environment factory (nil: SessionEnv)
+	Logf         func(format string, args ...any) // optional progress log
+}
+
+func (c *ServerConfig) fillDefaults() {
+	if c.MaxUE <= 0 {
+		c.MaxUE = 8
+	}
+	if c.Steps <= 0 {
+		c.Steps = 200
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 20
+	}
+	if c.ValAnchors <= 0 {
+		c.ValAnchors = 64
+	}
+	if c.Provision == nil {
+		c.Provision = SessionEnv
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// SessionState is a session's position in the join → train → evaluate →
+// detach lifecycle.
+type SessionState int
+
+// Session lifecycle states.
+const (
+	SessionJoined     SessionState = iota // handshake accepted, not yet stepping
+	SessionTraining                       // running distributed SGD steps
+	SessionEvaluating                     // mid-validation pass
+	SessionDetached                       // finished cleanly (shutdown sent)
+	SessionFailed                         // aborted on error
+)
+
+// String names the state.
+func (s SessionState) String() string {
+	switch s {
+	case SessionJoined:
+		return "joined"
+	case SessionTraining:
+		return "training"
+	case SessionEvaluating:
+		return "evaluating"
+	case SessionDetached:
+		return "detached"
+	case SessionFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("SessionState(%d)", int(s))
+}
+
+func (s SessionState) finished() bool {
+	return s == SessionDetached || s == SessionFailed
+}
+
+// SessionSnapshot is a point-in-time copy of one session's progress,
+// safe to use after the session has moved on.
+type SessionSnapshot struct {
+	ID       string
+	Hello    Hello
+	State    SessionState
+	Steps    int                     // training steps completed
+	LastLoss float64                 // most recent mini-batch loss (normalised scale)
+	LastRMSE float64                 // most recent validation RMSE in dB (0 before any eval)
+	Evals    int                     // validation passes completed
+	Reached  bool                    // hit TargetRMSEdB before exhausting Steps
+	BytesIn  int64                   // wire bytes received from the UE
+	BytesOut int64                   // wire bytes sent to the UE
+	Err      string                  // non-empty iff State == SessionFailed
+	Metrics  *metrics.SessionMetrics // deep copy of the full series
+}
+
+// session is the server-side state of one UE.
+type session struct {
+	id    string
+	hello Hello
+
+	mu      sync.Mutex
+	state   SessionState
+	steps   int
+	reached bool
+	err     error
+	met     *metrics.SessionMetrics
+	conn    *CountingConn // nil until provisioned
+}
+
+func (s *session) setState(st SessionState) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+func (s *session) setConn(c *CountingConn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	s.state = SessionFailed
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.finished()
+}
+
+// record logs one completed step and reports whether the target RMSE has
+// been reached.
+func (s *session) record(step int, loss float64, evaled bool, rmse, target float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.steps = step
+	s.met.Loss.Add(step, loss)
+	if evaled {
+		s.met.ValRMSE.Add(step, rmse)
+		if target > 0 && rmse <= target {
+			s.reached = true
+		}
+	}
+	return s.reached
+}
+
+func (s *session) snapshot() SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SessionSnapshot{
+		ID:      s.id,
+		Hello:   s.hello,
+		State:   s.state,
+		Steps:   s.steps,
+		Evals:   s.met.ValRMSE.Len(),
+		Reached: s.reached,
+		Metrics: s.met.Clone(),
+	}
+	if _, v, ok := s.met.Loss.Last(); ok {
+		snap.LastLoss = v
+	}
+	if _, v, ok := s.met.ValRMSE.Last(); ok {
+		snap.LastRMSE = v
+	}
+	if s.conn != nil {
+		st := s.conn.Stats()
+		snap.BytesIn, snap.BytesOut = st.BytesIn, st.BytesOut
+	}
+	if s.err != nil {
+		snap.Err = s.err.Error()
+	}
+	return snap
+}
+
+// BSServer accepts UE connections and trains one split-learning session
+// per UE under the configured scheduling policy.
+type BSServer struct {
+	cfg   ServerConfig
+	sched scheduler
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string // join order, for stable reporting
+
+	wg sync.WaitGroup
+}
+
+// NewBSServer builds a server; zero-valued config fields take defaults.
+func NewBSServer(cfg ServerConfig) (*BSServer, error) {
+	cfg.fillDefaults()
+	var sched scheduler
+	switch cfg.Sched {
+	case SchedAsync:
+		sched = &asyncSched{}
+	case SchedRoundRobin:
+		sched = newRRSched()
+	default:
+		return nil, fmt.Errorf("transport: unknown scheduling policy %v", cfg.Sched)
+	}
+	return &BSServer{
+		cfg:      cfg,
+		sched:    sched,
+		sessions: make(map[string]*session),
+	}, nil
+}
+
+// Serve accepts connections until the listener fails (closing the
+// listener is the shutdown signal) and handles each in its own goroutine.
+// It returns the accept error; in-flight sessions keep running — use
+// Wait to join them.
+func (s *BSServer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.Handle(conn); err != nil && !IsClosedConn(err) {
+				s.cfg.Logf("bs-server: session error: %v", err)
+			}
+		}()
+	}
+}
+
+// Wait blocks until every Serve-spawned session has finished.
+func (s *BSServer) Wait() { s.wg.Wait() }
+
+// Sessions returns snapshots of every session ever admitted, in join
+// order.
+func (s *BSServer) Sessions() []SessionSnapshot {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.order))
+	for _, id := range s.order {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	out := make([]SessionSnapshot, len(sessions))
+	for i, sess := range sessions {
+		out[i] = sess.snapshot()
+	}
+	return out
+}
+
+// ActiveSessions counts sessions that have joined but not yet finished.
+func (s *BSServer) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sess := range s.sessions {
+		if !sess.finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// Handle runs one complete session — handshake, training, evaluation,
+// shutdown — synchronously over an established connection. Serve calls it
+// per accepted conn; tests call it directly over net.Pipe.
+func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+
+	// Count from the first byte so the handshake itself is part of each
+	// session's wire accounting.
+	cc := NewCountingConn(conn)
+	msg, err := ReadMessage(cc)
+	if err != nil {
+		return fmt.Errorf("transport: server read hello: %w", err)
+	}
+	if msg.Type != MsgSessionHello || msg.Hello == nil {
+		err := fmt.Errorf("transport: expected SessionHello, got %v", msg.Type)
+		s.refuse(cc, Hello{}, err)
+		return err
+	}
+	h := *msg.Hello
+	if h.Version > ProtocolVersion {
+		err := fmt.Errorf("transport: UE protocol version %d newer than %d", h.Version, ProtocolVersion)
+		s.refuse(cc, h, err)
+		return err
+	}
+
+	sess, err := s.admit(h)
+	if err != nil {
+		s.refuse(cc, h, err)
+		return err
+	}
+	sess.setConn(cc)
+
+	cfg, d, sp, err := s.cfg.Provision(h)
+	if err == nil && h.ConfigFP != 0 && h.ConfigFP != cfg.Fingerprint() {
+		err = fmt.Errorf("transport: session %q config fingerprint %x does not match server's %x",
+			h.SessionID, h.ConfigFP, cfg.Fingerprint())
+	}
+	var peer *BSPeer
+	if err == nil {
+		peer, err = NewBSPeer(cfg, d, sp, cc)
+	}
+	if err != nil {
+		sess.fail(err)
+		s.refuse(cc, h, err)
+		return err
+	}
+
+	// The UE's own stopping criterion wins over the server default; the
+	// ack echoes whichever is in force for the session.
+	target := s.cfg.TargetRMSEdB
+	if h.TargetRMSEdB > 0 {
+		target = h.TargetRMSEdB
+	}
+	ack := Hello{
+		Version: ProtocolVersion, SessionID: h.SessionID, Seed: h.Seed,
+		Frames: h.Frames, Pool: h.Pool, Modality: h.Modality,
+		ConfigFP: cfg.Fingerprint(), TargetRMSEdB: target,
+	}
+	if err := WriteMessage(cc, &Message{Type: MsgSessionAck, Hello: &ack}); err != nil {
+		err = fmt.Errorf("transport: server write ack: %w", err)
+		sess.fail(err)
+		return err
+	}
+	s.cfg.Logf("bs-server: session %q joined (seed %d, pool %d, %s)",
+		h.SessionID, h.Seed, h.Pool, split.Modality(h.Modality))
+
+	return s.train(sess, peer, sp, target)
+}
+
+// admit registers a session if capacity and uniqueness allow.
+func (s *BSServer) admit(h Hello) (*session, error) {
+	if h.SessionID == "" {
+		return nil, errors.New("transport: empty session id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.sessions[h.SessionID]; ok && !old.finished() {
+		return nil, fmt.Errorf("transport: session %q already active", h.SessionID)
+	}
+	active := 0
+	for _, sess := range s.sessions {
+		if !sess.finished() {
+			active++
+		}
+	}
+	if active >= s.cfg.MaxUE {
+		return nil, fmt.Errorf("transport: server full (%d/%d UEs)", active, s.cfg.MaxUE)
+	}
+	sess := &session{
+		id: h.SessionID, hello: h,
+		state: SessionJoined,
+		met:   metrics.NewSessionMetrics(h.SessionID),
+	}
+	if _, rejoin := s.sessions[h.SessionID]; !rejoin {
+		s.order = append(s.order, h.SessionID)
+	}
+	s.sessions[h.SessionID] = sess
+	return sess, nil
+}
+
+// refuse best-effort sends a rejection ack.
+func (s *BSServer) refuse(conn io.Writer, h Hello, cause error) {
+	reason := cause.Error()
+	if len(reason) > maxHelloString {
+		reason = reason[:maxHelloString]
+	}
+	ack := Hello{Version: ProtocolVersion, SessionID: h.SessionID, Err: reason}
+	_ = WriteMessage(conn, &Message{Type: MsgSessionAck, Hello: &ack})
+	s.cfg.Logf("bs-server: refused session %q: %v", h.SessionID, cause)
+}
+
+// train drives one admitted session to completion under the scheduler.
+func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target float64) error {
+	slot := s.sched.join()
+	defer s.sched.leave(slot)
+
+	val := spreadAnchors(sp.Val, s.cfg.ValAnchors)
+	sess.setState(SessionTraining)
+	for step := 1; step <= s.cfg.Steps; step++ {
+		s.sched.begin(slot)
+		loss, err := peer.TrainStep()
+		var rmse float64
+		evalDue := err == nil && (step%s.cfg.EvalEvery == 0 || step == s.cfg.Steps)
+		if evalDue {
+			sess.setState(SessionEvaluating)
+			rmse, err = peer.Evaluate(val)
+			sess.setState(SessionTraining)
+		}
+		s.sched.done(slot)
+		if err != nil {
+			sess.fail(err)
+			return fmt.Errorf("transport: session %q step %d: %w", sess.id, step, err)
+		}
+		if sess.record(step, loss, evalDue, rmse, target) {
+			break
+		}
+	}
+	if err := peer.Shutdown(); err != nil {
+		sess.fail(err)
+		return fmt.Errorf("transport: session %q shutdown: %w", sess.id, err)
+	}
+	sess.setState(SessionDetached)
+	snap := sess.snapshot()
+	s.cfg.Logf("bs-server: session %q detached after %d steps (val RMSE %.2f dB)",
+		sess.id, snap.Steps, snap.LastRMSE)
+	return nil
+}
+
+// spreadAnchors subsamples up to n anchors evenly across the whole
+// validation period instead of one contiguous window.
+func spreadAnchors(val []int, n int) []int {
+	if len(val) <= n {
+		return val
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, val[i*len(val)/n])
+	}
+	return out
+}
+
+// scheduler arbitrates which sessions may execute a training step.
+// join/leave bracket a session's lifetime; begin/done bracket each step.
+type scheduler interface {
+	join() int
+	begin(slot int)
+	done(slot int)
+	leave(slot int)
+}
+
+// asyncSched imposes no ordering: every session steps whenever it likes.
+type asyncSched struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (a *asyncSched) join() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next++
+	return a.next - 1
+}
+
+func (a *asyncSched) begin(int) {}
+func (a *asyncSched) done(int)  {}
+func (a *asyncSched) leave(int) {}
+
+// rrSched grants the turn to joined sessions in strict rotation. A
+// session blocked mid-step holds the turn, so one stalled UE serialises
+// the round — the intended semantics of sequential scheduling.
+type rrSched struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	order []int // joined slots in rotation order
+	cur   int   // index into order holding the turn
+	next  int   // slot id allocator
+}
+
+func newRRSched() *rrSched {
+	r := &rrSched{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *rrSched) index(slot int) int {
+	for i, s := range r.order {
+		if s == slot {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *rrSched) join() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := r.next
+	r.next++
+	r.order = append(r.order, slot)
+	r.cond.Broadcast()
+	return slot
+}
+
+func (r *rrSched) begin(slot int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		i := r.index(slot)
+		if i < 0 || i == r.cur {
+			return
+		}
+		r.cond.Wait()
+	}
+}
+
+func (r *rrSched) done(slot int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) > 0 && r.order[r.cur] == slot {
+		r.cur = (r.cur + 1) % len(r.order)
+		r.cond.Broadcast()
+	}
+}
+
+func (r *rrSched) leave(slot int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.index(slot)
+	if i < 0 {
+		return
+	}
+	r.order = append(r.order[:i], r.order[i+1:]...)
+	if len(r.order) == 0 {
+		r.cur = 0
+	} else {
+		if i < r.cur {
+			r.cur--
+		}
+		r.cur %= len(r.order)
+	}
+	r.cond.Broadcast()
+}

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"net"
 	"testing"
@@ -79,6 +81,86 @@ func TestMessageRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHelloRoundTrip covers the session handshake messages end to end,
+// including the empty-string and rejection-ack cases.
+func TestHelloRoundTrip(t *testing.T) {
+	hellos := []*Hello{
+		{Version: ProtocolVersion, SessionID: "ue-7", Seed: 42, Frames: 2400,
+			Pool: 40, Modality: 2, ConfigFP: 0xFEEDFACECAFEBEEF, TargetRMSEdB: 2.7},
+		{Version: ProtocolVersion, SessionID: "a", Seed: -1},
+		{Version: ProtocolVersion, SessionID: "ue-7", Err: "server full (8/8 UEs)"},
+		{},
+	}
+	types := []MsgType{MsgSessionHello, MsgSessionAck}
+	for i, h := range hellos {
+		m := &Message{Type: types[i%2], Hello: h}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("hello %d: %v", i, err)
+		}
+		if got.Type != m.Type || got.Hello == nil {
+			t.Fatalf("hello %d: decoded %+v", i, got)
+		}
+		if *got.Hello != *h {
+			t.Fatalf("hello %d: %+v round-tripped to %+v", i, h, got.Hello)
+		}
+	}
+}
+
+func TestHelloRejectsOversizedStrings(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	m := &Message{Type: MsgSessionHello, Hello: &Hello{SessionID: string(long)}}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized session id: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestReadRejectsNewerFrameVersion re-stamps a valid frame with a future
+// protocol version (fixing up the CRC) and expects rejection.
+func TestReadRejectsNewerFrameVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[3] = ProtocolVersion + 1
+	crc := crc32.NewIEEE()
+	crc.Write(frame[:len(frame)-4])
+	binary.BigEndian.PutUint32(frame[len(frame)-4:], crc.Sum32())
+	if _, err := ReadMessage(bytes.NewReader(frame)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("future version: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestLegacyFrameStillDecodes: a version-0 frame (reserved byte zero, no
+// hello section) must remain readable for mixed-version deployments.
+func TestLegacyFrameStillDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgBatchRequest, Step: 3, Anchors: []int32{7}}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[3] = 0
+	crc := crc32.NewIEEE()
+	crc.Write(frame[:len(frame)-4])
+	binary.BigEndian.PutUint32(frame[len(frame)-4:], crc.Sum32())
+	got, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgBatchRequest || got.Step != 3 || got.Hello != nil {
+		t.Fatalf("legacy frame decoded to %+v", got)
 	}
 }
 
