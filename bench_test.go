@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/channel"
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/mds"
@@ -404,7 +405,7 @@ func BenchmarkMultiUEServer4Sessions(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runMultiUESessions(b, srv, nUE)
+		runMultiUESessions(b, srv, nUE, compress.CodecRaw)
 	}
 }
 
@@ -542,6 +543,121 @@ func BenchmarkCheckpointSave(b *testing.B) {
 		var buf bytes.Buffer
 		if err := split.SaveCheckpoint(&buf, tr.Model); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecEncode measures each payload codec's Encode on a
+// paper-shaped cut tensor (one Img+RF mini-batch at 4×4 pooling:
+// B·L = 256 maps of 10×10, 25,600 elements).
+func BenchmarkCodecEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	cut := tensor.Randn(rng, 1, 256, 1, 10, 10)
+	for _, id := range compress.IDs() {
+		codec := compress.MustNew(id)
+		b.Run(id.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var encodedBytes int
+			for i := 0; i < b.N; i++ {
+				enc, err := codec.Encode(cut)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encodedBytes = len(enc)
+			}
+			b.ReportMetric(float64(encodedBytes), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkCodecDecode measures each codec's Decode on the same
+// paper-shaped payload.
+func BenchmarkCodecDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	cut := tensor.Randn(rng, 1, 256, 1, 10, 10)
+	for _, id := range compress.IDs() {
+		codec := compress.MustNew(id)
+		enc, err := codec.Encode(cut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(id.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decode(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiUEWireBytesPerCodec runs a complete 2-UE server cycle
+// per codec at test scale and reports the measured uplink wire bytes
+// per session — the end-to-end compression the negotiated codec
+// actually delivers through framing, handshake and all.
+func BenchmarkMultiUEWireBytesPerCodec(b *testing.B) {
+	for _, id := range compress.IDs() {
+		b.Run(id.String(), func(b *testing.B) {
+			var bytesIn int64
+			for i := 0; i < b.N; i++ {
+				srv, err := transport.NewBSServer(transport.ServerConfig{
+					MaxUE: 2, Sched: transport.SchedAsync,
+					Steps: 10, EvalEvery: 5, ValAnchors: 16,
+					Provision: multiUESessionEnv,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runMultiUESessions(b, srv, 2, id)
+				bytesIn = 0
+				for _, s := range srv.Sessions() {
+					bytesIn += s.BytesIn
+				}
+				bytesIn /= int64(len(srv.Sessions()))
+			}
+			b.ReportMetric(float64(bytesIn), "uplink-bytes/session")
+		})
+	}
+}
+
+// BenchmarkTrainStepCodec measures one in-process split training step
+// of the 1-pixel scheme per payload codec (ideal link, so the codec's
+// encode→decode round trip dominates the delta over raw).
+func BenchmarkTrainStepCodec(b *testing.B) {
+	env := benchEnv(b)
+	for _, id := range compress.IDs() {
+		cfg := env.SchemeConfig(split.ImageRF, 40)
+		cfg.Codec = id
+		tr, err := env.NewTrainerFromConfig(cfg, split.IdealLink{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(id.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecFrontier regenerates the codec × pooling frontier
+// artefact at bench scale.
+func BenchmarkCodecFrontier(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCodecFrontier(env, []int{10, 40}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				b.Logf("frontier %-8s pool=%2d bits=%8d rmse=%.2f dB", r.Codec, r.Pool, r.BitsPerStep, r.FinalRMSE)
+			}
 		}
 	}
 }

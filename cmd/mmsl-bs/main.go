@@ -10,8 +10,9 @@
 //   - Multi-UE server: -listen accepts up to -max-ue concurrent UEs, each
 //     opening its own session with the hello/ack handshake. Sessions get
 //     independent datasets, model halves and optimiser state derived from
-//     the seed each UE announces; -sched selects whether sessions train
-//     fully in parallel (async) or take turns (rr).
+//     the seed each UE announces, and each negotiates its own cut-layer
+//     payload codec; -sched selects whether sessions train fully in
+//     parallel (async) or take turns (rr).
 //
 //     mmsl-bs -listen :9920 -max-ue 8 -sched async -steps 200
 //     mmsl-ue -connect localhost:9920 -session ue1 -seed 1
@@ -26,6 +27,7 @@ import (
 	"log"
 	"net"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
 	"repro/internal/transport"
@@ -39,22 +41,27 @@ func main() {
 	frames := flag.Int("frames", 2400, "single-UE mode: synthetic dataset length (must match the UE)")
 	seed := flag.Int64("seed", 1, "single-UE mode: shared experiment seed (must match the UE)")
 	pool := flag.Int("pool", 40, "single-UE mode: square pooling size (must match the UE)")
+	codecName := flag.String("codec", "raw", "single-UE mode: cut-layer payload codec, must match the UE (multi-UE sessions negotiate per session)")
 	steps := flag.Int("steps", 200, "distributed SGD steps per session")
 	evalEvery := flag.Int("eval-every", 40, "validate every N steps")
 	valAnchors := flag.Int("val-anchors", 128, "validation anchors per evaluation")
 	target := flag.Float64("target", 0, "stop a session early at this val RMSE in dB (0 = never)")
 	flag.Parse()
 
+	codec, err := compress.Parse(*codecName)
+	if err != nil {
+		log.Fatalf("mmsl-bs: %v", err)
+	}
 	switch {
 	case *listen != "" && *connect != "":
 		log.Fatal("mmsl-bs: -listen and -connect are mutually exclusive")
 	case *listen != "":
 		serveMultiUE(*listen, *maxUE, *sched, *steps, *evalEvery, *valAnchors, *target)
 	case *connect != "":
-		runSingleUE(*connect, *frames, *seed, *pool, *steps, *evalEvery, *valAnchors, *target)
+		runSingleUE(*connect, *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
 	default:
 		// Original default behaviour: dial the standard mmsl-ue address.
-		runSingleUE("localhost:9910", *frames, *seed, *pool, *steps, *evalEvery, *valAnchors, *target)
+		runSingleUE("localhost:9910", *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
 	}
 }
 
@@ -87,7 +94,7 @@ func serveMultiUE(addr string, maxUE int, sched string, steps, evalEvery, valAnc
 }
 
 // runSingleUE is the original 1:1 flow against a listening mmsl-ue.
-func runSingleUE(connect string, frames int, seed int64, pool, steps, evalEvery, valAnchors int, target float64) {
+func runSingleUE(connect string, frames int, seed int64, pool int, codec compress.ID, steps, evalEvery, valAnchors int, target float64) {
 	gen := dataset.DefaultGenConfig()
 	gen.NumFrames = frames
 	gen.Seed = seed
@@ -97,6 +104,7 @@ func runSingleUE(connect string, frames int, seed int64, pool, steps, evalEvery,
 	}
 	cfg := split.DefaultConfig(split.ImageRF, pool)
 	cfg.Seed = seed
+	cfg.Codec = codec
 	sp, err := dataset.NewSplit(data, cfg.SeqLen, cfg.HorizonFrames, data.Len()*3/4)
 	if err != nil {
 		log.Fatalf("mmsl-bs: split: %v", err)

@@ -21,11 +21,13 @@
 //     mmsl-bs -listen :9920 -max-ue 8 &
 //     mmsl-ue -connect localhost:9920 -session ue1 -seed 1
 //
-// In both modes the two sides must agree on -seed, -frames and -pool so
-// that their model halves and dataset agree (in a real deployment the
-// dataset is the shared physical environment); in multi-UE mode the
-// handshake carries those parameters and a config fingerprint, so a
-// mismatch is rejected at join time instead of corrupting training.
+// In both modes the two sides must agree on -seed, -frames, -pool and
+// -codec so that their model halves, dataset and wire encoding agree
+// (in a real deployment the dataset is the shared physical
+// environment); in multi-UE mode the handshake carries those
+// parameters and a config fingerprint, so a mismatch is rejected at
+// join time instead of corrupting training, and each session
+// negotiates its own payload codec.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"log"
 	"net"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
 	"repro/internal/transport"
@@ -46,18 +49,24 @@ func main() {
 	frames := flag.Int("frames", 2400, "synthetic dataset length")
 	seed := flag.Int64("seed", 1, "shared experiment seed")
 	pool := flag.Int("pool", 40, "square pooling size")
+	codecName := flag.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk (single-UE mode: must match the BS)")
 	once := flag.Bool("once", true, "single-UE mode: exit after serving one BS session")
 	flag.Parse()
 
+	codec, err := compress.Parse(*codecName)
+	if err != nil {
+		log.Fatalf("mmsl-ue: %v", err)
+	}
 	if *connect != "" {
-		joinServer(*connect, *session, *seed, *frames, *pool)
+		joinServer(*connect, *session, *seed, *frames, *pool, codec)
 		return
 	}
-	listenLegacy(*listen, *frames, *seed, *pool, *once)
+	listenLegacy(*listen, *frames, *seed, *pool, codec, *once)
 }
 
-// joinServer dials a multi-UE BS and serves one session.
-func joinServer(addr, session string, seed int64, frames, pool int) {
+// joinServer dials a multi-UE BS and serves one session; the codec is
+// negotiated per session through the hello/ack handshake.
+func joinServer(addr, session string, seed int64, frames, pool int, codec compress.ID) {
 	if session == "" {
 		session = fmt.Sprintf("ue-%d", seed)
 	}
@@ -67,6 +76,7 @@ func joinServer(addr, session string, seed int64, frames, pool int) {
 		Frames:    uint32(frames),
 		Pool:      uint16(pool),
 		Modality:  uint8(split.ImageRF),
+		Codec:     uint8(codec),
 	}
 	cfg, data, _, err := transport.SessionEnv(h)
 	if err != nil {
@@ -79,8 +89,8 @@ func joinServer(addr, session string, seed int64, frames, pool int) {
 		log.Fatalf("mmsl-ue: connect: %v", err)
 	}
 	defer conn.Close()
-	fmt.Printf("mmsl-ue: joining session %q at %s (seed %d, pooling %d×%d)\n",
-		session, conn.RemoteAddr(), seed, pool, pool)
+	fmt.Printf("mmsl-ue: joining session %q at %s (seed %d, pooling %d×%d, %s codec)\n",
+		session, conn.RemoteAddr(), seed, pool, pool, codec)
 	err = transport.ServeUE(conn, h, cfg, data)
 	switch {
 	case err == nil:
@@ -93,7 +103,9 @@ func joinServer(addr, session string, seed int64, frames, pool int) {
 }
 
 // listenLegacy is the original 1:1 flow: wait for a BS to dial in.
-func listenLegacy(addr string, frames int, seed int64, pool int, once bool) {
+// There is no handshake to negotiate through, so -codec must match on
+// both daemons (they charge and decode with the configured codec).
+func listenLegacy(addr string, frames int, seed int64, pool int, codec compress.ID, once bool) {
 	gen := dataset.DefaultGenConfig()
 	gen.NumFrames = frames
 	gen.Seed = seed
@@ -103,6 +115,7 @@ func listenLegacy(addr string, frames int, seed int64, pool int, once bool) {
 	}
 	cfg := split.DefaultConfig(split.ImageRF, pool)
 	cfg.Seed = seed
+	cfg.Codec = codec
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -11,8 +11,9 @@
 //	fig3b    predicted vs ground-truth received power (CSV)
 //	table1   privacy leakage & decode success probability per pooling
 //	ablate   payload-parameter sweeps (bit depth, batch, seq length, pooling)
+//	frontier codec × pooling RMSE-vs-uplink-bits frontier
 //	train    train a single scheme and print its learning curve
-//	all      run fig2, fig3a, fig3b, table1 and ablate into one directory
+//	all      run fig2, fig3a, fig3b, table1, ablate and frontier into one directory
 //
 // Every run is deterministic for a given --seed. --scale quick (default)
 // finishes in minutes; --scale paper uses the paper's full K = 13,228
@@ -29,7 +30,11 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 
+	"strconv"
+	"strings"
+
 	"repro/internal/channel"
+	"repro/internal/compress"
 	"repro/internal/online"
 	"repro/internal/pgm"
 	"repro/internal/radio"
@@ -57,6 +62,8 @@ func main() {
 		err = cmdTable1(args)
 	case "ablate":
 		err = cmdAblate(args)
+	case "frontier":
+		err = cmdFrontier(args)
 	case "train":
 		err = cmdTrain(args)
 	case "online":
@@ -86,6 +93,7 @@ commands:
   fig3b     reproduce Fig. 3b (power predictions)
   table1    reproduce Table 1 (privacy leakage, success probability)
   ablate    payload-parameter ablation sweeps
+  frontier  codec × pooling RMSE-vs-uplink-bits frontier
   train     train one scheme and print its curve
   online    streaming inference over the channel (deployment phase)
   all       run every artefact into --outdir
@@ -355,6 +363,62 @@ func cmdAblate(args []string) error {
 	return nil
 }
 
+func cmdFrontier(args []string) error {
+	fs := flag.NewFlagSet("frontier", flag.ExitOnError)
+	scaleName, seed, dsPath := scaleFlags(fs)
+	out := fs.String("out", "", "optional output CSV (default: print only)")
+	pools := fs.String("pools", "", "comma-separated pooling widths (default 4,10,20,40)")
+	codecs := fs.String("codecs", "", "comma-separated codecs (default raw,float16,int8,topk)")
+	fs.Parse(args)
+
+	var poolings []int
+	if *pools != "" {
+		for _, s := range strings.Split(*pools, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad pooling %q: %w", s, err)
+			}
+			poolings = append(poolings, p)
+		}
+	}
+	var ids []compress.ID
+	if *codecs != "" {
+		for _, s := range strings.Split(*codecs, ",") {
+			id, err := compress.Parse(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	env, err := buildEnv(*scaleName, *seed, *dsPath)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunCodecFrontier(env, poolings, ids)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s ==\n", res.Name)
+	tab := res.Table()
+	if err := tab.WritePretty(os.Stdout); err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tab.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	scaleName, seed, dsPath := scaleFlags(fs)
@@ -363,6 +427,7 @@ func cmdTrain(args []string) error {
 	ideal := fs.Bool("ideal-link", false, "skip the simulated channel (accuracy-only)")
 	rnnName := fs.String("rnn", "lstm", "recurrent core: lstm or gru")
 	quantize := fs.Bool("quantize-wire", false, "round-trip cut-layer tensors through the codec at the configured bit depth")
+	codecName := fs.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk")
 	saveCkpt := fs.String("save", "", "write a model checkpoint after training")
 	loadCkpt := fs.String("load", "", "restore a model checkpoint before training")
 	fs.Parse(args)
@@ -397,6 +462,11 @@ func cmdTrain(args []string) error {
 		return fmt.Errorf("unknown rnn %q (want lstm or gru)", *rnnName)
 	}
 	cfg.QuantizeWire = *quantize
+	codecID, err := compress.Parse(*codecName)
+	if err != nil {
+		return err
+	}
+	cfg.Codec = codecID
 	tr, err := env.NewTrainerFromConfig(cfg, link)
 	if err != nil {
 		return err
@@ -456,6 +526,9 @@ func cmdAll(args []string) error {
 		return err
 	}
 	if err := run("ablate", cmdAblate); err != nil {
+		return err
+	}
+	if err := run("frontier", cmdFrontier, "-out", filepath.Join(*outDir, "frontier.csv")); err != nil {
 		return err
 	}
 	fmt.Printf("\nall artefacts written under %s\n", *outDir)

@@ -7,7 +7,8 @@
 // BSServer that trains many concurrent UE sessions), and every substrate
 // it depends on — a neural-network library (internal/tensor, internal/nn,
 // internal/opt), the slotted fading channel (internal/radio,
-// internal/channel), the synthetic corridor dataset (internal/scene,
+// internal/channel), the negotiated cut-layer payload codecs
+// (internal/compress), the synthetic corridor dataset (internal/scene,
 // internal/dataset), the MDS privacy metric (internal/linalg,
 // internal/mds), and the experiment drivers (internal/experiments).
 //

@@ -2,13 +2,17 @@
 // hence different corridors, pedestrians and channel realisations — dial
 // one base station over real TCP sockets and train concurrently. Each
 // connection opens with the session-hello/ack handshake (carrying the
-// UE's seed, dataset size, pooling and a config fingerprint), then runs
-// the same framed split-learning protocol as the 1:1 examples. The BS
-// schedules the sessions either fully in parallel or round-robin, and
-// trains each until its validation RMSE reaches the target.
+// UE's seed, dataset size, pooling, payload codec and a config
+// fingerprint), then runs the same framed split-learning protocol as
+// the 1:1 examples. Each session negotiates its own cut-layer codec —
+// the default mix runs int8, float16, top-k and raw side by side, so
+// the final table shows the wire-byte spread directly. The BS schedules
+// the sessions either fully in parallel or round-robin, and trains each
+// until its validation RMSE reaches the target.
 //
 //	go run ./examples/multi_ue
 //	go run ./examples/multi_ue -sched rr -ues 2 -steps 120
+//	go run ./examples/multi_ue -codecs raw,raw,raw,raw
 package main
 
 import (
@@ -17,8 +21,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/split"
 	"repro/internal/transport"
 )
@@ -29,7 +35,17 @@ func main() {
 	pool := flag.Int("pool", 40, "square pooling size (40 = the 1-pixel scheme)")
 	steps := flag.Int("steps", 600, "max training steps per session")
 	sched := flag.String("sched", "async", "scheduling policy: async or rr")
+	codecNames := flag.String("codecs", "int8,float16,topk,raw", "per-UE payload codecs, cycled over the UEs")
 	flag.Parse()
+
+	var codecs []compress.ID
+	for _, name := range strings.Split(*codecNames, ",") {
+		id, err := compress.Parse(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		codecs = append(codecs, id)
+	}
 
 	policy, err := transport.ParseSchedPolicy(*sched)
 	if err != nil {
@@ -73,6 +89,7 @@ func main() {
 				Pool:         uint16(*pool),
 				Modality:     uint8(split.ImageRF),
 				TargetRMSEdB: targets[i%len(targets)],
+				Codec:        uint8(codecs[i%len(codecs)]),
 			}
 			cfg, data, _, err := transport.SessionEnv(h)
 			if err != nil {
@@ -94,7 +111,7 @@ func main() {
 	<-serveDone
 	srv.Wait()
 
-	fmt.Println("\nsession        state      steps   val RMSE    target      status   wire in/out")
+	fmt.Println("\nsession   codec     state      steps   val RMSE    target      status   wire in/out")
 	ok := true
 	for _, s := range srv.Sessions() {
 		status := "reached"
@@ -106,8 +123,9 @@ func main() {
 			status = s.Err
 			ok = false
 		}
-		fmt.Printf("%-12s   %-8s   %5d   %5.2f dB   %5.1f dB   %-7s  %d/%d B\n",
-			s.ID, s.State, s.Steps, s.LastRMSE, s.Hello.TargetRMSEdB, status, s.BytesIn, s.BytesOut)
+		fmt.Printf("%-8s  %-8s  %-8s   %5d   %5.2f dB   %5.1f dB   %-7s  %d/%d B\n",
+			s.ID, compress.ID(s.Hello.Codec), s.State, s.Steps, s.LastRMSE,
+			s.Hello.TargetRMSEdB, status, s.BytesIn, s.BytesOut)
 	}
 	if !ok {
 		fmt.Println("\nnot every session reached its target — try more -steps")

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/channel"
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/online"
@@ -198,9 +199,9 @@ func multiUESessionEnv(h transport.Hello) (split.Config, *dataset.Dataset, *data
 
 // runMultiUESessions trains n test-scale UEs (distinct seeds, hence
 // distinct datasets and model halves) concurrently against srv over
-// net.Pipe, failing tb on any session or UE error. Shared by the
-// integration test and the multi-UE benchmark.
-func runMultiUESessions(tb testing.TB, srv *transport.BSServer, n int) {
+// net.Pipe with the given payload codec, failing tb on any session or
+// UE error. Shared by the integration tests and the multi-UE benchmarks.
+func runMultiUESessions(tb testing.TB, srv *transport.BSServer, n int, codec compress.ID) {
 	tb.Helper()
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*n)
@@ -211,11 +212,13 @@ func runMultiUESessions(tb testing.TB, srv *transport.BSServer, n int) {
 			Frames:    200,
 			Pool:      4,
 			Modality:  uint8(split.ImageRF),
+			Codec:     uint8(codec),
 		}
 		cfg, d, _, err := multiUESessionEnv(h)
 		if err != nil {
 			tb.Fatal(err)
 		}
+		cfg.Codec = codec
 		h.ConfigFP = cfg.Fingerprint()
 		ueConn, bsConn := net.Pipe()
 		wg.Add(2)
@@ -254,7 +257,7 @@ func TestIntegrationMultiUESessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runMultiUESessions(t, srv, nUE)
+	runMultiUESessions(t, srv, nUE, compress.CodecRaw)
 
 	snaps := srv.Sessions()
 	if len(snaps) != nUE {
@@ -280,6 +283,70 @@ func TestIntegrationMultiUESessions(t *testing.T) {
 		if s.BytesIn == 0 || s.BytesOut == 0 {
 			t.Errorf("session %s: no wire traffic counted", s.ID)
 		}
+	}
+}
+
+// TestIntegrationMultiUECodecPayload is the codec subsystem's headline
+// guarantee, measured end to end through the multi-UE server: with the
+// same seed (hence identical dataset and initial parameters), a session
+// negotiating the int8 codec must move ≥ 60% fewer uplink wire bytes
+// than a raw session while finishing with a validation RMSE within 10%
+// of it.
+func TestIntegrationMultiUECodecPayload(t *testing.T) {
+	run := func(codec compress.ID) transport.SessionSnapshot {
+		srv, err := transport.NewBSServer(transport.ServerConfig{
+			MaxUE: 1, Sched: transport.SchedAsync,
+			Steps: 60, EvalEvery: 15, ValAnchors: 24,
+			Provision: multiUESessionEnv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := transport.Hello{
+			SessionID: "ue-codec",
+			Seed:      424,
+			Frames:    200,
+			Pool:      4,
+			Modality:  uint8(split.ImageRF),
+			Codec:     uint8(codec),
+		}
+		cfg, d, _, err := multiUESessionEnv(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Codec = codec
+		h.ConfigFP = cfg.Fingerprint()
+		ueConn, bsConn := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- srv.Handle(bsConn) }()
+		if err := transport.ServeUE(ueConn, h, cfg, d); err != nil {
+			t.Fatalf("%v UE: %v", codec, err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("%v BS: %v", codec, err)
+		}
+		snaps := srv.Sessions()
+		if len(snaps) != 1 || snaps[0].State != transport.SessionDetached {
+			t.Fatalf("%v session did not detach: %+v", codec, snaps)
+		}
+		return snaps[0]
+	}
+
+	raw := run(compress.CodecRaw)
+	q8 := run(compress.CodecQuantInt8)
+
+	// BytesIn at the BS is the uplink: the handshake plus every
+	// activations frame the UE sent, as counted on the wire.
+	if q8.BytesIn > raw.BytesIn*4/10 {
+		t.Errorf("int8 uplink %d bytes > 40%% of raw %d — less than the promised 60%% reduction",
+			q8.BytesIn, raw.BytesIn)
+	}
+	if raw.LastRMSE <= 0 || q8.LastRMSE <= 0 {
+		t.Fatalf("degenerate RMSEs: raw %g, int8 %g", raw.LastRMSE, q8.LastRMSE)
+	}
+	if diff := math.Abs(q8.LastRMSE - raw.LastRMSE); diff > 0.1*raw.LastRMSE {
+		t.Errorf("int8 val RMSE %.3f dB drifts more than 10%% from raw %.3f dB",
+			q8.LastRMSE, raw.LastRMSE)
 	}
 }
 

@@ -1,0 +1,82 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Raw and QuantInt8 delegate to the tensor package's wire format
+// (Depth64 lossless / Depth8 affine min-max), which already carries the
+// shape and, for Depth8, the per-tensor quantisation range.
+
+// Raw is the identity codec: lossless float64 elements, bit-identical
+// through Encode∘Decode — the protocol's original behaviour.
+//
+// Its cost model is deliberately not the encoded size: the paper charges
+// the channel R bits per element (R = 32 by default) while the lossless
+// protocol ships float64s, and Raw preserves exactly that split so the
+// existing artefacts (Fig. 3a, Table 1, the ablations) are unchanged.
+// ModelBits is the paper's R; zero means 32.
+type Raw struct {
+	ModelBits int
+}
+
+// ID implements Codec.
+func (Raw) ID() ID { return CodecRaw }
+
+// Encode implements Codec: lossless Depth64 tensor encoding.
+func (Raw) Encode(t *tensor.Tensor) ([]byte, error) { return tensorEncode(t, tensor.Depth64) }
+
+// Decode implements Codec.
+func (Raw) Decode(data []byte) (*tensor.Tensor, error) { return tensorDecode(data) }
+
+// Bits implements Codec: the paper's R-bit-per-element payload model.
+func (r Raw) Bits(t *tensor.Tensor) int {
+	bits := r.ModelBits
+	if bits <= 0 {
+		bits = 32
+	}
+	return t.Size() * bits
+}
+
+// QuantInt8 is per-tensor affine min/max quantisation: each element is
+// mapped linearly from [min, max] onto one byte, and the range rides
+// along so the far end can invert. Worst-case absolute error is
+// (max−min)/510 per element.
+type QuantInt8 struct{}
+
+// ID implements Codec.
+func (QuantInt8) ID() ID { return CodecQuantInt8 }
+
+// Encode implements Codec: Depth8 tensor encoding (range + bytes).
+func (QuantInt8) Encode(t *tensor.Tensor) ([]byte, error) { return tensorEncode(t, tensor.Depth8) }
+
+// Decode implements Codec.
+func (QuantInt8) Decode(data []byte) (*tensor.Tensor, error) { return tensorDecode(data) }
+
+// Bits implements Codec: one byte per element plus the two float64s of
+// the quantisation range.
+func (QuantInt8) Bits(t *tensor.Tensor) int { return t.Size()*8 + 128 }
+
+func tensorEncode(t *tensor.Tensor, d tensor.BitDepth) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(tensor.EncodedSize(t, d))
+	if err := tensor.Encode(&buf, t, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func tensorDecode(data []byte) (*tensor.Tensor, error) {
+	r := bytes.NewReader(data)
+	t, err := tensor.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Float16 stores elements as IEEE 754 binary16: 1 sign, 5 exponent and
+// 10 mantissa bits, round-to-nearest-even. Relative error is at most
+// 2⁻¹¹ over the normal range [6.1e-5, 65504]; larger magnitudes
+// saturate to ±Inf and smaller ones denormalise gracefully. Halving the
+// paper's R = 32 costs ~3 decimal digits of precision — far below the
+// quantisation noise the cut-layer tensors tolerate.
+type Float16 struct{}
+
+// ID implements Codec.
+func (Float16) ID() ID { return CodecFloat16 }
+
+// Encode implements Codec: shape header then 2 bytes per element.
+func (Float16) Encode(t *tensor.Tensor) ([]byte, error) {
+	buf := make([]byte, 0, 1+4*t.Rank()+2*t.Size())
+	buf, err := appendShape(buf, t)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range t.Data() {
+		buf = binary.BigEndian.AppendUint16(buf, f64ToF16(v))
+	}
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (Float16) Decode(data []byte) (*tensor.Tensor, error) {
+	shape, vol, rest, err := readShape(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 2*vol {
+		return nil, fmt.Errorf("%w: float16 body %d bytes, want %d", ErrCorrupt, len(rest), 2*vol)
+	}
+	t := tensor.New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = f16ToF64(binary.BigEndian.Uint16(rest[2*i:]))
+	}
+	return t, nil
+}
+
+// Bits implements Codec: 16 bits per element.
+func (Float16) Bits(t *tensor.Tensor) int { return t.Size() * 16 }
+
+// f64ToF16 converts via float32 (exact for every half-precision value)
+// with round-to-nearest-even, saturating overflow to ±Inf.
+func f64ToF16(v float64) uint16 {
+	b := math.Float32bits(float32(v))
+	sign := uint16(b >> 16 & 0x8000)
+	exp := int32(b>>23&0xFF) - 127 + 15
+	mant := b & 0x7FFFFF
+	switch {
+	case exp >= 0x1F: // overflow, Inf or NaN
+		if b&0x7FFFFFFF > 0x7F800000 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // ±Inf
+	case exp <= 0: // subnormal or underflow
+		if exp < -10 {
+			return sign // underflows to ±0
+		}
+		mant |= 0x800000 // restore the implicit bit
+		shift := uint32(14 - exp)
+		half := sign | uint16(mant>>shift)
+		rem := mant & (1<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1FFF
+		// Round to nearest even; a mantissa carry correctly overflows
+		// into the exponent (1.9995e0 → 2.0e0).
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++
+		}
+		return half
+	}
+}
+
+func f16ToF64(h uint16) float64 {
+	sign := 1.0
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1F)
+	mant := int(h & 0x3FF)
+	switch exp {
+	case 0: // ±0 and subnormals: mant × 2⁻²⁴
+		return sign * float64(mant) * 0x1p-24
+	case 0x1F:
+		if mant != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default: // (1024+mant)/1024 × 2^(exp−15)
+		return sign * math.Ldexp(float64(1024+mant), exp-25)
+	}
+}

@@ -1,0 +1,191 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// maxTopKExpansion bounds Decode's dense-tensor allocation relative to
+// the payload: at most 1024 output elements per stored pair. Without it
+// a ~45-byte payload could declare a 2^28-element shape with k = 1 and
+// force a 2 GiB allocation — a decompression bomb. Encode's keep()
+// enforces the matching floor so every encoding stays decodable.
+const maxTopKExpansion = 1024
+
+// DefaultTopKFrac is the fraction of elements TopK keeps when no
+// explicit fraction is configured — ⅛ of the tensor, i.e. an average of
+// 8 value bits per element once the 64-bit index+value pairs are
+// amortised, a 4× reduction over the paper's R = 32.
+const DefaultTopKFrac = 0.125
+
+// TopK is magnitude sparsification: only the k = ⌈Frac·size⌉ elements
+// of largest absolute value survive, shipped as (index, float32 value)
+// pairs. Decode restores a dense tensor with zeros in every dropped
+// position — the dense-gradient-safe inverse: a sparsified cut-layer
+// gradient flows through the UE backward pass exactly like a dense one,
+// the dropped coordinates simply contribute nothing this step.
+//
+// Selection is deterministic: ties in magnitude break toward the lower
+// flat index, so identical tensors always encode identically.
+type TopK struct {
+	// Frac is the kept fraction in (0, 1]; zero means DefaultTopKFrac.
+	Frac float64
+}
+
+// ID implements Codec.
+func (TopK) ID() ID { return CodecTopK }
+
+func (c TopK) keep(size int) int {
+	frac := c.Frac
+	if frac <= 0 {
+		frac = DefaultTopKFrac
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(math.Ceil(frac * float64(size)))
+	if min := (size + maxTopKExpansion - 1) / maxTopKExpansion; k < min {
+		k = min // keep the encoding within Decode's expansion bound
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > size {
+		k = size
+	}
+	return k
+}
+
+// Encode implements Codec: shape header, uint32 k, then k ascending
+// (uint32 index, float32 value) pairs. Selection finds the k-th largest
+// magnitude with an O(n) partial sort of the magnitudes alone, then
+// collects survivors in one index-ascending scan — the scan order is
+// what makes magnitude ties break deterministically toward the lower
+// index, independent of the selection algorithm's internal ordering.
+func (c TopK) Encode(t *tensor.Tensor) ([]byte, error) {
+	data := t.Data()
+	k := c.keep(len(data))
+	mags := make([]float64, len(data))
+	for i, v := range data {
+		mags[i] = math.Abs(v)
+	}
+	threshold := kthLargest(mags, k)
+
+	buf := make([]byte, 0, 1+4*t.Rank()+4+8*k)
+	buf, err := appendShape(buf, t)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(k))
+	// First pass: everything strictly above the threshold survives.
+	above := 0
+	for _, v := range data {
+		if math.Abs(v) > threshold {
+			above++
+		}
+	}
+	emit := func(i int) {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(i))
+		buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(float32(data[i])))
+	}
+	atThreshold := k - above // ties admitted in ascending-index order
+	for i, v := range data {
+		switch m := math.Abs(v); {
+		case m > threshold:
+			emit(i)
+		case m == threshold && atThreshold > 0:
+			atThreshold--
+			emit(i)
+		}
+	}
+	return buf, nil
+}
+
+// kthLargest returns the k-th largest value of mags (1-based), leaving
+// mags in arbitrary order. Quickselect with a median-of-three pivot and
+// a three-way partition: expected O(n), and runs of equal magnitudes
+// (an all-zero gradient, a saturated activation map) collapse in one
+// pass instead of degrading the scan to O(n²).
+func kthLargest(mags []float64, k int) float64 {
+	lo, hi := 0, len(mags)-1
+	target := k - 1 // index in descending order
+	for lo < hi {
+		// Median-of-three pivot guards against adversarial orderings.
+		mid := lo + (hi-lo)/2
+		if mags[mid] > mags[lo] {
+			mags[mid], mags[lo] = mags[lo], mags[mid]
+		}
+		if mags[hi] > mags[lo] {
+			mags[hi], mags[lo] = mags[lo], mags[hi]
+		}
+		if mags[mid] > mags[hi] {
+			mags[mid], mags[hi] = mags[hi], mags[mid]
+		}
+		pivot := mags[mid]
+		// Dutch-flag partition into [lo, gt) > pivot, [gt, i) == pivot,
+		// (unscanned), [eq-end...] < pivot — descending order.
+		gt, i, lt := lo, lo, hi
+		for i <= lt {
+			switch {
+			case mags[i] > pivot:
+				mags[gt], mags[i] = mags[i], mags[gt]
+				gt++
+				i++
+			case mags[i] < pivot:
+				mags[i], mags[lt] = mags[lt], mags[i]
+				lt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case target < gt:
+			hi = gt - 1
+		case target > lt:
+			lo = lt + 1
+		default:
+			return pivot // target lands in the equal band
+		}
+	}
+	return mags[lo]
+}
+
+// Decode implements Codec: a dense tensor, zero outside the kept set.
+func (TopK) Decode(data []byte) (*tensor.Tensor, error) {
+	shape, vol, rest, err := readShape(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: missing top-k count", ErrCorrupt)
+	}
+	k := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if k < 1 || k > vol {
+		return nil, fmt.Errorf("%w: top-k count %d outside [1, %d]", ErrCorrupt, k, vol)
+	}
+	if vol > k*maxTopKExpansion {
+		return nil, fmt.Errorf("%w: top-k volume %d exceeds %d× the %d stored pairs",
+			ErrCorrupt, vol, maxTopKExpansion, k)
+	}
+	if len(rest) != 8*k {
+		return nil, fmt.Errorf("%w: top-k body %d bytes, want %d", ErrCorrupt, len(rest), 8*k)
+	}
+	t := tensor.New(shape...)
+	prev := -1
+	for i := 0; i < k; i++ {
+		idx := int(binary.BigEndian.Uint32(rest[8*i:]))
+		if idx <= prev || idx >= vol {
+			return nil, fmt.Errorf("%w: top-k index %d out of order or range", ErrCorrupt, idx)
+		}
+		prev = idx
+		t.Data()[idx] = float64(math.Float32frombits(binary.BigEndian.Uint32(rest[8*i+4:])))
+	}
+	return t, nil
+}
+
+// Bits implements Codec: a count word plus 64 bits per survivor.
+func (c TopK) Bits(t *tensor.Tensor) int { return 32 + 64*c.keep(t.Size()) }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/split"
+	"repro/internal/trace"
+)
+
+// The codec × pooling frontier extends Fig. 3's single trade-off axis
+// (pooling width) with the second axis the compress package opens: the
+// cut-layer payload codec. Each point trains the Img+RF scheme at one
+// (codec, pooling) setting with the codec's quantisation error flowing
+// through the optimisation, then prices its per-step uplink payload on
+// the calibrated channel — an RMSE-versus-uplink-bits frontier of
+// operating points the paper's fixed Raw/32-bit encoding cannot reach.
+
+// FrontierRow is one (codec, pooling) operating point.
+type FrontierRow struct {
+	Codec         string
+	Pool          int
+	BitsPerStep   int     // codec-priced uplink payload per training step
+	Success       float64 // single-slot delivery probability on the paper uplink
+	DelayPerStepS float64 // expected uplink latency per step
+	FinalRMSE     float64 // dB, last validation of the trained variant
+	BestRMSE      float64 // dB, best validation seen
+	VirtualS      float64 // total virtual training time
+}
+
+// FrontierResult is the full sweep.
+type FrontierResult struct {
+	Name string
+	Rows []FrontierRow
+}
+
+// Table renders the frontier for terminal or CSV output.
+func (r *FrontierResult) Table() *trace.Table {
+	t := trace.NewTable("codec", "pool", "uplink_bits_per_step", "success_prob",
+		"delay_per_step_s", "final_rmse_db", "best_rmse_db", "virtual_s")
+	for _, row := range r.Rows {
+		if err := t.AddRow(
+			row.Codec,
+			fmt.Sprintf("%d", row.Pool),
+			fmt.Sprintf("%d", row.BitsPerStep),
+			fmt.Sprintf("%.4g", row.Success),
+			fmt.Sprintf("%.4g", row.DelayPerStepS),
+			fmt.Sprintf("%.3f", row.FinalRMSE),
+			fmt.Sprintf("%.3f", row.BestRMSE),
+			fmt.Sprintf("%.2f", row.VirtualS),
+		); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// FrontierPoolings returns the default pooling axis: the feasibility
+// cliff sampled by Table 1, minus the 1×1 setting no codec can rescue.
+func FrontierPoolings() []int { return []int{4, 10, 20, 40} }
+
+// RunCodecFrontier trains every codec × pooling variant and assembles
+// the frontier. Nil or empty axes select the defaults (all codecs,
+// FrontierPoolings). Training runs over an ideal link so the RMSE axis
+// isolates codec error; the channel columns price the payloads
+// analytically, exactly like the payload ablations.
+func RunCodecFrontier(env *Env, poolings []int, codecs []compress.ID) (*FrontierResult, error) {
+	if len(poolings) == 0 {
+		poolings = FrontierPoolings()
+	}
+	if len(codecs) == 0 {
+		codecs = compress.IDs()
+	}
+	ul := uplink(env.Scale.Seed + 25)
+	res := &FrontierResult{Name: "codec × pooling frontier (Img+RF)"}
+	for _, pool := range poolings {
+		if env.Data.H%pool != 0 || env.Data.W%pool != 0 {
+			return nil, fmt.Errorf("experiments: pooling %d does not divide the %dx%d image",
+				pool, env.Data.H, env.Data.W)
+		}
+		for _, id := range codecs {
+			cfg := env.schemeConfig(split.ImageRF, pool)
+			cfg.Codec = id
+
+			model, err := split.NewModel(cfg, env.Data, env.Norm)
+			if err != nil {
+				return nil, fmt.Errorf("frontier %v/%d: %w", id, pool, err)
+			}
+			bits := model.WireBits()
+			tr := split.NewTrainer(model, env.Data, env.Split, split.IdealLink{})
+			tr.ValBatch = env.Scale.ValBatch
+			curve, err := tr.Run()
+			if err != nil {
+				return nil, fmt.Errorf("frontier %v/%d: %w", id, pool, err)
+			}
+			res.Rows = append(res.Rows, FrontierRow{
+				Codec:         id.String(),
+				Pool:          pool,
+				BitsPerStep:   bits,
+				Success:       ul.SuccessProbability(bits),
+				DelayPerStepS: ul.ExpectedDelay(bits),
+				FinalRMSE:     curve.FinalRMSE,
+				BestRMSE:      curve.BestRMSE(),
+				VirtualS:      curve.Points[len(curve.Points)-1].TimeS,
+			})
+		}
+	}
+	return res, nil
+}

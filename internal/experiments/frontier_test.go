@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+)
+
+func TestRunCodecFrontier(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunCodecFrontier(env, []int{8, 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(compress.IDs()) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	bits := map[string]int{}
+	for _, r := range res.Rows {
+		if r.FinalRMSE <= 0 || r.FinalRMSE > 50 {
+			t.Fatalf("%s/%d: RMSE %g out of range", r.Codec, r.Pool, r.FinalRMSE)
+		}
+		if r.Success <= 0 || r.Success > 1 {
+			t.Fatalf("%s/%d: success %g", r.Codec, r.Pool, r.Success)
+		}
+		if r.Pool == 8 {
+			bits[r.Codec] = r.BitsPerStep
+		}
+	}
+	// The frontier's point: every lossy codec opens an operating point
+	// strictly below Raw's payload at the same pooling.
+	for _, codec := range []string{"float16", "int8", "topk"} {
+		if bits[codec] >= bits["raw"] {
+			t.Fatalf("%s bits %d not below raw %d", codec, bits[codec], bits["raw"])
+		}
+	}
+	// int8 at 8×8 pooling beats raw at the same pooling by ≥ 60%: the
+	// headline reduction the codec subsystem exists for.
+	if 10*bits["int8"] > 4*bits["raw"] {
+		t.Fatalf("int8 %d bits not ≤ 40%% of raw %d", bits["int8"], bits["raw"])
+	}
+	if tab := res.Table(); len(tab.Rows) != len(res.Rows) {
+		t.Fatal("table rendering lost rows")
+	}
+}
+
+func TestRunCodecFrontierRejectsBadPooling(t *testing.T) {
+	env := testEnv(t)
+	if _, err := RunCodecFrontier(env, []int{7}, nil); err == nil {
+		t.Fatal("pooling 7 accepted for a 40×40 image")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/tensor"
 )
@@ -107,6 +108,14 @@ type Config struct {
 
 	BitDepth tensor.BitDepth // R in the payload formula
 
+	// Codec selects the cut-layer payload codec (internal/compress).
+	// The zero value, compress.CodecRaw, is the paper's behaviour:
+	// lossless transfer priced at BitDepth bits per element. Lossy
+	// codecs both shrink the payload charged to the channel and
+	// round-trip the cut tensors during training, so their quantisation
+	// error genuinely flows through the optimisation.
+	Codec compress.ID
+
 	// QuantizeWire, when set, round-trips the cut-layer activations and
 	// gradients through the tensor wire codec at BitDepth during
 	// training, modelling the lossy encoding the payload formula's R
@@ -163,7 +172,7 @@ func (c Config) Fingerprint() uint64 {
 	put(int64(c.Modality), int64(c.PoolH), int64(c.PoolW), int64(c.Pooling),
 		int64(c.SeqLen), int64(c.HorizonFrames), int64(c.BatchSize),
 		int64(c.HiddenSize), int64(c.KernelSize), int64(c.RNN),
-		int64(c.BitDepth), c.Seed)
+		int64(c.BitDepth), int64(c.Codec), c.Seed)
 	if c.QuantizeWire {
 		put(1)
 	} else {
@@ -189,6 +198,8 @@ func (c Config) Validate(d *dataset.Dataset) error {
 		return fmt.Errorf("split: bad schedule %d epochs × %d steps", c.MaxEpochs, c.StepsPerEpoch)
 	case !c.BitDepth.Valid():
 		return fmt.Errorf("split: bad bit depth %d", c.BitDepth)
+	case !c.Codec.Valid():
+		return fmt.Errorf("split: unknown payload codec %d", c.Codec)
 	}
 	if c.Modality.UsesImages() {
 		switch {
@@ -240,4 +251,20 @@ func (c Config) UplinkPayloadBits(d *dataset.Dataset) int {
 // cut-layer gradient has exactly the activations' dimensionality.
 func (c Config) DownlinkPayloadBits(d *dataset.Dataset) int {
 	return c.UplinkPayloadBits(d)
+}
+
+// WireCodec instantiates the configured cut-layer codec. The Raw codec
+// prices payloads at the paper's R = BitDepth bits per element, so the
+// default configuration charges the channel exactly UplinkPayloadBits —
+// the codec subsystem generalises the formula without moving it.
+func (c Config) WireCodec() (compress.Codec, error) {
+	codec, err := compress.New(c.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("split: %w", err)
+	}
+	if raw, ok := codec.(compress.Raw); ok {
+		raw.ModelBits = int(c.BitDepth)
+		return raw, nil
+	}
+	return codec, nil
 }

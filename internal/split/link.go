@@ -39,13 +39,32 @@ type SimLink struct {
 
 // NewPaperSimLink builds a SimLink with the paper's uplink and downlink
 // budgets, deriving independent RNG streams from the seed.
+//
+// The sub-streams are derived with a splitmix64-style mixer rather than
+// seed and seed+1: consecutive raw seeds would alias — link(s).Downlink
+// and link(s+1).Uplink would draw identical fading sequences, coupling
+// sessions that use per-UE consecutive seeds. Mixing decorrelates every
+// (seed, direction) pair.
 func NewPaperSimLink(seed int64) *SimLink {
+	state := uint64(seed)
 	return &SimLink{
 		Uplink: channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
-			rand.New(rand.NewSource(seed))),
+			rand.New(rand.NewSource(int64(splitmix64(&state))))),
 		Downlink: channel.MustNew(radio.PaperDownlink(), radio.PaperSlotSeconds,
-			rand.New(rand.NewSource(seed+1))),
+			rand.New(rand.NewSource(int64(splitmix64(&state))))),
 	}
+}
+
+// splitmix64 advances the state by the golden-gamma and returns a
+// finalised output (Steele et al., "Fast Splittable Pseudorandom Number
+// Generators"). Adjacent seeds produce unrelated output sequences,
+// which is exactly the property seed/seed+1 derivation lacked.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
 }
 
 // ForwardDelay simulates the uplink delivery.

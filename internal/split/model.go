@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -153,6 +154,7 @@ type Model struct {
 	Norm dataset.Normalizer
 
 	data *dataset.Dataset
+	wire compress.Codec // cut-layer payload codec (Cfg.Codec)
 }
 
 // NewModel constructs the split model for a dataset, validating the
@@ -161,8 +163,12 @@ func NewModel(cfg Config, d *dataset.Dataset, norm dataset.Normalizer) (*Model, 
 	if err := cfg.Validate(d); err != nil {
 		return nil, err
 	}
+	codec, err := cfg.WireCodec()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &Model{Cfg: cfg, Norm: norm, data: d}
+	m := &Model{Cfg: cfg, Norm: norm, data: d, wire: codec}
 	if cfg.Modality.UsesImages() {
 		m.UE = NewUEModel(rng, cfg, d)
 	}
@@ -255,6 +261,7 @@ func (m *Model) ForwardBatch(anchors []int) (pred, pooled *tensor.Tensor) {
 		if m.Cfg.QuantizeWire {
 			pooled = quantizeRoundTrip(pooled, m.Cfg.BitDepth)
 		}
+		pooled = m.wireRoundTrip(pooled)
 	}
 	return m.BS.Forward(m.fuse(anchors, pooled)), pooled
 }
@@ -274,8 +281,41 @@ func (m *Model) BackwardBatch(lossGrad *tensor.Tensor) (cutGrad *tensor.Tensor) 
 	if m.Cfg.QuantizeWire {
 		ueGrad = quantizeRoundTrip(cutGrad, m.Cfg.BitDepth)
 	}
-	m.UE.Backward(ueGrad)
+	m.UE.Backward(m.wireRoundTrip(ueGrad))
 	return cutGrad
+}
+
+// wireRoundTrip applies the configured codec's encode→decode pair to a
+// cut-layer tensor, so lossy codecs inject exactly the error the far
+// end of the link would see. Raw is lossless and skipped outright to
+// keep the default hot path allocation-free.
+func (m *Model) wireRoundTrip(t *tensor.Tensor) *tensor.Tensor {
+	if m.Cfg.Codec == compress.CodecRaw {
+		return t
+	}
+	enc, err := m.wire.Encode(t)
+	if err != nil {
+		panic(fmt.Sprintf("split: wire codec encode: %v", err))
+	}
+	out, err := m.wire.Decode(enc)
+	if err != nil {
+		panic(fmt.Sprintf("split: wire codec decode: %v", err))
+	}
+	return out
+}
+
+// WireBits prices one cut-layer transfer (uplink activations or the
+// equally-shaped downlink gradient) under the configured codec: the
+// codec-generalised B^UL. Zero for schemes that never use the link.
+func (m *Model) WireBits() int {
+	if m.UE == nil {
+		return 0
+	}
+	cfg := m.Cfg
+	// Bits depends only on the tensor's size, so price a zero tensor of
+	// the per-step cut shape.
+	shape := tensor.New(cfg.BatchSize*cfg.SeqLen, 1, m.data.H/cfg.PoolH, m.data.W/cfg.PoolW)
+	return m.wire.Bits(shape)
 }
 
 // quantizeRoundTrip encodes and decodes t at the given bit depth,
@@ -328,6 +368,9 @@ func SchemeName(cfg Config) string {
 	label := fmt.Sprintf("%s, %d×%d", cfg.Modality, cfg.PoolH, cfg.PoolW)
 	if cfg.PoolH == 40 && cfg.PoolW == 40 {
 		label += " (1-pixel)"
+	}
+	if cfg.Codec != compress.CodecRaw {
+		label += fmt.Sprintf(" [%s]", cfg.Codec)
 	}
 	return label
 }

@@ -27,6 +27,13 @@ type Trainer struct {
 	sampler *dataset.Sampler
 	adam    *opt.Adam
 
+	// wireBits is the per-transfer cut-layer payload under the model's
+	// codec (Model.WireBits), cached because the cut shape is fixed. For
+	// the Raw codec it equals Cfg.UplinkPayloadBits — the paper's
+	// formula — so default configurations charge the channel
+	// identically to the pre-codec trainer.
+	wireBits int
+
 	// ValBatch limits validation to at most this many anchors per epoch
 	// (uniformly spaced over K_val) so paper-scale runs stay tractable;
 	// 0 means the full validation set.
@@ -41,10 +48,11 @@ func NewTrainer(m *Model, d *dataset.Dataset, sp *dataset.Split, link CutLink) *
 		Clock: simclock.New(),
 		Cost:  simclock.DefaultCostModel(),
 
-		data:    d,
-		split:   sp,
-		sampler: dataset.NewSampler(sp.Train, rand.New(rand.NewSource(m.Cfg.Seed+1000))),
-		adam:    opt.NewAdam(m.Params(), m.Cfg.LR, m.Cfg.Beta1, m.Cfg.Beta2),
+		data:     d,
+		split:    sp,
+		sampler:  dataset.NewSampler(sp.Train, rand.New(rand.NewSource(m.Cfg.Seed+1000))),
+		adam:     opt.NewAdam(m.Params(), m.Cfg.LR, m.Cfg.Beta1, m.Cfg.Beta2),
+		wireBits: m.WireBits(),
 	}
 }
 
@@ -59,8 +67,8 @@ func (t *Trainer) Step() (float64, error) {
 	pred, _ := t.Model.ForwardBatch(anchors)
 
 	// Uplink: the pooled activations cross the channel before the BS can
-	// compute the loss.
-	upDelay, err := t.Link.ForwardDelay(cfg.UplinkPayloadBits(t.data))
+	// compute the loss, at the codec's payload size.
+	upDelay, err := t.Link.ForwardDelay(t.wireBits)
 	if err != nil {
 		return 0, fmt.Errorf("split: uplink transfer: %w", err)
 	}
@@ -70,7 +78,7 @@ func (t *Trainer) Step() (float64, error) {
 
 	cutGrad := t.Model.BackwardBatch(lossGrad)
 	if cutGrad != nil {
-		downDelay, err := t.Link.BackwardDelay(cfg.DownlinkPayloadBits(t.data))
+		downDelay, err := t.Link.BackwardDelay(t.wireBits)
 		if err != nil {
 			return 0, fmt.Errorf("split: downlink transfer: %w", err)
 		}
@@ -119,7 +127,7 @@ func (t *Trainer) Validate() (float64, error) {
 		}
 	}
 	// One epoch-level validation transfer.
-	delay, err := t.Link.ForwardDelay(cfg.UplinkPayloadBits(t.data))
+	delay, err := t.Link.ForwardDelay(t.wireBits)
 	if err != nil {
 		return 0, fmt.Errorf("split: validation transfer: %w", err)
 	}

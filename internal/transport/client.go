@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
 )
@@ -31,6 +32,7 @@ func SessionEnv(h Hello) (split.Config, *dataset.Dataset, *dataset.Split, error)
 	}
 	cfg := split.DefaultConfig(split.Modality(h.Modality), int(h.Pool))
 	cfg.Seed = h.Seed
+	cfg.Codec = compress.ID(h.Codec)
 	sp, err := dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, d.Len()*3/4)
 	if err != nil {
 		return split.Config{}, nil, nil, err
@@ -58,6 +60,10 @@ func JoinSession(conn io.ReadWriter, h Hello) (*Hello, error) {
 	}
 	if reply.Hello.SessionID != h.SessionID {
 		return nil, fmt.Errorf("transport: ack for session %q, want %q", reply.Hello.SessionID, h.SessionID)
+	}
+	if reply.Hello.Codec != h.Codec {
+		return nil, fmt.Errorf("transport: BS granted codec %v, requested %v",
+			compress.ID(reply.Hello.Codec), compress.ID(h.Codec))
 	}
 	return reply.Hello, nil
 }

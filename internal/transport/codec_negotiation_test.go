@@ -1,0 +1,349 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/tensor"
+)
+
+// ---- codec negotiation ---------------------------------------------------------
+
+// TestSessionNegotiatesCodec: a session that asks for each codec in its
+// hello must be granted it, train to detach, and (for the lossy codecs)
+// move strictly fewer uplink bytes than Raw.
+func TestSessionNegotiatesCodec(t *testing.T) {
+	bytesIn := make(map[compress.ID]int64)
+	for _, id := range compress.IDs() {
+		srv, err := NewBSServer(ServerConfig{
+			MaxUE: 1, Steps: 8, EvalEvery: 4, ValAnchors: 8,
+			Provision: tinySessionEnv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tinyHello(0)
+		h.Codec = uint8(id)
+		cfg, d, _, err := tinySessionEnv(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Codec = id
+		h.ConfigFP = cfg.Fingerprint()
+
+		ueConn, bsConn := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- srv.Handle(bsConn) }()
+		if err := ServeUE(ueConn, h, cfg, d); err != nil {
+			t.Fatalf("codec %v: UE: %v", id, err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("codec %v: BS: %v", id, err)
+		}
+		snaps := srv.Sessions()
+		if len(snaps) != 1 || snaps[0].State != SessionDetached {
+			t.Fatalf("codec %v: session did not detach: %+v", id, snaps)
+		}
+		if uint8(id) != snaps[0].Hello.Codec {
+			t.Fatalf("codec %v: session recorded codec %d", id, snaps[0].Hello.Codec)
+		}
+		bytesIn[id] = snaps[0].BytesIn
+	}
+	for _, id := range []compress.ID{compress.CodecFloat16, compress.CodecQuantInt8, compress.CodecTopK} {
+		if bytesIn[id] >= bytesIn[compress.CodecRaw] {
+			t.Errorf("codec %v moved %d uplink bytes, raw moved %d — no compression on the wire",
+				id, bytesIn[id], bytesIn[compress.CodecRaw])
+		}
+	}
+}
+
+// TestJoinSessionRejectsCodecDowngrade: a UE must refuse an ack that
+// grants a different codec than it requested.
+func TestJoinSessionRejectsCodecDowngrade(t *testing.T) {
+	ueConn, bsConn := net.Pipe()
+	defer ueConn.Close()
+	defer bsConn.Close()
+	go func() {
+		msg, err := ReadMessage(bsConn)
+		if err != nil {
+			return
+		}
+		ack := *msg.Hello
+		ack.Codec = uint8(compress.CodecRaw) // ignore the request
+		_ = WriteMessage(bsConn, &Message{Type: MsgSessionAck, Hello: &ack})
+	}()
+	h := Hello{SessionID: "ue-x", Seed: 1, Frames: 100, Pool: 4, Codec: uint8(compress.CodecQuantInt8)}
+	if _, err := JoinSession(ueConn, h); err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("downgraded ack accepted (err = %v)", err)
+	}
+}
+
+// ---- negative-path handshakes --------------------------------------------------
+
+// handleWithAck runs srv.Handle over a pipe while the client side sends
+// raw bytes and then tries to read one diagnostic ack. It returns
+// Handle's error and the ack (nil if none arrived).
+func handleWithAck(t *testing.T, srv *BSServer, raw []byte) (error, *Message) {
+	t.Helper()
+	ueConn, bsConn := net.Pipe()
+	handleErr := make(chan error, 1)
+	go func() { handleErr <- srv.Handle(bsConn) }()
+
+	// Write and read concurrently: the server may refuse after reading
+	// only the frame header, leaving the writer mid-frame — net.Pipe has
+	// no buffering, so a sequential write-then-read would deadlock
+	// against the server's ack write (a real TCP socket would buffer).
+	go func() { _, _ = ueConn.Write(raw) }()
+	ackCh := make(chan *Message, 1)
+	go func() {
+		msg, err := ReadMessage(ueConn)
+		if err != nil {
+			ackCh <- nil
+			return
+		}
+		ackCh <- msg
+	}()
+
+	var err error
+	select {
+	case err = <-handleErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on malformed handshake")
+	}
+	var ack *Message
+	select {
+	case ack = <-ackCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung waiting for diagnostic ack")
+	}
+	ueConn.Close()
+	return err, ack
+}
+
+func negotiationServer(t *testing.T) *BSServer {
+	t.Helper()
+	srv, err := NewBSServer(ServerConfig{MaxUE: 1, Steps: 1, Provision: tinySessionEnv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func helloFrame(t *testing.T, h Hello) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgSessionHello, Hello: &h}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// restamp rewrites a frame's version byte and fixes the CRC.
+func restamp(frame []byte, version byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[3] = version
+	crc := crc32.NewIEEE()
+	crc.Write(out[:len(out)-4])
+	binary.BigEndian.PutUint32(out[len(out)-4:], crc.Sum32())
+	return out
+}
+
+// TestServerRefusesNewerFrameVersion: a frame stamped with a future
+// protocol version must draw a diagnostic ack, not a hang or a bare
+// close.
+func TestServerRefusesNewerFrameVersion(t *testing.T) {
+	frame := restamp(helloFrame(t, tinyHello(0)), ProtocolVersion+1)
+	err, ack := handleWithAck(t, negotiationServer(t), frame)
+	if err == nil {
+		t.Fatal("future-version hello accepted")
+	}
+	if ack == nil || ack.Type != MsgSessionAck || ack.Hello == nil || ack.Hello.Err == "" {
+		t.Fatalf("no diagnostic ack for future-version hello (got %+v)", ack)
+	}
+	if !strings.Contains(ack.Hello.Err, "version") {
+		t.Fatalf("ack reason %q does not mention the version", ack.Hello.Err)
+	}
+}
+
+// TestServerRefusesUnknownCodec: an unknown codec id in the hello must
+// be rejected at join time with the codec named in the ack.
+func TestServerRefusesUnknownCodec(t *testing.T) {
+	h := tinyHello(0)
+	h.Codec = 200
+	err, ack := handleWithAck(t, negotiationServer(t), helloFrame(t, h))
+	if err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("unknown codec err = %v", err)
+	}
+	if ack == nil || ack.Hello == nil || !strings.Contains(ack.Hello.Err, "codec") {
+		t.Fatalf("no codec diagnostic in ack (got %+v)", ack)
+	}
+}
+
+// TestServerRefusesCorruptHello: a hello whose payload fails the CRC
+// must be refused with a diagnostic ack.
+func TestServerRefusesCorruptHello(t *testing.T) {
+	frame := helloFrame(t, tinyHello(0))
+	frame[14] ^= 0xFF // corrupt payload without fixing the CRC
+	err, ack := handleWithAck(t, negotiationServer(t), frame)
+	if err == nil {
+		t.Fatal("corrupt hello accepted")
+	}
+	if ack == nil || ack.Hello == nil || ack.Hello.Err == "" {
+		t.Fatalf("no diagnostic ack for corrupt hello (got %+v)", ack)
+	}
+}
+
+// TestServerRejectsTruncatedHello: a dialer that sends half a hello and
+// disappears must terminate the session handler promptly.
+func TestServerRejectsTruncatedHello(t *testing.T) {
+	frame := helloFrame(t, tinyHello(0))
+	srv := negotiationServer(t)
+	ueConn, bsConn := net.Pipe()
+	handleErr := make(chan error, 1)
+	go func() { handleErr <- srv.Handle(bsConn) }()
+	if _, err := ueConn.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	ueConn.Close()
+	select {
+	case err := <-handleErr:
+		if err == nil {
+			t.Fatal("truncated hello accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung on truncated hello")
+	}
+}
+
+// ---- mixed-version compatibility -----------------------------------------------
+
+// legacyFrame hand-builds a version-v frame the pre-codec protocol
+// would have produced: anchors, then an optional bare Depth64 tensor
+// section, then an optional hello section without the codec byte.
+func legacyFrame(t *testing.T, version byte, msgType MsgType, step uint32, tt *tensor.Tensor, hello []byte) []byte {
+	t.Helper()
+	payload := binary.BigEndian.AppendUint32(nil, 0) // no anchors
+	if tt == nil {
+		payload = append(payload, 0)
+	} else {
+		var enc bytes.Buffer
+		if err := tensor.Encode(&enc, tt, tensor.Depth64); err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, 1)
+		payload = append(payload, enc.Bytes()...)
+	}
+	if hello != nil {
+		payload = append(payload, 1)
+		payload = append(payload, hello...)
+	}
+	header := make([]byte, 12)
+	header[0], header[1] = frameMagic[0], frameMagic[1]
+	header[2], header[3] = byte(msgType), version
+	binary.BigEndian.PutUint32(header[4:], step)
+	binary.BigEndian.PutUint32(header[8:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(header)
+	crc.Write(payload)
+	frame := append(header, payload...)
+	return binary.BigEndian.AppendUint32(frame, crc.Sum32())
+}
+
+// TestLegacyTensorFrameDecodesAsRaw: version-0/1 tensor sections (bare
+// Depth64, no codec id) must still decode, mapping onto the Raw codec.
+func TestLegacyTensorFrameDecodesAsRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := tensor.Randn(rng, 1, 2, 3)
+	for _, version := range []byte{0, 1} {
+		frame := legacyFrame(t, version, MsgActivations, 7, want, nil)
+		got, err := ReadMessage(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("version %d: %v", version, err)
+		}
+		if got.Codec != compress.CodecRaw {
+			t.Fatalf("version %d: codec %v, want raw", version, got.Codec)
+		}
+		if tensor.MaxAbsDiff(got.Tensor, want) != 0 {
+			t.Fatalf("version %d: tensor not lossless", version)
+		}
+	}
+}
+
+// TestLegacyHelloDecodesAsRaw: a version-1 hello (no trailing codec
+// byte) must decode with Codec == 0, i.e. the Raw codec.
+func TestLegacyHelloDecodesAsRaw(t *testing.T) {
+	// Build the version-1 hello section by hand: the version-2 layout
+	// minus the trailing codec byte.
+	h := Hello{Version: 1, SessionID: "ue-legacy", Seed: 9, Frames: 100, Pool: 4}
+	full, err := appendHello(nil, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := full[:len(full)-1]
+	frame := legacyFrame(t, 1, MsgSessionHello, 0, nil, legacy)
+	got, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hello == nil || got.Hello.SessionID != "ue-legacy" {
+		t.Fatalf("legacy hello decoded to %+v", got.Hello)
+	}
+	if got.Hello.Codec != uint8(compress.CodecRaw) {
+		t.Fatalf("legacy hello codec = %d, want raw", got.Hello.Codec)
+	}
+}
+
+// TestFrameRejectsUnknownTensorCodec: a version-2 frame naming a codec
+// the receiver does not implement must be rejected as a bad frame.
+func TestFrameRejectsUnknownTensorCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{
+		Type: MsgActivations, Step: 1, Tensor: tensor.Randn(rng, 1, 4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// The codec id byte follows the 12-byte header, the 4-byte anchor
+	// count and the presence flag.
+	frame[12+4+1] = 99
+	crc := crc32.NewIEEE()
+	crc.Write(frame[:len(frame)-4])
+	binary.BigEndian.PutUint32(frame[len(frame)-4:], crc.Sum32())
+	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+		t.Fatal("unknown tensor codec accepted")
+	}
+}
+
+// TestCodecRoundTripOnWire: every codec survives WriteMessage →
+// ReadMessage with its id intact and its documented loss profile.
+func TestCodecRoundTripOnWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	want := tensor.Randn(rng, 1, 8, 1, 2, 2)
+	for _, id := range compress.IDs() {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &Message{Type: MsgActivations, Step: 2, Tensor: want, Codec: id}); err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		if got.Codec != id {
+			t.Fatalf("codec %v round-tripped as %v", id, got.Codec)
+		}
+		if id == compress.CodecRaw && tensor.MaxAbsDiff(got.Tensor, want) != 0 {
+			t.Fatal("raw codec lossy on the wire")
+		}
+		if got.Tensor.Size() != want.Size() {
+			t.Fatalf("%v: size %d != %d", id, got.Tensor.Size(), want.Size())
+		}
+	}
+}

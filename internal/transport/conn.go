@@ -8,7 +8,9 @@ import (
 // CountingConn wraps a connection-like stream and tallies the bytes and
 // frames crossing it in each direction — the measurement hook for
 // comparing the real protocol's overhead against the paper's idealised
-// payload formula.
+// payload formula. It sits below the codec layer, so with a lossy
+// session codec it reports the true compressed wire bytes (framing
+// included), not the logical tensor sizes.
 type CountingConn struct {
 	inner io.ReadWriter
 

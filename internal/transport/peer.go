@@ -81,7 +81,7 @@ func (u *UEPeer) Serve() error {
 				return err
 			}
 			act := u.Model.Forward(batch)
-			reply := &Message{Type: MsgActivations, Step: msg.Step, Tensor: act}
+			reply := &Message{Type: MsgActivations, Step: msg.Step, Tensor: act, Codec: u.Cfg.Codec}
 			if err := WriteMessage(u.conn, reply); err != nil {
 				return fmt.Errorf("transport: UE write: %w", err)
 			}
@@ -100,6 +100,10 @@ func (u *UEPeer) Serve() error {
 			}
 			if grad.Step != msg.Step {
 				return fmt.Errorf("transport: gradient step %d for request %d", grad.Step, msg.Step)
+			}
+			if grad.Codec != u.Cfg.Codec {
+				return fmt.Errorf("transport: gradient used codec %v, session negotiated %v",
+					grad.Codec, u.Cfg.Codec)
 			}
 			nn.ZeroGrads(u.Model.Params())
 			u.Model.Backward(grad.Tensor)
@@ -169,6 +173,10 @@ func (b *BSPeer) requestActivations(t MsgType, anchors []int32) (*tensor.Tensor,
 	}
 	if reply.Step != b.step {
 		return nil, fmt.Errorf("transport: reply step %d for request %d", reply.Step, b.step)
+	}
+	if reply.Codec != b.Cfg.Codec {
+		return nil, fmt.Errorf("transport: activations used codec %v, session negotiated %v",
+			reply.Codec, b.Cfg.Codec)
 	}
 	return reply.Tensor, nil
 }
@@ -241,7 +249,7 @@ func (b *BSPeer) TrainStep() (float64, error) {
 
 	if b.Cfg.Modality.UsesImages() {
 		cut := b.extractImageGrad(fusedGrad, len(anchors))
-		msg := &Message{Type: MsgCutGradient, Step: b.step, Tensor: cut}
+		msg := &Message{Type: MsgCutGradient, Step: b.step, Tensor: cut, Codec: b.Cfg.Codec}
 		if err := WriteMessage(b.conn, msg); err != nil {
 			return 0, fmt.Errorf("transport: BS write gradient: %w", err)
 		}

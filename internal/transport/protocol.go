@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/tensor"
 )
 
@@ -41,9 +42,16 @@ const (
 )
 
 // ProtocolVersion is stamped into every frame header. Version 0 is the
-// original 1:1 UE↔BS protocol without the session handshake; readers
-// accept any version up to their own and reject newer ones.
-const ProtocolVersion = 1
+// original 1:1 UE↔BS protocol without the session handshake; version 1
+// added the hello/ack handshake; version 2 added the negotiated
+// cut-layer payload codec (tensor sections carry a codec id, hellos a
+// requested codec). Readers accept any version up to their own and
+// reject newer ones; version-0/1 tensor sections decode as the
+// lossless Raw codec. Compatibility is read-side: a version-2 endpoint
+// understands every older peer's frames, while its own frames are
+// always stamped version 2 and are therefore rejected by older readers
+// — upgrade the reader before the writer.
+const ProtocolVersion = 2
 
 // String names the message type for diagnostics.
 func (t MsgType) String() string {
@@ -81,6 +89,7 @@ type Hello struct {
 	ConfigFP     uint64  // fingerprint of the derived split.Config
 	TargetRMSEdB float64 // UE's stopping criterion (0: use the server's)
 	Err          string  // ack only: non-empty means the session was rejected
+	Codec        uint8   // compress.ID of the requested/granted payload codec
 }
 
 // maxHelloString bounds the variable-length handshake fields.
@@ -92,6 +101,7 @@ type Message struct {
 	Step    uint32         // training step / request correlation id
 	Anchors []int32        // batch/eval requests
 	Tensor  *tensor.Tensor // activations / gradients
+	Codec   compress.ID    // codec the tensor section was encoded with
 	Hello   *Hello         // session handshake (hello/ack only)
 }
 
@@ -184,18 +194,25 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		return nil, ErrChecksum
 	}
 	m := &Message{Type: msgType, Step: step}
-	if err := decodePayload(m, payload); err != nil {
+	if err := decodePayload(m, payload, header[3]); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-// Payload layout: uint32 anchor count, anchors as int32, then optional
-// tensor (presence flag byte + tensor encoding at Depth64 — the protocol
-// layer is lossless; lossy bit-depth is a channel-model concern), then an
-// optional hello section (presence flag byte + hello encoding). Version-0
-// frames simply end after the tensor section; their absence of a hello
-// flag decodes as Hello == nil.
+// Payload layout: uint32 anchor count, anchors as int32, then an
+// optional tensor section, then an optional hello section (presence
+// flag byte + hello encoding).
+//
+// The tensor section is versioned. Version ≥ 2 frames carry the
+// negotiated codec explicitly:
+//
+//	flag(1) codec(1) length(4) codec-encoded payload
+//
+// Version-0/1 frames carry `flag(1) tensor@Depth64` — exactly the Raw
+// codec's encoding without the id/length prefix — and decode with
+// Codec == compress.CodecRaw. Version-0 frames simply end after the
+// tensor section; their absence of a hello flag decodes as Hello == nil.
 
 func encodePayload(m *Message) ([]byte, error) {
 	if len(m.Anchors) > maxAnchors {
@@ -208,12 +225,17 @@ func encodePayload(m *Message) ([]byte, error) {
 	if m.Tensor == nil {
 		buf = append(buf, 0)
 	} else {
-		buf = append(buf, 1)
-		var tbuf sliceWriter
-		if err := tensor.Encode(&tbuf, m.Tensor, tensor.Depth64); err != nil {
+		codec, err := compress.New(m.Codec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		enc, err := codec.Encode(m.Tensor)
+		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, tbuf...)
+		buf = append(buf, 1, byte(m.Codec))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
 	}
 	if m.Hello == nil {
 		return buf, nil
@@ -234,7 +256,10 @@ func appendHello(buf []byte, h *Hello) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.SessionID)))
 	buf = append(buf, h.SessionID...)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Err)))
-	return append(buf, h.Err...), nil
+	buf = append(buf, h.Err...)
+	// The codec byte trails the version-1 layout so version-1 hellos
+	// (which simply stop after the strings) keep decoding as Raw.
+	return append(buf, h.Codec), nil
 }
 
 func decodeHello(payload []byte) (*Hello, error) {
@@ -264,13 +289,17 @@ func decodeHello(payload []byte) (*Hello, error) {
 		*dst = string(payload[:n])
 		payload = payload[n:]
 	}
-	if len(payload) != 0 {
+	switch len(payload) {
+	case 0: // version-1 hello: no codec byte, Raw implied
+	case 1:
+		h.Codec = payload[0]
+	default:
 		return nil, fmt.Errorf("%w: trailing bytes after hello", ErrBadFrame)
 	}
 	return h, nil
 }
 
-func decodePayload(m *Message, payload []byte) error {
+func decodePayload(m *Message, payload []byte, version uint8) error {
 	if len(payload) < 5 {
 		return fmt.Errorf("%w: payload too short", ErrBadFrame)
 	}
@@ -291,13 +320,11 @@ func decodePayload(m *Message, payload []byte) error {
 	switch hasTensor {
 	case 0:
 	case 1:
-		r := bytes.NewReader(payload)
-		t, err := tensor.Decode(r)
+		rest, err := decodeTensorSection(m, payload, version)
 		if err != nil {
 			return err
 		}
-		m.Tensor = t
-		payload = payload[len(payload)-r.Len():]
+		payload = rest
 	default:
 		return fmt.Errorf("%w: bad tensor flag %d", ErrBadFrame, hasTensor)
 	}
@@ -315,10 +342,49 @@ func decodePayload(m *Message, payload []byte) error {
 	return nil
 }
 
-// sliceWriter is an io.Writer appending to itself.
-type sliceWriter []byte
+// decodeTensorSection parses the tensor section after its presence flag
+// and returns the remaining payload. Version ≥ 2 sections are
+// length-prefixed and codec-tagged; earlier versions are a bare Depth64
+// tensor encoding, which the Raw codec inverts.
+func decodeTensorSection(m *Message, payload []byte, version uint8) ([]byte, error) {
+	if version < 2 {
+		t, rest, err := decodeLegacyTensor(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.Tensor, m.Codec = t, compress.CodecRaw
+		return rest, nil
+	}
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("%w: truncated tensor section", ErrBadFrame)
+	}
+	id := compress.ID(payload[0])
+	length := binary.BigEndian.Uint32(payload[1:])
+	payload = payload[5:]
+	codec, err := compress.New(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if int(length) > len(payload) {
+		return nil, fmt.Errorf("%w: tensor section length %d exceeds payload", ErrBadFrame, length)
+	}
+	t, err := codec.Decode(payload[:length])
+	if err != nil {
+		// Fold codec-level corruption into the protocol's error
+		// contract: every reader error is ErrBadFrame or ErrChecksum.
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	m.Tensor, m.Codec = t, id
+	return payload[length:], nil
+}
 
-func (s *sliceWriter) Write(p []byte) (int, error) {
-	*s = append(*s, p...)
-	return len(p), nil
+// decodeLegacyTensor inverts the version-0/1 tensor section: a Depth64
+// tensor encoding with no codec id or length prefix.
+func decodeLegacyTensor(payload []byte) (*tensor.Tensor, []byte, error) {
+	r := bytes.NewReader(payload)
+	t, err := tensor.Decode(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, payload[len(payload)-r.Len():], nil
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/split"
@@ -327,7 +328,13 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	cc := NewCountingConn(conn)
 	msg, err := ReadMessage(cc)
 	if err != nil {
-		return fmt.Errorf("transport: server read hello: %w", err)
+		// A structurally broken hello (newer frame version, corrupt or
+		// truncated payload) still gets a best-effort diagnostic ack so
+		// the dialer learns why it was turned away instead of seeing a
+		// bare connection reset.
+		err = fmt.Errorf("transport: server read hello: %w", err)
+		s.refuse(cc, Hello{}, err)
+		return err
 	}
 	if msg.Type != MsgSessionHello || msg.Hello == nil {
 		err := fmt.Errorf("transport: expected SessionHello, got %v", msg.Type)
@@ -340,6 +347,11 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		s.refuse(cc, h, err)
 		return err
 	}
+	if !compress.ID(h.Codec).Valid() {
+		err := fmt.Errorf("transport: unknown codec id %d in hello", h.Codec)
+		s.refuse(cc, h, err)
+		return err
+	}
 
 	sess, err := s.admit(h)
 	if err != nil {
@@ -349,6 +361,10 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	sess.setConn(cc)
 
 	cfg, d, sp, err := s.cfg.Provision(h)
+	// The payload codec is a per-session handshake parameter, not a
+	// provisioning concern: grant whichever valid codec the UE asked
+	// for, before the fingerprint check so both ends hash it alike.
+	cfg.Codec = compress.ID(h.Codec)
 	if err == nil && h.ConfigFP != 0 && h.ConfigFP != cfg.Fingerprint() {
 		err = fmt.Errorf("transport: session %q config fingerprint %x does not match server's %x",
 			h.SessionID, h.ConfigFP, cfg.Fingerprint())
@@ -372,15 +388,15 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	ack := Hello{
 		Version: ProtocolVersion, SessionID: h.SessionID, Seed: h.Seed,
 		Frames: h.Frames, Pool: h.Pool, Modality: h.Modality,
-		ConfigFP: cfg.Fingerprint(), TargetRMSEdB: target,
+		ConfigFP: cfg.Fingerprint(), TargetRMSEdB: target, Codec: h.Codec,
 	}
 	if err := WriteMessage(cc, &Message{Type: MsgSessionAck, Hello: &ack}); err != nil {
 		err = fmt.Errorf("transport: server write ack: %w", err)
 		sess.fail(err)
 		return err
 	}
-	s.cfg.Logf("bs-server: session %q joined (seed %d, pool %d, %s)",
-		h.SessionID, h.Seed, h.Pool, split.Modality(h.Modality))
+	s.cfg.Logf("bs-server: session %q joined (seed %d, pool %d, %s, %s codec)",
+		h.SessionID, h.Seed, h.Pool, split.Modality(h.Modality), compress.ID(h.Codec))
 
 	return s.train(sess, peer, sp, target)
 }
