@@ -30,6 +30,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/tensor"
 	"repro/internal/transport"
 )
 
@@ -46,7 +47,11 @@ func main() {
 	evalEvery := flag.Int("eval-every", 40, "validate every N steps")
 	valAnchors := flag.Int("val-anchors", 128, "validation anchors per evaluation")
 	target := flag.Float64("target", 0, "stop a session early at this val RMSE in dB (0 = never)")
+	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	flag.Parse()
+	if *workers != 0 {
+		tensor.SetWorkers(*workers)
+	}
 
 	codec, err := compress.Parse(*codecName)
 	if err != nil {

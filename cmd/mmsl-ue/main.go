@@ -39,6 +39,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/tensor"
 	"repro/internal/transport"
 )
 
@@ -50,8 +51,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "shared experiment seed")
 	pool := flag.Int("pool", 40, "square pooling size")
 	codecName := flag.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk (single-UE mode: must match the BS)")
+	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	once := flag.Bool("once", true, "single-UE mode: exit after serving one BS session")
 	flag.Parse()
+	if *workers != 0 {
+		tensor.SetWorkers(*workers)
+	}
 
 	codec, err := compress.Parse(*codecName)
 	if err != nil {

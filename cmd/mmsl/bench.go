@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/split"
+	"repro/internal/tensor"
+)
+
+// pr2Baseline pins the PR-2 (pre-engine) measurements of the raw-codec
+// default-config train step, recorded with `go test -bench
+// BenchmarkTrainStep1Pixel -benchmem` on the reference runner before the
+// im2col/arena engine landed. Speedup and allocation-reduction columns in
+// BENCH.json are computed against these numbers so the perf trajectory
+// has a fixed origin.
+var pr2Baseline = benchResult{
+	Name:     "train_step/pr2_baseline",
+	NsPerOp:  24551866,
+	AllocsOp: 871,
+	BytesOp:  21240920,
+}
+
+type benchResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	// SpeedupVs names the result this one is compared against; Speedup is
+	// ns_per_op(reference) / ns_per_op(this).
+	SpeedupVs string  `json:"speedup_vs,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+type benchReport struct {
+	Schema        string        `json:"schema"`
+	CPUs          int           `json:"cpus"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	TensorWorkers int           `json:"tensor_workers"`
+	Baseline      benchResult   `json:"pr2_baseline"`
+	Results       []benchResult `json:"results"`
+}
+
+func measure(name string, f func(b *testing.B)) benchResult {
+	r := testing.Benchmark(f)
+	return benchResult{
+		Name:     name,
+		NsPerOp:  float64(r.NsPerOp()),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// cmdBench runs the engine micro/macro benchmarks in-process and emits
+// ns/op, allocs/op and speedups — `-json` writes BENCH.json so CI keeps a
+// perf data point per commit.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "write results as JSON")
+	out := fs.String("out", "BENCH.json", "output path for -json")
+	perf := perfFlags(fs)
+	fs.Parse(args)
+	if err := perf.apply(nil); err != nil {
+		return err
+	}
+	defer perf.finish()
+
+	rep := &benchReport{
+		Schema:        "mmsl-bench/v1",
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		TensorWorkers: tensor.Workers(),
+		Baseline:      pr2Baseline,
+	}
+
+	// Convolution: im2col engine vs the direct reference oracle, on one
+	// paper mini-batch (B·L = 256 images of 40×40, 3×3 same kernel).
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 256, 1, 40, 40)
+	k := tensor.Randn(rng, 0.3, 1, 1, 3, 3)
+	bias := []float64{0.1}
+	spec := tensor.Conv2DSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+
+	convDirect := measure("conv_forward/direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = tensor.Conv2DDirect(x, k, bias, spec)
+		}
+	})
+	convOut := tensor.New(256, 1, 40, 40)
+	convIm2col := measure("conv_forward/im2col", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.Conv2DInto(convOut, x, k, bias, spec)
+		}
+	})
+	convIm2col.SpeedupVs = convDirect.Name
+	convIm2col.Speedup = convDirect.NsPerOp / convIm2col.NsPerOp
+
+	grad := tensor.Ones(256, 1, 40, 40)
+	gradX, gradK := tensor.New(x.Shape()...), tensor.New(k.Shape()...)
+	gradB := make([]float64, 1)
+	backDirect := measure("conv_backward/direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gradK.Zero()
+			gradB[0] = 0
+			tensor.Conv2DBackwardDirect(gradX, gradK, gradB, x, k, grad, spec)
+		}
+	})
+	backIm2col := measure("conv_backward/im2col", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gradK.Zero()
+			gradB[0] = 0
+			tensor.Conv2DBackwardInto(gradX, gradK, gradB, x, k, grad, spec)
+		}
+	})
+	backIm2col.SpeedupVs = backDirect.Name
+	backIm2col.Speedup = backDirect.NsPerOp / backIm2col.NsPerOp
+
+	// Blocked parallel matmul at the LSTM's packed-gate shape.
+	a := tensor.Randn(rng, 1, 64, 101)
+	wm := tensor.Randn(rng, 1, 101, 128)
+	mm := tensor.New(64, 128)
+	matmul := measure("matmul_64x101x128", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(mm, a, wm)
+		}
+	})
+
+	// The headline macro-benchmark: one raw-codec default-config split
+	// training step (Img+RF, 1-pixel pooling) over the simulated channel
+	// — the same measurement as the PR-2 baseline.
+	sc := experiments.Scale{
+		Frames: 1500, TrainFrac: 0.75, MaxEpochs: 3,
+		StepsPerEpoch: 20, ValBatch: 96, Seed: 1,
+	}
+	env, err := experiments.NewEnv(sc)
+	if err != nil {
+		return err
+	}
+	tr, err := env.NewTrainer(split.ImageRF, 40, split.NewPaperSimLink(9))
+	if err != nil {
+		return err
+	}
+	if _, err := tr.Step(); err != nil { // warm the scratch buffers
+		return err
+	}
+	trainStep := measure("train_step/raw_1pixel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	trainStep.SpeedupVs = pr2Baseline.Name
+	trainStep.Speedup = pr2Baseline.NsPerOp / trainStep.NsPerOp
+
+	rep.Results = []benchResult{convDirect, convIm2col, backDirect, backIm2col, matmul, trainStep}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	fmt.Printf("%-28s %14s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op", "speedup")
+	for _, r := range rep.Results {
+		sp := ""
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Printf("%-28s %14.0f %12d %12d %10s\n", r.Name, r.NsPerOp, r.BytesOp, r.AllocsOp, sp)
+	}
+	reduction := 100 * (1 - float64(trainStep.AllocsOp)/float64(pr2Baseline.AllocsOp))
+	fmt.Printf("\ntrain step vs PR-2 baseline: %.2fx faster, %.1f%% fewer allocs/op\n",
+		trainStep.Speedup, reduction)
+	return nil
+}

@@ -13,6 +13,7 @@
 //	ablate   payload-parameter sweeps (bit depth, batch, seq length, pooling)
 //	frontier codec × pooling RMSE-vs-uplink-bits frontier
 //	train    train a single scheme and print its learning curve
+//	bench    run the performance-engine benchmarks (-json → BENCH.json)
 //	all      run fig2, fig3a, fig3b, table1, ablate and frontier into one directory
 //
 // Every run is deterministic for a given --seed. --scale quick (default)
@@ -68,6 +69,8 @@ func main() {
 		err = cmdTrain(args)
 	case "online":
 		err = cmdOnline(args)
+	case "bench":
+		err = cmdBench(args)
 	case "all":
 		err = cmdAll(args)
 	case "help", "-h", "--help":
@@ -96,6 +99,7 @@ commands:
   frontier  codec × pooling RMSE-vs-uplink-bits frontier
   train     train one scheme and print its curve
   online    streaming inference over the channel (deployment phase)
+  bench     run the engine benchmarks (-json writes BENCH.json)
   all       run every artefact into --outdir
 
 run "mmsl <command> -h" for command flags
@@ -192,12 +196,17 @@ func cmdFig3a(args []string) error {
 	scaleName, seed, dsPath := scaleFlags(fs)
 	out := fs.String("out", "fig3a.csv", "output CSV")
 	svg := fs.String("svg", "", "optional SVG chart output")
+	perf := perfFlags(fs)
 	fs.Parse(args)
 
 	env, err := buildEnv(*scaleName, *seed, *dsPath)
 	if err != nil {
 		return err
 	}
+	if err := perf.apply(env); err != nil {
+		return err
+	}
+	defer perf.finish()
 	res, err := experiments.RunFig3a(env)
 	if err != nil {
 		return err
@@ -291,12 +300,17 @@ func cmdTable1(args []string) error {
 	out := fs.String("out", "", "optional output CSV (default: print only)")
 	samples := fs.Int("samples", 48, "frames for the MDS leakage measurement")
 	trainEpochs := fs.Int("train-epochs", 1, "CNN training epochs before measuring")
+	perf := perfFlags(fs)
 	fs.Parse(args)
 
 	env, err := buildEnv(*scaleName, *seed, *dsPath)
 	if err != nil {
 		return err
 	}
+	if err := perf.apply(env); err != nil {
+		return err
+	}
+	defer perf.finish()
 	cfg := experiments.DefaultTable1Config()
 	cfg.LeakageSamples = *samples
 	cfg.TrainEpochs = *trainEpochs
@@ -369,6 +383,7 @@ func cmdFrontier(args []string) error {
 	out := fs.String("out", "", "optional output CSV (default: print only)")
 	pools := fs.String("pools", "", "comma-separated pooling widths (default 4,10,20,40)")
 	codecs := fs.String("codecs", "", "comma-separated codecs (default raw,float16,int8,topk)")
+	perf := perfFlags(fs)
 	fs.Parse(args)
 
 	var poolings []int
@@ -396,6 +411,10 @@ func cmdFrontier(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := perf.apply(env); err != nil {
+		return err
+	}
+	defer perf.finish()
 	res, err := experiments.RunCodecFrontier(env, poolings, ids)
 	if err != nil {
 		return err
@@ -430,6 +449,7 @@ func cmdTrain(args []string) error {
 	codecName := fs.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk")
 	saveCkpt := fs.String("save", "", "write a model checkpoint after training")
 	loadCkpt := fs.String("load", "", "restore a model checkpoint before training")
+	perf := perfFlags(fs)
 	fs.Parse(args)
 
 	var m split.Modality
@@ -448,6 +468,10 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := perf.apply(env); err != nil {
+		return err
+	}
+	defer perf.finish()
 	var link split.CutLink = split.NewPaperSimLink(*seed)
 	if *ideal {
 		link = split.IdealLink{}
@@ -500,6 +524,8 @@ func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	scaleName, seed, dsPath := scaleFlags(fs)
 	outDir := fs.String("outdir", "results", "output directory")
+	workers := fs.Int("workers", 0, "tensor worker-pool size (0 = auto)")
+	parallel := fs.Int("parallel", 0, "scheme-scheduler concurrency (0 = sequential, -1 = NumCPU)")
 	fs.Parse(args)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -510,6 +536,10 @@ func cmdAll(args []string) error {
 		base := []string{"-scale", *scaleName, "-seed", fmt.Sprint(*seed)}
 		if *dsPath != "" {
 			base = append(base, "-dataset", *dsPath)
+		}
+		switch name { // subcommands that understand the perf flags
+		case "fig3a", "table1", "frontier":
+			base = append(base, "-workers", fmt.Sprint(*workers), "-parallel", fmt.Sprint(*parallel))
 		}
 		return f(append(base, extra...))
 	}

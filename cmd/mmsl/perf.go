@@ -1,0 +1,82 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/experiments"
+	"repro/internal/tensor"
+)
+
+// perfOpts carries the performance-related flags shared by the
+// training-heavy subcommands.
+type perfOpts struct {
+	workers    *int
+	parallel   *int
+	cpuProfile *string
+	memProfile *string
+
+	cpuFile *os.File
+}
+
+// perfFlags registers -workers/-parallel and the pprof flags.
+func perfFlags(fs *flag.FlagSet) *perfOpts {
+	return &perfOpts{
+		workers: fs.Int("workers", 0,
+			"tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)"),
+		parallel: fs.Int("parallel", 0,
+			"train independent schemes on N concurrent goroutines (0 = sequential, -1 = NumCPU; outputs are byte-identical either way)"),
+		cpuProfile: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memProfile: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// apply configures the tensor worker pool and scheme scheduler and starts
+// CPU profiling; callers must defer o.finish().
+func (o *perfOpts) apply(env *experiments.Env) error {
+	if *o.workers != 0 {
+		tensor.SetWorkers(*o.workers)
+	}
+	if env != nil && *o.parallel != 0 {
+		env.SetParallel(*o.parallel)
+	}
+	if *o.cpuProfile != "" {
+		f, err := os.Create(*o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		o.cpuFile = f
+	}
+	return nil
+}
+
+// finish stops profiling and writes the heap profile if requested.
+func (o *perfOpts) finish() {
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		o.cpuFile.Close()
+		fmt.Fprintf(os.Stderr, "wrote CPU profile %s\n", *o.cpuProfile)
+		o.cpuFile = nil
+	}
+	if *o.memProfile != "" {
+		f, err := os.Create(*o.memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise the steady-state heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote heap profile %s\n", *o.memProfile)
+	}
+}

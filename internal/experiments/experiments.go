@@ -61,6 +61,13 @@ type Env struct {
 	Data  *dataset.Dataset
 	Split *dataset.Split
 	Norm  dataset.Normalizer
+
+	// Workers bounds the scheme scheduler's concurrency: independent
+	// trainings (Table-1 rows, frontier points, Fig. 3a curves) run on up
+	// to this many goroutines. 0 or 1 means sequential. Results are
+	// reduced in task order either way, so artefact outputs are
+	// byte-identical across worker counts (see scheduler.go).
+	Workers int
 }
 
 // NewEnv generates the synthetic dataset at the given scale and derives

@@ -71,29 +71,35 @@ func RunCodecFrontier(env *Env, poolings []int, codecs []compress.ID) (*Frontier
 	if len(codecs) == 0 {
 		codecs = compress.IDs()
 	}
-	ul := uplink(env.Scale.Seed + 25)
-	res := &FrontierResult{Name: "codec × pooling frontier (Img+RF)"}
 	for _, pool := range poolings {
 		if env.Data.H%pool != 0 || env.Data.W%pool != 0 {
 			return nil, fmt.Errorf("experiments: pooling %d does not divide the %dx%d image",
 				pool, env.Data.H, env.Data.W)
 		}
-		for _, id := range codecs {
+	}
+	ul := uplink(env.Scale.Seed + 25)
+	// Every (pooling, codec) point owns its model, trainer and RNG
+	// streams; the channel columns are analytic. The grid therefore runs
+	// on the scheme scheduler, with rows reduced in grid order so the
+	// emitted frontier is byte-identical to the sequential sweep.
+	rows, err := runIndexed(env.workerCount(), len(poolings)*len(codecs),
+		func(i int) (FrontierRow, error) {
+			pool, id := poolings[i/len(codecs)], codecs[i%len(codecs)]
 			cfg := env.schemeConfig(split.ImageRF, pool)
 			cfg.Codec = id
 
 			model, err := split.NewModel(cfg, env.Data, env.Norm)
 			if err != nil {
-				return nil, fmt.Errorf("frontier %v/%d: %w", id, pool, err)
+				return FrontierRow{}, fmt.Errorf("frontier %v/%d: %w", id, pool, err)
 			}
 			bits := model.WireBits()
 			tr := split.NewTrainer(model, env.Data, env.Split, split.IdealLink{})
 			tr.ValBatch = env.Scale.ValBatch
 			curve, err := tr.Run()
 			if err != nil {
-				return nil, fmt.Errorf("frontier %v/%d: %w", id, pool, err)
+				return FrontierRow{}, fmt.Errorf("frontier %v/%d: %w", id, pool, err)
 			}
-			res.Rows = append(res.Rows, FrontierRow{
+			return FrontierRow{
 				Codec:         id.String(),
 				Pool:          pool,
 				BitsPerStep:   bits,
@@ -102,8 +108,10 @@ func RunCodecFrontier(env *Env, poolings []int, codecs []compress.ID) (*Frontier
 				FinalRMSE:     curve.FinalRMSE,
 				BestRMSE:      curve.BestRMSE(),
 				VirtualS:      curve.Points[len(curve.Points)-1].TimeS,
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &FrontierResult{Name: "codec × pooling frontier (Img+RF)", Rows: rows}, nil
 }

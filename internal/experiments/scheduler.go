@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// The scheme scheduler: Table-1 rows, frontier points and Fig. 3a curves
+// are mutually independent trainings (each builds its own model, RNG
+// stream and channel from the experiment seed), so they can run in
+// parallel goroutines. Results are collected by task INDEX — a
+// deterministic, worker-count-independent reduction — so emitted tables
+// and figures are byte-identical to the sequential run.
+
+// Workers returns the scheme-level concurrency for the env: Env.Workers
+// when positive, else 1 (sequential). SetParallel picks a machine-sized
+// default.
+func (e *Env) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return 1
+}
+
+// SetParallel configures the env to train independent schemes on up to
+// NumCPU concurrent goroutines (or exactly n when n > 0). It returns the
+// env for chaining.
+func (e *Env) SetParallel(n int) *Env {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	e.Workers = n
+	return e
+}
+
+// runIndexed runs f(0..n-1) on at most `workers` goroutines and returns
+// the results in index order. The first error by task index wins (again
+// independent of scheduling). With workers <= 1 it degenerates to a plain
+// loop — the sequential scheduler.
+func runIndexed[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: task %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/trace"
+)
+
+// The scheduler half of the equivalence suite: parallel artefact
+// regeneration must emit byte-identical tables and curves to the
+// sequential run — the worker-order reduction contract.
+
+func renderTable(t *testing.T, tab *trace.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTable1ParallelByteIdentical: the parallel Table-1 CSV equals the
+// sequential one byte for byte.
+func TestTable1ParallelByteIdentical(t *testing.T) {
+	cfg := Table1Config{LeakageSamples: 16, TrainEpochs: 0, MCTrials: 500}
+
+	seqEnv := testEnv(t)
+	seqRes, err := RunTable1(seqEnv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parEnv := testEnv(t).SetParallel(4)
+	parRes, err := RunTable1(parEnv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqCSV, parCSV := renderTable(t, seqRes.Table()), renderTable(t, parRes.Table())
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Fatalf("parallel Table 1 differs from sequential:\nseq:\n%s\npar:\n%s", seqCSV, parCSV)
+	}
+}
+
+// TestFrontierParallelByteIdentical: the parallel codec × pooling
+// frontier equals the sequential sweep byte for byte.
+func TestFrontierParallelByteIdentical(t *testing.T) {
+	pools := []int{10, 40}
+	codecs := []compress.ID{compress.CodecRaw, compress.CodecQuantInt8}
+
+	seqRes, err := RunCodecFrontier(testEnv(t), pools, codecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := RunCodecFrontier(testEnv(t).SetParallel(4), pools, codecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCSV, parCSV := renderTable(t, seqRes.Table()), renderTable(t, parRes.Table())
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Fatalf("parallel frontier differs from sequential:\nseq:\n%s\npar:\n%s", seqCSV, parCSV)
+	}
+}
+
+// TestFig3aParallelByteIdentical: the parallel Fig. 3a learning curves
+// equal the sequential ones byte for byte (CSV rendering).
+func TestFig3aParallelByteIdentical(t *testing.T) {
+	seqRes, err := RunFig3a(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := RunFig3a(testEnv(t).SetParallel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqCSV, parCSV bytes.Buffer
+	if err := trace.WriteCurvesCSV(&seqCSV, seqRes.Curves); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCurvesCSV(&parCSV, parRes.Curves); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqCSV.Bytes(), parCSV.Bytes()) {
+		t.Fatal("parallel Fig. 3a curves differ from sequential")
+	}
+}
+
+// TestRunIndexedOrderAndErrors exercises the scheduler helper directly:
+// results land at their task index, concurrency is bounded, and the
+// lowest-index error wins deterministically.
+func TestRunIndexedOrderAndErrors(t *testing.T) {
+	out, err := runIndexed(3, 17, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+
+	var inFlight, peak atomic.Int32
+	_, err = runIndexed(2, 40, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("concurrency peaked at %d with workers=2", p)
+	}
+
+	boom := errors.New("boom")
+	_, err = runIndexed(4, 10, func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// The reported error must deterministically be the lowest index.
+	if got := err.Error(); got != "experiments: task 3: boom" {
+		t.Fatalf("unexpected error %q", got)
+	}
+}

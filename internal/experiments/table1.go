@@ -86,31 +86,36 @@ func DefaultTable1Config() Table1Config {
 // success probability of the mini-batch forward payload, both analytic
 // and Monte-Carlo.
 func RunTable1(env *Env, cfg Table1Config) (*Table1Result, error) {
-	res := &Table1Result{}
+	pools := Table1Poolings()
 	ul := channel.MustNew(radio.PaperUplink(), radio.PaperSlotSeconds,
 		rand.New(rand.NewSource(env.Scale.Seed+7)))
-
-	for _, pool := range Table1Poolings() {
+	// Each row trains and measures independently: the model RNG is
+	// per-row, monteCarloSuccess seeds its own fixed stream, and the
+	// shared channel is only read analytically. Rows therefore run on
+	// the scheme scheduler and reduce in pooling order — the parallel
+	// table is byte-identical to the sequential one.
+	rows, err := runIndexed(env.workerCount(), len(pools), func(i int) (Table1Row, error) {
+		pool := pools[i]
 		scheme := env.schemeConfig(split.ImageRF, pool)
 		bits := scheme.UplinkPayloadBits(env.Data)
 
 		leak, err := measureLeakage(env, pool, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("table1: pooling %d: %w", pool, err)
+			return Table1Row{}, fmt.Errorf("table1: pooling %d: %w", pool, err)
 		}
 
-		pAnalytic := ul.SuccessProbability(bits)
-		pMC := monteCarloSuccess(ul, bits, cfg.MCTrials)
-
-		res.Rows = append(res.Rows, Table1Row{
+		return Table1Row{
 			Pool:            pool,
 			PayloadBits:     bits,
 			Leakage:         leak,
-			SuccessAnalytic: pAnalytic,
-			SuccessMC:       pMC,
-		})
+			SuccessAnalytic: ul.SuccessProbability(bits),
+			SuccessMC:       monteCarloSuccess(ul, bits, cfg.MCTrials),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows}, nil
 }
 
 // measureLeakage trains the scheme briefly (the metric refers to the

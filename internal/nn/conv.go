@@ -13,6 +13,8 @@ type Conv2D struct {
 	B    *Param // bias   (Cout)
 	Spec tensor.Conv2DSpec
 	in   *tensor.Tensor
+
+	out, gradX *tensor.Tensor // instance-owned scratch
 }
 
 // NewConv2D returns a convolution layer with He-normal initialised kernels
@@ -36,25 +38,24 @@ func NewConv2DSame(rng *rand.Rand, cin, cout, k int) *Conv2D {
 	})
 }
 
-// Forward computes the convolution.
+// Forward computes the convolution into the layer's cached output.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c.in = x
-	return tensor.Conv2D(x, c.K.Value, c.B.Value.Data(), c.Spec)
+	oh, ow := c.Spec.OutSize(x.Dim(2), x.Dim(3), c.K.Value.Dim(2), c.K.Value.Dim(3))
+	c.out = tensor.EnsureShape(c.out, x.Dim(0), c.K.Value.Dim(0), oh, ow)
+	tensor.Conv2DInto(c.out, x, c.K.Value, c.B.Value.Data(), c.Spec)
+	return c.out
 }
 
-// Backward accumulates kernel and bias gradients and returns the input
-// gradient.
+// Backward accumulates kernel and bias gradients (directly into the
+// parameter accumulators) and returns the input gradient.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.in == nil {
 		panic("nn: Conv2D.Backward before Forward")
 	}
-	gradX, gradK, gradB := tensor.Conv2DBackward(c.in, c.K.Value, grad, c.Spec)
-	c.K.Grad.AddInPlace(gradK)
-	bg := c.B.Grad.Data()
-	for i, v := range gradB {
-		bg[i] += v
-	}
-	return gradX
+	c.gradX = tensor.EnsureShape(c.gradX, c.in.Shape()...)
+	tensor.Conv2DBackwardInto(c.gradX, c.K.Grad, c.B.Grad.Data(), c.in, c.K.Value, grad, c.Spec)
+	return c.gradX
 }
 
 // Params returns the kernel and bias parameters.
@@ -65,6 +66,8 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.K, c.B} }
 // window yields the "one pixel image".
 type AvgPool2D struct {
 	PH, PW int
+
+	out, gradX *tensor.Tensor // instance-owned scratch
 }
 
 // NewAvgPool2D returns an average-pooling layer with the given window.
@@ -72,12 +75,17 @@ func NewAvgPool2D(ph, pw int) *AvgPool2D { return &AvgPool2D{PH: ph, PW: pw} }
 
 // Forward pools each window to its mean.
 func (p *AvgPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.AvgPool2D(x, p.PH, p.PW)
+	p.out = tensor.EnsureShape(p.out, x.Dim(0), x.Dim(1), x.Dim(2)/p.PH, x.Dim(3)/p.PW)
+	tensor.AvgPool2DInto(p.out, x, p.PH, p.PW)
+	return p.out
 }
 
 // Backward spreads the gradient uniformly over each window.
 func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.AvgPool2DBackward(grad, p.PH, p.PW)
+	p.gradX = tensor.EnsureShape(p.gradX,
+		grad.Dim(0), grad.Dim(1), grad.Dim(2)*p.PH, grad.Dim(3)*p.PW)
+	tensor.AvgPool2DBackwardInto(p.gradX, grad, p.PH, p.PW)
+	return p.gradX
 }
 
 // Params returns nil; pooling has no parameters.

@@ -16,6 +16,8 @@ type MaxPool2D struct {
 	PH, PW  int
 	argmax  []int
 	inShape []int
+
+	out, gradX *tensor.Tensor // instance-owned scratch
 }
 
 // NewMaxPool2D returns a max-pooling layer with the given window.
@@ -23,10 +25,14 @@ func NewMaxPool2D(ph, pw int) *MaxPool2D { return &MaxPool2D{PH: ph, PW: pw} }
 
 // Forward pools each window to its maximum.
 func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out, argmax := tensor.MaxPool2D(x, p.PH, p.PW)
-	p.argmax = argmax
+	p.out = tensor.EnsureShape(p.out, x.Dim(0), x.Dim(1), x.Dim(2)/p.PH, x.Dim(3)/p.PW)
+	if cap(p.argmax) < p.out.Size() {
+		p.argmax = make([]int, p.out.Size())
+	}
+	p.argmax = p.argmax[:p.out.Size()]
+	tensor.MaxPool2DInto(p.out, p.argmax, x, p.PH, p.PW)
 	p.inShape = x.Shape()
-	return out
+	return p.out
 }
 
 // Backward routes each gradient to its window's argmax.
@@ -34,7 +40,9 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if p.argmax == nil {
 		panic("nn: MaxPool2D.Backward before Forward")
 	}
-	return tensor.MaxPool2DBackward(grad, p.argmax, p.inShape)
+	p.gradX = tensor.EnsureShape(p.gradX, p.inShape...)
+	tensor.MaxPool2DBackwardInto(p.gradX, grad, p.argmax)
+	return p.gradX
 }
 
 // Params returns nil; pooling has no parameters.
@@ -49,6 +57,8 @@ type Dropout struct {
 	rng      *rand.Rand
 	training bool
 	mask     []float64
+
+	out, gout *tensor.Tensor // instance-owned scratch
 }
 
 // NewDropout returns a dropout layer; rate must lie in [0, 1).
@@ -71,16 +81,22 @@ func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	d.mask = make([]float64, x.Size())
-	out := tensor.New(x.Shape()...)
-	xd, od := x.Data(), out.Data()
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float64, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	d.out = tensor.EnsureShape(d.out, x.Shape()...)
+	xd, od := x.Data(), d.out.Data()
 	for i := range xd {
 		if d.rng.Float64() < keep {
 			d.mask[i] = scale
 			od[i] = xd[i] * scale
+		} else {
+			d.mask[i] = 0
+			od[i] = 0
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward applies the same mask to the gradient.
@@ -88,12 +104,12 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	out := tensor.New(grad.Shape()...)
-	gd, od := grad.Data(), out.Data()
+	d.gout = tensor.EnsureShape(d.gout, grad.Shape()...)
+	gd, od := grad.Data(), d.gout.Data()
 	for i := range gd {
 		od[i] = gd[i] * d.mask[i]
 	}
-	return out
+	return d.gout
 }
 
 // Params returns nil; dropout has no parameters.

@@ -39,7 +39,7 @@ type GRU struct {
 
 	InDim, Hidden int
 
-	// BPTT caches.
+	// BPTT caches; instance-owned, reused across steps (see LSTM).
 	seqLen, batch int
 	xs            []*tensor.Tensor // per-step input (N, D)
 	hs            []*tensor.Tensor // hs[0] = h_{-1} = 0
@@ -47,6 +47,11 @@ type GRU struct {
 	gateZ         []*tensor.Tensor
 	gateN         []*tensor.Tensor
 	hnPre         []*tensor.Tensor // h_{t-1}·Whn + bh_n (pre reset gate)
+
+	zx, zh           *tensor.Tensor // (N, 3H) forward scratch
+	dax, dah, dhNext *tensor.Tensor // backward scratch
+	dxt, wgx, wgh    *tensor.Tensor
+	dh, dx           *tensor.Tensor
 }
 
 // NewGRU returns a GRU with Glorot-uniform weights.
@@ -69,6 +74,37 @@ func (g *GRU) InputDim() int { return g.InDim }
 // HiddenDim returns the hidden-state width.
 func (g *GRU) HiddenDim() int { return g.Hidden }
 
+func (g *GRU) ensureScratch(n, T int) {
+	if g.batch == n && g.seqLen == T && g.xs != nil {
+		return
+	}
+	g.batch, g.seqLen = n, T
+	alloc := func(count, d0, d1 int) []*tensor.Tensor {
+		ts := make([]*tensor.Tensor, count)
+		for i := range ts {
+			ts[i] = tensor.New(d0, d1)
+		}
+		return ts
+	}
+	hid := g.Hidden
+	g.xs = alloc(T, n, g.InDim)
+	g.hs = alloc(T+1, n, hid)
+	g.gateR = alloc(T, n, hid)
+	g.gateZ = alloc(T, n, hid)
+	g.gateN = alloc(T, n, hid)
+	g.hnPre = alloc(T, n, hid)
+	g.zx = tensor.New(n, 3*hid)
+	g.zh = tensor.New(n, 3*hid)
+	g.dax = tensor.New(n, 3*hid)
+	g.dah = tensor.New(n, 3*hid)
+	g.dhNext = tensor.New(n, hid)
+	g.dxt = tensor.New(n, g.InDim)
+	g.wgx = tensor.New(g.InDim, 3*hid)
+	g.wgh = tensor.New(hid, 3*hid)
+	g.dh = tensor.New(n, hid)
+	g.dx = tensor.New(n, T, g.InDim)
+}
+
 // Forward consumes a (N, T, D) sequence and returns the final hidden
 // state (N, H).
 func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -76,48 +112,37 @@ func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: GRU input shape %v, want (N, T, %d)", x.Shape(), g.InDim))
 	}
 	n, T, hid := x.Dim(0), x.Dim(1), g.Hidden
-	g.batch, g.seqLen = n, T
-	g.xs = make([]*tensor.Tensor, T)
-	g.hs = make([]*tensor.Tensor, T+1)
-	g.gateR = make([]*tensor.Tensor, T)
-	g.gateZ = make([]*tensor.Tensor, T)
-	g.gateN = make([]*tensor.Tensor, T)
-	g.hnPre = make([]*tensor.Tensor, T)
-	g.hs[0] = tensor.New(n, hid)
+	g.ensureScratch(n, T)
+	g.hs[0].Zero()
 
 	xd := x.Data()
 	for t := 0; t < T; t++ {
-		xt := tensor.New(n, g.InDim)
+		xt := g.xs[t]
 		for i := 0; i < n; i++ {
 			copy(xt.Data()[i*g.InDim:(i+1)*g.InDim], xd[(i*T+t)*g.InDim:(i*T+t+1)*g.InDim])
 		}
-		g.xs[t] = xt
 
-		zx := tensor.MatMul(xt, g.Wx.Value)      // (N, 3H)
-		zh := tensor.MatMul(g.hs[t], g.Wh.Value) // (N, 3H)
+		tensor.MatMulInto(g.zx, xt, g.Wx.Value)      // (N, 3H)
+		tensor.MatMulInto(g.zh, g.hs[t], g.Wh.Value) // (N, 3H)
 		bx, bh := g.Bx.Value.Data(), g.Bh.Value.Data()
 
-		r := tensor.New(n, hid)
-		z := tensor.New(n, hid)
-		nn := tensor.New(n, hid)
-		pre := tensor.New(n, hid)
-		hNew := tensor.New(n, hid)
+		r, z, nn, pre := g.gateR[t], g.gateZ[t], g.gateN[t], g.hnPre[t]
+		hNew := g.hs[t+1]
+		rD, zD, nD, pD, hD := r.Data(), z.Data(), nn.Data(), pre.Data(), hNew.Data()
 		hPrev := g.hs[t].Data()
 		for i := 0; i < n; i++ {
-			xrow := zx.Data()[i*3*hid : (i+1)*3*hid]
-			hrow := zh.Data()[i*3*hid : (i+1)*3*hid]
+			xrow := g.zx.Data()[i*3*hid : (i+1)*3*hid]
+			hrow := g.zh.Data()[i*3*hid : (i+1)*3*hid]
 			for j := 0; j < hid; j++ {
 				rv := sigmoid(xrow[j] + bx[j] + hrow[j] + bh[j])
 				zv := sigmoid(xrow[hid+j] + bx[hid+j] + hrow[hid+j] + bh[hid+j])
 				pv := hrow[2*hid+j] + bh[2*hid+j]
 				nv := math.Tanh(xrow[2*hid+j] + bx[2*hid+j] + rv*pv)
 				k := i*hid + j
-				r.Data()[k], z.Data()[k], nn.Data()[k], pre.Data()[k] = rv, zv, nv, pv
-				hNew.Data()[k] = (1-zv)*nv + zv*hPrev[k]
+				rD[k], zD[k], nD[k], pD[k] = rv, zv, nv, pv
+				hD[k] = (1-zv)*nv + zv*hPrev[k]
 			}
 		}
-		g.gateR[t], g.gateZ[t], g.gateN[t], g.hnPre[t] = r, z, nn, pre
-		g.hs[t+1] = hNew
 	}
 	return g.hs[T]
 }
@@ -132,8 +157,9 @@ func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != hid {
 		panic(fmt.Sprintf("nn: GRU gradient shape %v, want (%d, %d)", grad.Shape(), n, hid))
 	}
-	dx := tensor.New(n, T, g.InDim)
-	dh := grad.Clone()
+	dx := g.dx
+	dh := g.dh
+	dh.CopyFrom(grad)
 
 	for t := T - 1; t >= 0; t-- {
 		r, z, nn, pre := g.gateR[t], g.gateZ[t], g.gateN[t], g.hnPre[t]
@@ -141,17 +167,18 @@ func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 		// dax packs [dar, daz, dan] (pre-activation input-side grads);
 		// dah packs [dar, daz, d(hnPre)] (hidden-side grads).
-		dax := tensor.New(n, 3*hid)
-		dah := tensor.New(n, 3*hid)
-		dhNext := tensor.New(n, hid)
+		dax, dah, dhNext := g.dax, g.dah, g.dhNext
 
+		rD, zD, nD, pD := r.Data(), z.Data(), nn.Data(), pre.Data()
+		hpD, dhD, dnD := hPrev.Data(), dh.Data(), dhNext.Data()
+		daxD, dahD := dax.Data(), dah.Data()
 		for i := 0; i < n; i++ {
 			for j := 0; j < hid; j++ {
 				k := i*hid + j
-				rv, zv, nv, pv := r.Data()[k], z.Data()[k], nn.Data()[k], pre.Data()[k]
-				dhv := dh.Data()[k]
+				rv, zv, nv, pv := rD[k], zD[k], nD[k], pD[k]
+				dhv := dhD[k]
 
-				dz := dhv * (hPrev.Data()[k] - nv)
+				dz := dhv * (hpD[k] - nv)
 				dn := dhv * (1 - zv)
 				dhPrev := dhv * zv
 
@@ -161,32 +188,35 @@ func (g *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				daz := dz * zv * (1 - zv)
 				dar := dr * rv * (1 - rv)
 
-				xrow := dax.Data()[i*3*hid : (i+1)*3*hid]
-				hrow := dah.Data()[i*3*hid : (i+1)*3*hid]
+				xrow := daxD[i*3*hid : (i+1)*3*hid]
+				hrow := dahD[i*3*hid : (i+1)*3*hid]
 				xrow[j], xrow[hid+j], xrow[2*hid+j] = dar, daz, dan
 				hrow[j], hrow[hid+j], hrow[2*hid+j] = dar, daz, dpre
 
-				dhNext.Data()[k] = dhPrev
+				dnD[k] = dhPrev
 			}
 		}
 
-		g.Wx.Grad.AddInPlace(tensor.MatMulTransA(g.xs[t], dax))
-		g.Wh.Grad.AddInPlace(tensor.MatMulTransA(hPrev, dah))
+		tensor.MatMulTransAInto(g.wgx, g.xs[t], dax)
+		g.Wx.Grad.AddInPlace(g.wgx)
+		tensor.MatMulTransAInto(g.wgh, hPrev, dah)
+		g.Wh.Grad.AddInPlace(g.wgh)
 		bxg, bhg := g.Bx.Grad.Data(), g.Bh.Grad.Data()
 		for i := 0; i < n; i++ {
-			xrow := dax.Data()[i*3*hid : (i+1)*3*hid]
-			hrow := dah.Data()[i*3*hid : (i+1)*3*hid]
+			xrow := daxD[i*3*hid : (i+1)*3*hid]
+			hrow := dahD[i*3*hid : (i+1)*3*hid]
 			for j := range xrow {
 				bxg[j] += xrow[j]
 				bhg[j] += hrow[j]
 			}
 		}
 
-		dxt := tensor.MatMulTransB(dax, g.Wx.Value)
+		tensor.MatMulTransBInto(g.dxt, dax, g.Wx.Value)
+		dxtD := g.dxt.Data()
 		for i := 0; i < n; i++ {
-			copy(dx.Data()[(i*T+t)*g.InDim:(i*T+t+1)*g.InDim], dxt.Data()[i*g.InDim:(i+1)*g.InDim])
+			copy(dx.Data()[(i*T+t)*g.InDim:(i*T+t+1)*g.InDim], dxtD[i*g.InDim:(i+1)*g.InDim])
 		}
-		dh = tensor.MatMulTransB(dah, g.Wh.Value)
+		tensor.MatMulTransBInto(dh, dah, g.Wh.Value)
 		dh.AddInPlace(dhNext)
 	}
 	return dx

@@ -43,7 +43,7 @@ func TestGRUDeterministicForward(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := NewGRU(rng, 2, 3)
 	x := tensor.Randn(rng, 1, 2, 4, 2)
-	h1 := g.Forward(x)
+	h1 := g.Forward(x).Clone() // Clone: layers reuse their output buffer
 	h2 := g.Forward(x)
 	if tensor.MaxAbsDiff(h1, h2) != 0 {
 		t.Fatal("GRU forward not deterministic")

@@ -8,10 +8,20 @@ import (
 	"repro/internal/tensor"
 )
 
+// Layers own their forward/backward scratch: each instance keeps its
+// output and gradient buffers across calls (re-headered only when the
+// incoming shape changes), so steady-state training allocates nothing.
+// Layer instances are single-threaded — the existing Layer contract —
+// which is exactly what makes instance-owned scratch safe. The returned
+// tensors are therefore only valid until the instance's next
+// Forward/Backward call; callers that need them longer must Clone.
+
 // Dense is a fully-connected layer y = x·W + b for x of shape (N, In).
 type Dense struct {
 	W, B *Param
 	in   *tensor.Tensor // cached input of the latest Forward
+
+	out, dx, wg *tensor.Tensor // instance-owned scratch
 }
 
 // NewDense returns a Dense layer with Glorot-uniform weights and zero bias.
@@ -29,17 +39,18 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense input shape %v incompatible with W %v", x.Shape(), d.W.Value.Shape()))
 	}
 	d.in = x
-	out := tensor.MatMul(x, d.W.Value)
-	n, o := out.Dim(0), out.Dim(1)
+	n, o := x.Dim(0), d.W.Value.Dim(1)
+	d.out = tensor.EnsureShape(d.out, n, o)
+	tensor.MatMulInto(d.out, x, d.W.Value)
 	bd := d.B.Value.Data()
-	od := out.Data()
+	od := d.out.Data()
 	for i := 0; i < n; i++ {
 		row := od[i*o : (i+1)*o]
 		for j := range row {
 			row[j] += bd[j]
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward accumulates dW = xᵀ·g, db = Σg and returns dx = g·Wᵀ.
@@ -47,7 +58,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.in == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	d.W.Grad.AddInPlace(tensor.MatMulTransA(d.in, grad))
+	d.wg = tensor.EnsureShape(d.wg, d.W.Value.Dim(0), d.W.Value.Dim(1))
+	tensor.MatMulTransAInto(d.wg, d.in, grad)
+	d.W.Grad.AddInPlace(d.wg)
 	n, o := grad.Dim(0), grad.Dim(1)
 	gb := d.B.Grad.Data()
 	gd := grad.Data()
@@ -57,7 +70,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			gb[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(grad, d.W.Value)
+	d.dx = tensor.EnsureShape(d.dx, d.in.Dim(0), d.in.Dim(1))
+	tensor.MatMulTransBInto(d.dx, grad, d.W.Value)
+	return d.dx
 }
 
 // Params returns the weight and bias parameters.
@@ -89,19 +104,33 @@ func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params returns nil; Flatten has no parameters.
 func (f *Flatten) Params() []*Param { return nil }
 
+// actKind selects a specialised element-wise kernel; the generic closure
+// path remains for custom activations.
+type actKind uint8
+
+const (
+	actGeneric actKind = iota
+	actReLU
+	actTanh
+	actSigmoid
+)
+
 // Activation is a parameter-free element-wise layer defined by a function
 // and the derivative expressed in terms of the cached output.
 type Activation struct {
 	name  string
+	kind  actKind
 	fn    func(float64) float64
 	deriv func(out float64) float64 // derivative as a function of the output
 	out   *tensor.Tensor
+	gout  *tensor.Tensor
 }
 
 // NewReLU returns max(0, x).
 func NewReLU() *Activation {
 	return &Activation{
 		name: "relu",
+		kind: actReLU,
 		fn:   func(v float64) float64 { return math.Max(0, v) },
 		deriv: func(out float64) float64 {
 			if out > 0 {
@@ -116,6 +145,7 @@ func NewReLU() *Activation {
 func NewTanh() *Activation {
 	return &Activation{
 		name:  "tanh",
+		kind:  actTanh,
 		fn:    math.Tanh,
 		deriv: func(out float64) float64 { return 1 - out*out },
 	}
@@ -125,6 +155,7 @@ func NewTanh() *Activation {
 func NewSigmoid() *Activation {
 	return &Activation{
 		name:  "sigmoid",
+		kind:  actSigmoid,
 		fn:    sigmoid,
 		deriv: func(out float64) float64 { return out * (1 - out) },
 	}
@@ -134,7 +165,33 @@ func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 
 // Forward applies the activation element-wise.
 func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
-	a.out = tensor.Apply(x, a.fn)
+	a.out = tensor.EnsureShape(a.out, x.Shape()...)
+	xd, od := x.Data(), a.out.Data()
+	switch a.kind {
+	case actReLU:
+		// Specialised: the UE CNN applies ReLU to every pixel of every
+		// frame in the batch (hundreds of thousands of elements per
+		// step); a branch beats a closure call by a wide margin.
+		for i, v := range xd {
+			if v > 0 {
+				od[i] = v
+			} else {
+				od[i] = 0
+			}
+		}
+	case actTanh:
+		for i, v := range xd {
+			od[i] = math.Tanh(v)
+		}
+	case actSigmoid:
+		for i, v := range xd {
+			od[i] = sigmoid(v)
+		}
+	default:
+		for i, v := range xd {
+			od[i] = a.fn(v)
+		}
+	}
 	return a.out
 }
 
@@ -143,12 +200,31 @@ func (a *Activation) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if a.out == nil {
 		panic(fmt.Sprintf("nn: %s.Backward before Forward", a.name))
 	}
-	out := tensor.New(grad.Shape()...)
-	gd, od, rd := grad.Data(), a.out.Data(), out.Data()
-	for i := range rd {
-		rd[i] = gd[i] * a.deriv(od[i])
+	a.gout = tensor.EnsureShape(a.gout, grad.Shape()...)
+	gd, od, rd := grad.Data(), a.out.Data(), a.gout.Data()
+	switch a.kind {
+	case actReLU:
+		for i := range rd {
+			if od[i] > 0 {
+				rd[i] = gd[i]
+			} else {
+				rd[i] = 0
+			}
+		}
+	case actTanh:
+		for i := range rd {
+			rd[i] = gd[i] * (1 - od[i]*od[i])
+		}
+	case actSigmoid:
+		for i := range rd {
+			rd[i] = gd[i] * od[i] * (1 - od[i])
+		}
+	default:
+		for i := range rd {
+			rd[i] = gd[i] * a.deriv(od[i])
+		}
 	}
-	return out
+	return a.gout
 }
 
 // Params returns nil; activations have no parameters.

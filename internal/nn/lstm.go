@@ -23,7 +23,8 @@ type LSTM struct {
 
 	InDim, Hidden int
 
-	// Forward caches for BPTT.
+	// Forward caches for BPTT; all buffers are instance-owned and reused
+	// across steps once the (batch, seqLen) signature stabilises.
 	seqLen  int
 	batch   int
 	xs      []*tensor.Tensor // per-step input (N, D)
@@ -34,6 +35,10 @@ type LSTM struct {
 	gateG   []*tensor.Tensor
 	gateO   []*tensor.Tensor
 	tanhCts []*tensor.Tensor
+
+	z, z2           *tensor.Tensor // (N, 4H) pre-activation scratch
+	dz, dxt, wgx    *tensor.Tensor // backward scratch
+	wgh, dh, dc, dx *tensor.Tensor
 }
 
 // NewLSTM returns an LSTM with Glorot-uniform weights and the customary
@@ -54,6 +59,40 @@ func NewLSTM(rng *rand.Rand, inDim, hidden int) *LSTM {
 	return l
 }
 
+// ensureScratch (re)builds the per-step buffer sets when the batch or
+// sequence length changes; otherwise the cached tensors are reused as-is.
+func (l *LSTM) ensureScratch(n, T int) {
+	if l.batch == n && l.seqLen == T && l.xs != nil {
+		return
+	}
+	l.batch, l.seqLen = n, T
+	alloc := func(count, d0, d1 int) []*tensor.Tensor {
+		ts := make([]*tensor.Tensor, count)
+		for i := range ts {
+			ts[i] = tensor.New(d0, d1)
+		}
+		return ts
+	}
+	hid := l.Hidden
+	l.xs = alloc(T, n, l.InDim)
+	l.hs = alloc(T+1, n, hid)
+	l.cs = alloc(T+1, n, hid)
+	l.gateI = alloc(T, n, hid)
+	l.gateF = alloc(T, n, hid)
+	l.gateG = alloc(T, n, hid)
+	l.gateO = alloc(T, n, hid)
+	l.tanhCts = alloc(T, n, hid)
+	l.z = tensor.New(n, 4*hid)
+	l.z2 = tensor.New(n, 4*hid)
+	l.dz = tensor.New(n, 4*hid)
+	l.dxt = tensor.New(n, l.InDim)
+	l.wgx = tensor.New(l.InDim, 4*hid)
+	l.wgh = tensor.New(hid, 4*hid)
+	l.dh = tensor.New(n, hid)
+	l.dc = tensor.New(n, hid)
+	l.dx = tensor.New(n, T, l.InDim)
+}
+
 // Forward consumes a (N, T, D) sequence and returns the final hidden state
 // (N, H).
 func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -61,31 +100,23 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: LSTM input shape %v, want (N, T, %d)", x.Shape(), l.InDim))
 	}
 	n, T := x.Dim(0), x.Dim(1)
-	h, hid := tensor.New(n, l.Hidden), l.Hidden
-	c := tensor.New(n, l.Hidden)
-
-	l.batch, l.seqLen = n, T
-	l.xs = make([]*tensor.Tensor, T)
-	l.hs = make([]*tensor.Tensor, T+1)
-	l.cs = make([]*tensor.Tensor, T+1)
-	l.gateI = make([]*tensor.Tensor, T)
-	l.gateF = make([]*tensor.Tensor, T)
-	l.gateG = make([]*tensor.Tensor, T)
-	l.gateO = make([]*tensor.Tensor, T)
-	l.tanhCts = make([]*tensor.Tensor, T)
-	l.hs[0], l.cs[0] = h, c
+	l.ensureScratch(n, T)
+	hid := l.Hidden
+	l.hs[0].Zero() // h_{-1} = 0
+	l.cs[0].Zero() // c_{-1} = 0
 
 	xd := x.Data()
 	for t := 0; t < T; t++ {
 		// Slice step t out of the (N, T, D) input into a contiguous (N, D).
-		xt := tensor.New(n, l.InDim)
+		xt := l.xs[t]
 		for i := 0; i < n; i++ {
 			copy(xt.Data()[i*l.InDim:(i+1)*l.InDim], xd[(i*T+t)*l.InDim:(i*T+t+1)*l.InDim])
 		}
-		l.xs[t] = xt
 
-		z := tensor.MatMul(xt, l.Wx.Value)
-		z.AddInPlace(tensor.MatMul(l.hs[t], l.Wh.Value))
+		z := l.z
+		tensor.MatMulInto(z, xt, l.Wx.Value)
+		tensor.MatMulInto(l.z2, l.hs[t], l.Wh.Value)
+		z.AddInPlace(l.z2)
 		zd, bd := z.Data(), l.B.Value.Data()
 		for i := 0; i < n; i++ {
 			row := zd[i*4*hid : (i+1)*4*hid]
@@ -94,13 +125,10 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 
-		gi := tensor.New(n, hid)
-		gf := tensor.New(n, hid)
-		gg := tensor.New(n, hid)
-		go_ := tensor.New(n, hid)
-		cNew := tensor.New(n, hid)
-		hNew := tensor.New(n, hid)
-		tc := tensor.New(n, hid)
+		gi, gf, gg, go_ := l.gateI[t], l.gateF[t], l.gateG[t], l.gateO[t]
+		cNew, hNew, tc := l.cs[t+1], l.hs[t+1], l.tanhCts[t]
+		giD, gfD, ggD, goD := gi.Data(), gf.Data(), gg.Data(), go_.Data()
+		cD, hD, tcD := cNew.Data(), hNew.Data(), tc.Data()
 		cPrev := l.cs[t].Data()
 		for i := 0; i < n; i++ {
 			zrow := zd[i*4*hid : (i+1)*4*hid]
@@ -109,19 +137,14 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 				fv := sigmoid(zrow[hid+j])
 				gv := math.Tanh(zrow[2*hid+j])
 				ov := sigmoid(zrow[3*hid+j])
-				cv := fv*cPrev[i*hid+j] + iv*gv
+				k := i*hid + j
+				cv := fv*cPrev[k] + iv*gv
 				tcv := math.Tanh(cv)
-				gi.Data()[i*hid+j] = iv
-				gf.Data()[i*hid+j] = fv
-				gg.Data()[i*hid+j] = gv
-				go_.Data()[i*hid+j] = ov
-				cNew.Data()[i*hid+j] = cv
-				tc.Data()[i*hid+j] = tcv
-				hNew.Data()[i*hid+j] = ov * tcv
+				giD[k], gfD[k], ggD[k], goD[k] = iv, fv, gv, ov
+				cD[k], tcD[k] = cv, tcv
+				hD[k] = ov * tcv
 			}
 		}
-		l.gateI[t], l.gateF[t], l.gateG[t], l.gateO[t] = gi, gf, gg, go_
-		l.cs[t+1], l.hs[t+1], l.tanhCts[t] = cNew, hNew, tc
 	}
 	return l.hs[T]
 }
@@ -137,29 +160,33 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != hid {
 		panic(fmt.Sprintf("nn: LSTM gradient shape %v, want (%d, %d)", grad.Shape(), n, hid))
 	}
-	dx := tensor.New(n, T, l.InDim)
-	dh := grad.Clone()
-	dc := tensor.New(n, hid)
+	dx := l.dx
+	dh := l.dh
+	dh.CopyFrom(grad)
+	dc := l.dc
+	dc.Zero()
 
 	for t := T - 1; t >= 0; t-- {
 		gi, gf, gg, go_ := l.gateI[t], l.gateF[t], l.gateG[t], l.gateO[t]
 		tc := l.tanhCts[t]
 		cPrev := l.cs[t]
-		dz := tensor.New(n, 4*hid)
+		dz := l.dz
 
 		dhD, dcD := dh.Data(), dc.Data()
+		giD, gfD, ggD, goD := gi.Data(), gf.Data(), gg.Data(), go_.Data()
+		tcD, cpD, dzD := tc.Data(), cPrev.Data(), dz.Data()
 		for i := 0; i < n; i++ {
 			for j := 0; j < hid; j++ {
 				k := i*hid + j
-				iv, fv, gv, ov := gi.Data()[k], gf.Data()[k], gg.Data()[k], go_.Data()[k]
-				tcv := tc.Data()[k]
+				iv, fv, gv, ov := giD[k], gfD[k], ggD[k], goD[k]
+				tcv := tcD[k]
 				dhv := dhD[k]
 				dcv := dcD[k] + dhv*ov*(1-tcv*tcv)
 				do := dhv * tcv
 				di := dcv * gv
-				df := dcv * cPrev.Data()[k]
+				df := dcv * cpD[k]
 				dg := dcv * iv
-				zrow := dz.Data()[i*4*hid : (i+1)*4*hid]
+				zrow := dzD[i*4*hid : (i+1)*4*hid]
 				zrow[j] = di * iv * (1 - iv)
 				zrow[hid+j] = df * fv * (1 - fv)
 				zrow[2*hid+j] = dg * (1 - gv*gv)
@@ -169,8 +196,10 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// Parameter gradients.
-		l.Wx.Grad.AddInPlace(tensor.MatMulTransA(l.xs[t], dz))
-		l.Wh.Grad.AddInPlace(tensor.MatMulTransA(l.hs[t], dz))
+		tensor.MatMulTransAInto(l.wgx, l.xs[t], dz)
+		l.Wx.Grad.AddInPlace(l.wgx)
+		tensor.MatMulTransAInto(l.wgh, l.hs[t], dz)
+		l.Wh.Grad.AddInPlace(l.wgh)
 		bg := l.B.Grad.Data()
 		zd := dz.Data()
 		for i := 0; i < n; i++ {
@@ -181,11 +210,12 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// Input and recurrent gradients.
-		dxt := tensor.MatMulTransB(dz, l.Wx.Value)
+		tensor.MatMulTransBInto(l.dxt, dz, l.Wx.Value)
+		dxtD := l.dxt.Data()
 		for i := 0; i < n; i++ {
-			copy(dx.Data()[(i*T+t)*l.InDim:(i*T+t+1)*l.InDim], dxt.Data()[i*l.InDim:(i+1)*l.InDim])
+			copy(dx.Data()[(i*T+t)*l.InDim:(i*T+t+1)*l.InDim], dxtD[i*l.InDim:(i+1)*l.InDim])
 		}
-		dh = tensor.MatMulTransB(dz, l.Wh.Value)
+		tensor.MatMulTransBInto(dh, dz, l.Wh.Value)
 	}
 	return dx
 }

@@ -179,7 +179,7 @@ func TestLSTMStatefulnessResetsBetweenForwards(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	l := NewLSTM(rng, 2, 3)
 	x := tensor.Randn(rng, 1, 2, 4, 2)
-	h1 := l.Forward(x)
+	h1 := l.Forward(x).Clone() // Clone: layers reuse their output buffer
 	h2 := l.Forward(x)
 	if tensor.MaxAbsDiff(h1, h2) != 0 {
 		t.Fatal("LSTM forward not deterministic / state leaked across calls")

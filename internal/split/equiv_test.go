@@ -1,0 +1,154 @@
+package split
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// The training-level half of the engine's equivalence suite: a full
+// 5-step training run must be bit-identical across worker-pool sizes and
+// across buffer recycling (a second trainer whose models run on the
+// already-dirty shared buffer pool must reproduce the first run
+// exactly).
+
+// trainFingerprint runs `steps` training steps on a fresh tiny model and
+// returns the per-step losses plus a copy of every parameter tensor.
+func trainFingerprint(t *testing.T, steps int) ([]float64, []*tensor.Tensor) {
+	t.Helper()
+	d := tinyDataset(t, 80)
+	cfg := tinyConfig(ImageRF, 4)
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+	tr := NewTrainer(model, d, sp, IdealLink{})
+
+	losses := make([]float64, 0, steps)
+	for s := 0; s < steps; s++ {
+		loss, err := tr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	var params []*tensor.Tensor
+	for _, p := range model.Params() {
+		params = append(params, p.Value.Clone())
+	}
+	return losses, params
+}
+
+func fingerprintsEqual(t *testing.T, name string, l1, l2 []float64, p1, p2 []*tensor.Tensor) {
+	t.Helper()
+	for i := range l1 {
+		if math.Float64bits(l1[i]) != math.Float64bits(l2[i]) {
+			t.Fatalf("%s: step %d loss %g != %g", name, i, l1[i], l2[i])
+		}
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("%s: parameter count %d != %d", name, len(p1), len(p2))
+	}
+	for pi := range p1 {
+		d1, d2 := p1[pi].Data(), p2[pi].Data()
+		for i := range d1 {
+			if math.Float64bits(d1[i]) != math.Float64bits(d2[i]) {
+				t.Fatalf("%s: param %d element %d: %g != %g", name, pi, i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+// TestTrainingRunBitIdenticalAcrossWorkers: 5 training steps with the
+// worker pool at 1, 3, 8 and NumCPU produce identical losses and
+// parameters bit for bit.
+func TestTrainingRunBitIdenticalAcrossWorkers(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	refLoss, refParams := trainFingerprint(t, 5)
+	for _, w := range []int{3, 8, runtime.NumCPU()} {
+		tensor.SetWorkers(w)
+		loss, params := trainFingerprint(t, 5)
+		fingerprintsEqual(t, "workers", refLoss, loss, refParams, params)
+	}
+}
+
+// TestTrainingRunBitIdenticalAcrossBufferReuse: running the same
+// training twice in one process means the second run's arena and layer
+// scratch come from the dirty shared pool; the runs must still agree bit
+// for bit (the fresh-alloc vs recycled-buffer equivalence at system
+// level).
+func TestTrainingRunBitIdenticalAcrossBufferReuse(t *testing.T) {
+	l1, p1 := trainFingerprint(t, 5)
+	l2, p2 := trainFingerprint(t, 5)
+	fingerprintsEqual(t, "buffer-reuse", l1, l2, p1, p2)
+}
+
+// TestForwardBatchStableAcrossArenaCycles: the returned prediction must
+// not change when ForwardBatch recycles its batch-assembly buffers over
+// many cycles with interleaved shapes (full and ragged tail batches).
+func TestForwardBatchStableAcrossArenaCycles(t *testing.T) {
+	d := tinyDataset(t, 80)
+	cfg := tinyConfig(ImageRF, 4)
+	sp := makeSplit(t, d, cfg)
+	model := buildModel(t, cfg, d, sp)
+
+	full := sp.Train[:cfg.BatchSize]
+	ragged := sp.Train[:cfg.BatchSize-1]
+	pred1, _ := model.ForwardBatch(full)
+	want := pred1.Clone()
+	for i := 0; i < 4; i++ {
+		model.ForwardBatch(ragged)
+		got, _ := model.ForwardBatch(full)
+		for j, v := range got.Data() {
+			if math.Float64bits(v) != math.Float64bits(want.Data()[j]) {
+				t.Fatalf("cycle %d: prediction %d drifted: %g != %g", i, j, v, want.Data()[j])
+			}
+		}
+	}
+}
+
+// TestStepGradientsMatchFreshModel guards the layer-scratch refactor: a
+// model that has already trained (dirty caches) and a pristine clone with
+// copied parameters must produce identical gradients for the same batch.
+func TestStepGradientsMatchFreshModel(t *testing.T) {
+	d := tinyDataset(t, 80)
+	cfg := tinyConfig(ImageRF, 4)
+	sp := makeSplit(t, d, cfg)
+
+	warm := buildModel(t, cfg, d, sp)
+	tr := NewTrainer(warm, d, sp, IdealLink{})
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fresh := buildModel(t, cfg, d, sp)
+	if err := nn.CopyParams(fresh.Params(), warm.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	anchors := sp.Train[:cfg.BatchSize]
+	gradsOf := func(m *Model) []*tensor.Tensor {
+		nn.ZeroGrads(m.Params())
+		pred, _ := m.ForwardBatch(anchors)
+		_, lossGrad := nn.MSE(pred, m.targets(anchors))
+		m.BackwardBatch(lossGrad)
+		var gs []*tensor.Tensor
+		for _, p := range m.Params() {
+			gs = append(gs, p.Grad.Clone())
+		}
+		return gs
+	}
+	gw, gf := gradsOf(warm), gradsOf(fresh)
+	for pi := range gw {
+		wd, fd := gw[pi].Data(), gf[pi].Data()
+		for i := range wd {
+			if math.Float64bits(wd[i]) != math.Float64bits(fd[i]) {
+				t.Fatalf("param %d grad element %d: warm %g != fresh %g", pi, i, wd[i], fd[i])
+			}
+		}
+	}
+}

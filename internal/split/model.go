@@ -155,6 +155,14 @@ type Model struct {
 
 	data *dataset.Dataset
 	wire compress.Codec // cut-layer payload codec (Cfg.Codec)
+
+	// arena holds the model's batch-assembly scratch (image stack, fused
+	// sequence, targets, cut gradient). It is reset at the top of every
+	// ForwardBatch, so in steady state each training step reuses the
+	// previous step's buffers verbatim; tensors handed out from it are
+	// only valid until the next ForwardBatch. The model inherits the
+	// layers' single-threaded contract, so the arena needs no locking.
+	arena tensor.Arena
 }
 
 // NewModel constructs the split model for a dataset, validating the
@@ -190,7 +198,7 @@ func (m *Model) Params() []*nn.Param {
 func (m *Model) imageBatch(anchors []int) *tensor.Tensor {
 	d, L := m.data, m.Cfg.SeqLen
 	px := d.H * d.W
-	out := tensor.New(len(anchors)*L, 1, d.H, d.W)
+	out := m.arena.GetUninit(len(anchors)*L, 1, d.H, d.W)
 	for b, k := range anchors {
 		for t := 0; t < L; t++ {
 			frame := k - L + 1 + t
@@ -208,7 +216,7 @@ func (m *Model) fuse(anchors []int, pooled *tensor.Tensor) *tensor.Tensor {
 	L := cfg.SeqLen
 	featPx := cfg.FeaturePixels(d)
 	dim := cfg.RNNInputDim(d)
-	out := tensor.New(len(anchors), L, dim)
+	out := m.arena.GetUninit(len(anchors), L, dim)
 	for b, k := range anchors {
 		for t := 0; t < L; t++ {
 			row := out.Data()[(b*L+t)*dim : (b*L+t+1)*dim]
@@ -231,7 +239,7 @@ func (m *Model) splitFusedGrad(grad *tensor.Tensor) *tensor.Tensor {
 	featPx := cfg.FeaturePixels(d)
 	dim := cfg.RNNInputDim(d)
 	n := grad.Dim(0)
-	out := tensor.New(n*L, 1, d.H/cfg.PoolH, d.W/cfg.PoolW)
+	out := m.arena.GetUninit(n*L, 1, d.H/cfg.PoolH, d.W/cfg.PoolW)
 	for b := 0; b < n; b++ {
 		for t := 0; t < L; t++ {
 			src := grad.Data()[(b*L+t)*dim : (b*L+t)*dim+featPx]
@@ -243,7 +251,7 @@ func (m *Model) splitFusedGrad(grad *tensor.Tensor) *tensor.Tensor {
 
 // targets builds the (B, 1) normalised prediction targets P_{k+T/γ}.
 func (m *Model) targets(anchors []int) *tensor.Tensor {
-	out := tensor.New(len(anchors), 1)
+	out := m.arena.GetUninit(len(anchors), 1)
 	for b, k := range anchors {
 		out.Data()[b] = m.Norm.Normalize(m.data.Powers[k+m.Cfg.HorizonFrames])
 	}
@@ -256,6 +264,9 @@ func (m *Model) targets(anchors []int) *tensor.Tensor {
 // activations the BS consumes are the codec round-trip of what the UE
 // produced, exactly as a BitDepth-bit uplink would deliver them.
 func (m *Model) ForwardBatch(anchors []int) (pred, pooled *tensor.Tensor) {
+	// Recycle the previous step's batch-assembly buffers: nothing handed
+	// out by the arena may outlive the next ForwardBatch (see arena doc).
+	m.arena.Reset()
 	if m.UE != nil {
 		pooled = m.UE.Forward(m.imageBatch(anchors))
 		if m.Cfg.QuantizeWire {

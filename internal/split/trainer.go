@@ -9,6 +9,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/simclock"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,11 @@ type Trainer struct {
 	split   *dataset.Split
 	sampler *dataset.Sampler
 	adam    *opt.Adam
+
+	// params caches Model.Params() (rebuilding the slice every step is
+	// avoidable garbage); lossGrad is the reusable MSE gradient buffer.
+	params   []*nn.Param
+	lossGrad *tensor.Tensor
 
 	// wireBits is the per-transfer cut-layer payload under the model's
 	// codec (Model.WireBits), cached because the cut shape is fixed. For
@@ -51,6 +57,7 @@ func NewTrainer(m *Model, d *dataset.Dataset, sp *dataset.Split, link CutLink) *
 		data:     d,
 		split:    sp,
 		sampler:  dataset.NewSampler(sp.Train, rand.New(rand.NewSource(m.Cfg.Seed+1000))),
+		params:   m.Params(),
 		adam:     opt.NewAdam(m.Params(), m.Cfg.LR, m.Cfg.Beta1, m.Cfg.Beta2),
 		wireBits: m.WireBits(),
 	}
@@ -63,7 +70,7 @@ func (t *Trainer) Step() (float64, error) {
 	cfg := t.Model.Cfg
 	anchors := t.sampler.Batch(cfg.BatchSize)
 
-	nn.ZeroGrads(t.Model.Params())
+	nn.ZeroGrads(t.params)
 	pred, _ := t.Model.ForwardBatch(anchors)
 
 	// Uplink: the pooled activations cross the channel before the BS can
@@ -74,7 +81,9 @@ func (t *Trainer) Step() (float64, error) {
 	}
 	t.Clock.Advance(upDelay)
 
-	loss, lossGrad := nn.MSE(pred, t.Model.targets(anchors))
+	t.lossGrad = tensor.EnsureShape(t.lossGrad, pred.Shape()...)
+	loss := nn.MSEInto(t.lossGrad, pred, t.Model.targets(anchors))
+	lossGrad := t.lossGrad
 
 	cutGrad := t.Model.BackwardBatch(lossGrad)
 	if cutGrad != nil {

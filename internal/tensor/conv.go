@@ -28,84 +28,81 @@ func (s Conv2DSpec) OutSize(h, w, kh, kw int) (oh, ow int) {
 	return oh, ow
 }
 
-// Conv2D computes the cross-correlation (the deep-learning "convolution")
-// of x (N,Cin,H,W) with kernel k (Cout,Cin,KH,KW), adding bias[co] to each
-// output channel if bias is non-nil. Zero padding is used.
-func Conv2D(x, k *Tensor, bias []float64, spec Conv2DSpec) *Tensor {
+func checkConvGeometry(x, k *Tensor, bias []float64, op string) (n, cin, h, w, cout, kh, kw int) {
 	if x.Rank() != 4 || k.Rank() != 4 {
-		panic("tensor: Conv2D requires NCHW input and OIHW kernel")
+		panic(fmt.Sprintf("tensor: %s requires NCHW input and OIHW kernel", op))
 	}
-	n, cin, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	cout, cink, kh, kw := k.shape[0], k.shape[1], k.shape[2], k.shape[3]
-	if cin != cink {
-		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input Cin=%d kernel Cin=%d", cin, cink))
+	n, cin, h, w = x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, kh, kw = k.shape[0], k.shape[2], k.shape[3]
+	if cin != k.shape[1] {
+		panic(fmt.Sprintf("tensor: %s channel mismatch input Cin=%d kernel Cin=%d", op, cin, k.shape[1]))
 	}
 	if bias != nil && len(bias) != cout {
-		panic(fmt.Sprintf("tensor: Conv2D bias length %d != Cout %d", len(bias), cout))
+		panic(fmt.Sprintf("tensor: %s bias length %d != Cout %d", op, len(bias), cout))
 	}
+	return
+}
+
+// Conv2D computes the cross-correlation (the deep-learning "convolution")
+// of x (N,Cin,H,W) with kernel k (Cout,Cin,KH,KW), adding bias[co] to each
+// output channel if bias is non-nil. Zero padding is used. The
+// implementation is im2col packing + GEMM; results are bit-identical to
+// Conv2DDirect, the reference implementation.
+func Conv2D(x, k *Tensor, bias []float64, spec Conv2DSpec) *Tensor {
+	oh, ow := spec.OutSize(x.shape[2], x.shape[3], k.shape[2], k.shape[3])
+	out := New(x.shape[0], k.shape[0], oh, ow)
+	Conv2DInto(out, x, k, bias, spec)
+	return out
+}
+
+// Conv2DInto computes Conv2D into out (N,Cout,OH,OW), overwriting it.
+// out must not alias x or k.
+func Conv2DInto(out, x, k *Tensor, bias []float64, spec Conv2DSpec) {
+	n, cin, h, w, cout, kh, kw := checkConvGeometry(x, k, bias, "Conv2D")
+	oh, ow := spec.OutSize(h, w, kh, kw)
+	if out.Rank() != 4 || out.shape[0] != n || out.shape[1] != cout ||
+		out.shape[2] != oh || out.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: Conv2DInto out shape %v, want [%d %d %d %d]",
+			out.shape, n, cout, oh, ow))
+	}
+	P, J := cin*kh*kw, oh*ow
+	xd, kd, od := x.data, k.data, out.data
+
+	// Each sample's output block is independent: parallelise over the
+	// batch with the deterministic worker pool. Each shard owns one
+	// pooled column buffer.
+	parallelFor(n, 2*cout*P*J, func(shard, stride int) {
+		if shard >= n {
+			return
+		}
+		col := getSlice(P * J)
+		for ni := shard; ni < n; ni += stride {
+			im2colSample(col, xd, ni, cin, h, w, kh, kw, oh, ow, spec)
+			convGEMMSample(od[ni*cout*J:(ni+1)*cout*J], kd, col, bias, cout, P, J)
+		}
+		putSlice(col)
+	})
+}
+
+// Conv2DDirect is the straightforward 7-loop convolution, kept as the
+// reference oracle the im2col path is tested against bit-for-bit.
+func Conv2DDirect(x, k *Tensor, bias []float64, spec Conv2DSpec) *Tensor {
+	n, cin, h, w, cout, kh, kw := checkConvGeometry(x, k, bias, "Conv2DDirect")
 	oh, ow := spec.OutSize(h, w, kh, kw)
 	out := New(n, cout, oh, ow)
 	xd, kd, od := x.data, k.data, out.data
-
-	// Each batch element's output block is independent: parallelise over
-	// the batch with the deterministic worker pool.
-	parallelFor(n, func(start, stride int) {
-		for ni := start; ni < n; ni += stride {
-			convOneSample(xd, kd, od, bias, ni, cin, cout, h, w, kh, kw, oh, ow, spec)
+	parallelFor(n, 2*cout*cin*kh*kw*oh*ow, func(shard, stride int) {
+		for ni := shard; ni < n; ni += stride {
+			convSampleDirect(xd, kd, od, bias, ni, cin, cout, h, w, kh, kw, oh, ow, spec)
 		}
 	})
 	return out
 }
 
-// convOneSample computes the full output block of batch element ni.
-func convOneSample(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, kw, oh, ow int, spec Conv2DSpec) {
-	if spec.StrideH == 1 && spec.StrideW == 1 {
-		convOneSampleStride1(xd, kd, od, bias, ni, cin, cout, h, w, kh, kw, oh, ow, spec.PadH, spec.PadW)
-		return
-	}
-	{
-		for co := 0; co < cout; co++ {
-			b := 0.0
-			if bias != nil {
-				b = bias[co]
-			}
-			obase := ((ni * cout) + co) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*spec.StrideH - spec.PadH
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*spec.StrideW - spec.PadW
-					acc := b
-					for ci := 0; ci < cin; ci++ {
-						xbase := ((ni * cin) + ci) * h * w
-						kbase := ((co * cin) + ci) * kh * kw
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xrow := xd[xbase+iy*w : xbase+(iy+1)*w]
-							krow := kd[kbase+ky*kw : kbase+(ky+1)*kw]
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								acc += xrow[ix] * krow[kx]
-							}
-						}
-					}
-					od[obase+oy*ow+ox] = acc
-				}
-			}
-		}
-	}
-}
-
-// convOneSampleStride1 is the stride-1 fast path: the innermost loop runs
-// over a contiguous span of output columns with no per-element bounds
-// checks, which matters because the UE CNN is stride-1 everywhere and the
-// convolution dominates training compute.
-func convOneSampleStride1(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, kw, oh, ow, padH, padW int) {
+// convSampleDirect computes the full output block of batch element ni with
+// the direct nested loops. Summation order per output element: bias, then
+// (cin, kh, kw) ascending — the order the im2col GEMM reproduces.
+func convSampleDirect(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, kw, oh, ow int, spec Conv2DSpec) {
 	for co := 0; co < cout; co++ {
 		b := 0.0
 		if bias != nil {
@@ -113,34 +110,154 @@ func convOneSampleStride1(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, k
 		}
 		obase := ((ni * cout) + co) * oh * ow
 		for oy := 0; oy < oh; oy++ {
-			oRow := od[obase+oy*ow : obase+(oy+1)*ow]
-			for ox := range oRow {
-				oRow[ox] = b
-			}
-			for ci := 0; ci < cin; ci++ {
-				xbase := ((ni * cin) + ci) * h * w
-				kbase := ((co * cin) + ci) * kh * kw
-				for ky := 0; ky < kh; ky++ {
-					iy := oy - padH + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					xRow := xd[xbase+iy*w : xbase+(iy+1)*w]
-					for kx := 0; kx < kw; kx++ {
-						kv := kd[kbase+ky*kw+kx]
-						if kv == 0 {
+			iy0 := oy*spec.StrideH - spec.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*spec.StrideW - spec.PadW
+				acc := b
+				for ci := 0; ci < cin; ci++ {
+					xbase := ((ni * cin) + ci) * h * w
+					kbase := ((co * cin) + ci) * kh * kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
 							continue
 						}
-						shift := kx - padW // ix = ox + shift
-						lo, hi := 0, ow-1
-						if -shift > lo {
-							lo = -shift
+						xrow := xd[xbase+iy*w : xbase+(iy+1)*w]
+						krow := kd[kbase+ky*kw : kbase+(ky+1)*kw]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += xrow[ix] * krow[kx]
 						}
-						if w-1-shift < hi {
-							hi = w - 1 - shift
+					}
+				}
+				od[obase+oy*ow+ox] = acc
+			}
+		}
+	}
+}
+
+// Conv2DBackward computes the gradients of a Conv2D call given the
+// upstream gradient gradOut (N,Cout,OH,OW). It returns the gradient with
+// respect to the input x, the kernel k, and the bias (summed over batch
+// and space).
+func Conv2DBackward(x, k, gradOut *Tensor, spec Conv2DSpec) (gradX, gradK *Tensor, gradBias []float64) {
+	gradX = New(x.shape...)
+	gradK = New(k.shape...)
+	gradBias = make([]float64, k.shape[0])
+	Conv2DBackwardInto(gradX, gradK, gradBias, x, k, gradOut, spec)
+	return gradX, gradK, gradBias
+}
+
+// validateConvBackward checks every backward-pass shape and returns the
+// geometry the kernels iterate over.
+func validateConvBackward(gradX, gradK *Tensor, gradBias []float64, x, k, gradOut *Tensor, spec Conv2DSpec, op string) (n, cin, h, w, cout, kh, kw, oh, ow int) {
+	n, cin, h, w, cout, kh, kw = checkConvGeometry(x, k, nil, op)
+	oh, ow = spec.OutSize(h, w, kh, kw)
+	if gradOut.Rank() != 4 || gradOut.shape[0] != n || gradOut.shape[1] != cout ||
+		gradOut.shape[2] != oh || gradOut.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: %s gradOut shape %v, want [%d %d %d %d]",
+			op, gradOut.shape, n, cout, oh, ow))
+	}
+	if !gradX.SameShape(x) || !gradK.SameShape(k) {
+		panic(fmt.Sprintf("tensor: %s gradient shapes %v/%v, want %v/%v",
+			op, gradX.shape, gradK.shape, x.shape, k.shape))
+	}
+	if len(gradBias) != cout {
+		panic(fmt.Sprintf("tensor: %s gradBias length %d != Cout %d", op, len(gradBias), cout))
+	}
+	return n, cin, h, w, cout, kh, kw, oh, ow
+}
+
+// Conv2DBackwardInto computes the convolution gradients with the
+// im2col/col2im engine. gradX is OVERWRITTEN; gradK and gradBias are
+// ACCUMULATED into (zero them first for plain gradients) — the natural
+// contract for layers that fold parameter gradients over a step.
+//
+// Kernel- and bias-gradient partial sums are kept per shard and reduced
+// in shard order, so results are bit-deterministic for any worker count
+// and bit-identical to Conv2DBackwardDirect.
+func Conv2DBackwardInto(gradX, gradK *Tensor, gradBias []float64, x, k, gradOut *Tensor, spec Conv2DSpec) {
+	n, cin, h, w, cout, kh, kw, oh, ow := validateConvBackward(gradX, gradK, gradBias, x, k, gradOut, spec, "Conv2DBackwardInto")
+	gradX.Zero()
+	P, J := cin*kh*kw, oh*ow
+	kSize := cout * P
+	partialK := getSliceZeroed(numShards * kSize)
+	partialB := getSliceZeroed(numShards * cout)
+	xd, kd := x.data, k.data
+	gxd, god := gradX.data, gradOut.data
+
+	parallelFor(n, 4*cout*P*J, func(shard, stride int) {
+		gkd := partialK[shard*kSize : (shard+1)*kSize]
+		gbd := partialB[shard*cout : (shard+1)*cout]
+		for ni := shard; ni < n; ni += stride {
+			convBackSampleIm2col(xd, kd, gxd, god, gkd, gbd,
+				ni, cin, cout, h, w, kh, kw, oh, ow, spec)
+		}
+	})
+
+	reduceConvPartials(gradK.data, gradBias, partialK, partialB, kSize, cout)
+}
+
+// Conv2DBackwardDirect is the loop-nest reference implementation of the
+// convolution gradients, bit-identical to Conv2DBackwardInto and kept as
+// the test oracle. gradK/gradBias accumulate like the Into variant.
+func Conv2DBackwardDirect(gradX, gradK *Tensor, gradBias []float64, x, k, gradOut *Tensor, spec Conv2DSpec) {
+	n, cin, h, w, cout, kh, kw, oh, ow := validateConvBackward(gradX, gradK, gradBias, x, k, gradOut, spec, "Conv2DBackwardDirect")
+	gradX.Zero()
+	kSize := cout * cin * kh * kw
+	partialK := getSliceZeroed(numShards * kSize)
+	partialB := getSliceZeroed(numShards * cout)
+	xd, kd := x.data, k.data
+	gxd, god := gradX.data, gradOut.data
+
+	parallelFor(n, 4*cout*cin*kh*kw*oh*ow, func(shard, stride int) {
+		gkd := partialK[shard*kSize : (shard+1)*kSize]
+		gbd := partialB[shard*cout : (shard+1)*cout]
+		for ni := shard; ni < n; ni += stride {
+			convBackSampleDirect(xd, kd, gxd, god, gkd, gbd,
+				ni, cin, cout, h, w, kh, kw, oh, ow, spec)
+		}
+	})
+
+	reduceConvPartials(gradK.data, gradBias, partialK, partialB, kSize, cout)
+}
+
+// convBackSampleDirect accumulates one sample's gradient contributions
+// with the direct loop nest: for each upstream element in ascending
+// (cout, oy, ox) order, walk the receptive field in (cin, kh, kw) order.
+func convBackSampleDirect(xd, kd, gxd, god, gkd, gbd []float64,
+	ni, cin, cout, h, w, kh, kw, oh, ow int, spec Conv2DSpec) {
+	for co := 0; co < cout; co++ {
+		obase := ((ni * cout) + co) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*spec.StrideH - spec.PadH
+			for ox := 0; ox < ow; ox++ {
+				g := god[obase+oy*ow+ox]
+				if g == 0 {
+					continue
+				}
+				gbd[co] += g
+				ix0 := ox*spec.StrideW - spec.PadW
+				for ci := 0; ci < cin; ci++ {
+					xbase := ((ni * cin) + ci) * h * w
+					kbase := ((co * cin) + ci) * kh * kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
 						}
-						for ox := lo; ox <= hi; ox++ {
-							oRow[ox] += kv * xRow[ox+shift]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							xi := xbase + iy*w + ix
+							ki := kbase + ky*kw + kx
+							gxd[xi] += g * kd[ki]
+							gkd[ki] += g * xd[xi]
 						}
 					}
 				}
@@ -149,164 +266,52 @@ func convOneSampleStride1(xd, kd, od, bias []float64, ni, cin, cout, h, w, kh, k
 	}
 }
 
-// Conv2DBackward computes the gradients of a Conv2D call given the upstream
-// gradient gradOut (N,Cout,OH,OW). It returns the gradient with respect to
-// the input x, the kernel k, and the bias (summed over batch and space).
-func Conv2DBackward(x, k, gradOut *Tensor, spec Conv2DSpec) (gradX, gradK *Tensor, gradBias []float64) {
-	n, cin, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	cout, _, kh, kw := k.shape[0], k.shape[1], k.shape[2], k.shape[3]
-	oh, ow := spec.OutSize(h, w, kh, kw)
-	if gradOut.Rank() != 4 || gradOut.shape[0] != n || gradOut.shape[1] != cout ||
-		gradOut.shape[2] != oh || gradOut.shape[3] != ow {
-		panic(fmt.Sprintf("tensor: Conv2DBackward gradOut shape %v, want [%d %d %d %d]",
-			gradOut.shape, n, cout, oh, ow))
-	}
-	gradX = New(n, cin, h, w)
-	gradK = New(cout, cin, kh, kw)
-	gradBias = make([]float64, cout)
-	xd, kd := x.data, k.data
-	gxd, god := gradX.data, gradOut.data
-
-	// gradX blocks are disjoint per batch element; kernel and bias
-	// gradients are accumulated into per-worker buffers and reduced in
-	// worker order so the result is bit-deterministic.
-	nWorkers := parallelWorkers
-	if n < parallelThreshold {
-		nWorkers = 1
-	}
-	kSize := cout * cin * kh * kw
-	partialK := make([]float64, nWorkers*kSize)
-	partialB := make([]float64, nWorkers*cout)
-
-	parallelFor(n, func(start, stride int) {
-		worker := start
-		if stride == 1 {
-			worker = 0
-		}
-		gkd := partialK[worker*kSize : (worker+1)*kSize]
-		gbd := partialB[worker*cout : (worker+1)*cout]
-		if spec.StrideH == 1 && spec.StrideW == 1 {
-			for ni := start; ni < n; ni += stride {
-				convBackOneSampleStride1(xd, kd, gxd, god, gkd, gbd,
-					ni, cin, cout, h, w, kh, kw, oh, ow, spec.PadH, spec.PadW)
-			}
-			return
-		}
-		for ni := start; ni < n; ni += stride {
-			for co := 0; co < cout; co++ {
-				obase := ((ni * cout) + co) * oh * ow
-				for oy := 0; oy < oh; oy++ {
-					iy0 := oy*spec.StrideH - spec.PadH
-					for ox := 0; ox < ow; ox++ {
-						g := god[obase+oy*ow+ox]
-						if g == 0 {
-							continue
-						}
-						gbd[co] += g
-						ix0 := ox*spec.StrideW - spec.PadW
-						for ci := 0; ci < cin; ci++ {
-							xbase := ((ni * cin) + ci) * h * w
-							kbase := ((co * cin) + ci) * kh * kw
-							for ky := 0; ky < kh; ky++ {
-								iy := iy0 + ky
-								if iy < 0 || iy >= h {
-									continue
-								}
-								for kx := 0; kx < kw; kx++ {
-									ix := ix0 + kx
-									if ix < 0 || ix >= w {
-										continue
-									}
-									xi := xbase + iy*w + ix
-									ki := kbase + ky*kw + kx
-									gxd[xi] += g * kd[ki]
-									gkd[ki] += g * xd[xi]
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	})
-
-	gkdFinal := gradK.data
-	for wkr := 0; wkr < nWorkers; wkr++ {
-		pk := partialK[wkr*kSize : (wkr+1)*kSize]
+// reduceConvPartials folds the per-shard kernel/bias gradients into the
+// output accumulators in shard order (bit-deterministic reduction).
+func reduceConvPartials(gkdFinal, gradBias, partialK, partialB []float64, kSize, cout int) {
+	for s := 0; s < numShards; s++ {
+		pk := partialK[s*kSize : (s+1)*kSize]
 		for i, v := range pk {
 			gkdFinal[i] += v
 		}
-		pb := partialB[wkr*cout : (wkr+1)*cout]
+		pb := partialB[s*cout : (s+1)*cout]
 		for i, v := range pb {
 			gradBias[i] += v
 		}
 	}
-	return gradX, gradK, gradBias
-}
-
-// convBackOneSampleStride1 is the stride-1 fast path of Conv2DBackward:
-// for each (ky, kx) tap, the input- and kernel-gradient contributions of
-// one output row reduce to a shifted fused multiply-add over a contiguous
-// span, eliminating all per-pixel bounds checks.
-func convBackOneSampleStride1(xd, kd, gxd, god, gkd, gbd []float64,
-	ni, cin, cout, h, w, kh, kw, oh, ow, padH, padW int) {
-	for co := 0; co < cout; co++ {
-		obase := ((ni * cout) + co) * oh * ow
-		for oy := 0; oy < oh; oy++ {
-			gRow := god[obase+oy*ow : obase+(oy+1)*ow]
-			rowSum := 0.0
-			for _, g := range gRow {
-				rowSum += g
-			}
-			gbd[co] += rowSum
-			for ci := 0; ci < cin; ci++ {
-				xbase := ((ni * cin) + ci) * h * w
-				kbase := ((co * cin) + ci) * kh * kw
-				for ky := 0; ky < kh; ky++ {
-					iy := oy - padH + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					xRow := xd[xbase+iy*w : xbase+(iy+1)*w]
-					gxRow := gxd[xbase+iy*w : xbase+(iy+1)*w]
-					for kx := 0; kx < kw; kx++ {
-						ki := kbase + ky*kw + kx
-						kv := kd[ki]
-						shift := kx - padW
-						lo, hi := 0, ow-1
-						if -shift > lo {
-							lo = -shift
-						}
-						if w-1-shift < hi {
-							hi = w - 1 - shift
-						}
-						s := 0.0
-						for ox := lo; ox <= hi; ox++ {
-							g := gRow[ox]
-							gxRow[ox+shift] += g * kv
-							s += g * xRow[ox+shift]
-						}
-						gkd[ki] += s
-					}
-				}
-			}
-		}
-	}
+	putSlice(partialK)
+	putSlice(partialB)
 }
 
 // AvgPool2D applies non-overlapping average pooling with window (ph, pw) to
 // x (N,C,H,W). H must be divisible by ph and W by pw — the paper's pooling
 // dimensions (1×1, 4×4, 10×10, 40×40 over 40×40 images) all satisfy this.
 func AvgPool2D(x *Tensor, ph, pw int) *Tensor {
-	if x.Rank() != 4 {
-		panic("tensor: AvgPool2D requires NCHW input")
-	}
-	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	n, c, oh, ow := avgPoolGeometry(x, ph, pw)
+	out := New(n, c, oh, ow)
+	AvgPool2DInto(out, x, ph, pw)
+	return out
+}
+
+func avgPoolGeometry(x *Tensor, ph, pw int) (n, c, oh, ow int) {
+	mustRank(x, 4, "AvgPool2D")
+	n, c = x.shape[0], x.shape[1]
+	h, w := x.shape[2], x.shape[3]
 	if ph <= 0 || pw <= 0 || h%ph != 0 || w%pw != 0 {
 		panic(fmt.Sprintf("tensor: AvgPool2D window %dx%d incompatible with input %dx%d", ph, pw, h, w))
 	}
-	oh, ow := h/ph, w/pw
-	out := New(n, c, oh, ow)
+	return n, c, h / ph, w / pw
+}
+
+// AvgPool2DInto computes AvgPool2D into out (N,C,H/ph,W/pw), overwriting it.
+func AvgPool2DInto(out, x *Tensor, ph, pw int) {
+	n, c, oh, ow := avgPoolGeometry(x, ph, pw)
+	if out.Rank() != 4 || out.shape[0] != n || out.shape[1] != c ||
+		out.shape[2] != oh || out.shape[3] != ow {
+		panic(fmt.Sprintf("tensor: AvgPool2DInto out shape %v, want [%d %d %d %d]",
+			out.shape, n, c, oh, ow))
+	}
+	h, w := x.shape[2], x.shape[3]
 	inv := 1.0 / float64(ph*pw)
 	xd, od := x.data, out.data
 	for nc := 0; nc < n*c; nc++ {
@@ -325,19 +330,30 @@ func AvgPool2D(x *Tensor, ph, pw int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // AvgPool2DBackward distributes the upstream gradient gradOut (N,C,OH,OW)
 // of an AvgPool2D call uniformly over each pooling window, returning the
 // gradient with respect to the input of shape (N,C,H,W).
 func AvgPool2DBackward(gradOut *Tensor, ph, pw int) *Tensor {
-	if gradOut.Rank() != 4 {
-		panic("tensor: AvgPool2DBackward requires NCHW gradient")
-	}
+	mustRank(gradOut, 4, "AvgPool2DBackward")
+	n, c, oh, ow := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
+	out := New(n, c, oh*ph, ow*pw)
+	AvgPool2DBackwardInto(out, gradOut, ph, pw)
+	return out
+}
+
+// AvgPool2DBackwardInto computes AvgPool2DBackward into out (N,C,H,W),
+// overwriting it.
+func AvgPool2DBackwardInto(out, gradOut *Tensor, ph, pw int) {
+	mustRank(gradOut, 4, "AvgPool2DBackwardInto")
 	n, c, oh, ow := gradOut.shape[0], gradOut.shape[1], gradOut.shape[2], gradOut.shape[3]
 	h, w := oh*ph, ow*pw
-	out := New(n, c, h, w)
+	if out.Rank() != 4 || out.shape[0] != n || out.shape[1] != c ||
+		out.shape[2] != h || out.shape[3] != w {
+		panic(fmt.Sprintf("tensor: AvgPool2DBackwardInto out shape %v, want [%d %d %d %d]",
+			out.shape, n, c, h, w))
+	}
 	inv := 1.0 / float64(ph*pw)
 	god, od := gradOut.data, out.data
 	for nc := 0; nc < n*c; nc++ {
@@ -349,22 +365,19 @@ func AvgPool2DBackward(gradOut *Tensor, ph, pw int) *Tensor {
 				for dy := 0; dy < ph; dy++ {
 					row := od[obase+(oy*ph+dy)*w:]
 					for dx := 0; dx < pw; dx++ {
-						row[ox*pw+dx] += g
+						row[ox*pw+dx] = g
 					}
 				}
 			}
 		}
 	}
-	return out
 }
 
 // UpsampleNearest2D scales x (N,C,H,W) by integer factors (fh, fw) using
 // nearest-neighbour replication. Used by the privacy metric to compare
 // pooled feature maps against raw images at equal resolution.
 func UpsampleNearest2D(x *Tensor, fh, fw int) *Tensor {
-	if x.Rank() != 4 {
-		panic("tensor: UpsampleNearest2D requires NCHW input")
-	}
+	mustRank(x, 4, "UpsampleNearest2D")
 	if fh <= 0 || fw <= 0 {
 		panic("tensor: UpsampleNearest2D factors must be positive")
 	}
@@ -391,9 +404,7 @@ func UpsampleNearest2D(x *Tensor, fh, fw int) *Tensor {
 // each window (needed by the backward pass). Geometry constraints match
 // AvgPool2D.
 func MaxPool2D(x *Tensor, ph, pw int) (*Tensor, []int) {
-	if x.Rank() != 4 {
-		panic("tensor: MaxPool2D requires NCHW input")
-	}
+	mustRank(x, 4, "MaxPool2D")
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	if ph <= 0 || pw <= 0 || h%ph != 0 || w%pw != 0 {
 		panic(fmt.Sprintf("tensor: MaxPool2D window %dx%d incompatible with input %dx%d", ph, pw, h, w))
@@ -401,6 +412,22 @@ func MaxPool2D(x *Tensor, ph, pw int) (*Tensor, []int) {
 	oh, ow := h/ph, w/pw
 	out := New(n, c, oh, ow)
 	argmax := make([]int, out.Size())
+	MaxPool2DInto(out, argmax, x, ph, pw)
+	return out, argmax
+}
+
+// MaxPool2DInto computes MaxPool2D into out and argmax, overwriting both.
+func MaxPool2DInto(out *Tensor, argmax []int, x *Tensor, ph, pw int) {
+	mustRank(x, 4, "MaxPool2DInto")
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if ph <= 0 || pw <= 0 || h%ph != 0 || w%pw != 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D window %dx%d incompatible with input %dx%d", ph, pw, h, w))
+	}
+	oh, ow := h/ph, w/pw
+	if out.Size() != n*c*oh*ow || len(argmax) != out.Size() {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto out size %d / argmax %d, want %d",
+			out.Size(), len(argmax), n*c*oh*ow))
+	}
 	xd, od := x.data, out.data
 	for nc := 0; nc < n*c; nc++ {
 		xbase := nc * h * w
@@ -424,19 +451,24 @@ func MaxPool2D(x *Tensor, ph, pw int) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, argmax
 }
 
 // MaxPool2DBackward routes each upstream gradient element to the input
 // position that achieved the window maximum.
 func MaxPool2DBackward(gradOut *Tensor, argmax []int, inShape []int) *Tensor {
+	out := New(inShape...)
+	MaxPool2DBackwardInto(out, gradOut, argmax)
+	return out
+}
+
+// MaxPool2DBackwardInto computes MaxPool2DBackward into out, overwriting it.
+func MaxPool2DBackwardInto(out, gradOut *Tensor, argmax []int) {
 	if gradOut.Size() != len(argmax) {
 		panic(fmt.Sprintf("tensor: MaxPool2DBackward argmax length %d != grad size %d",
 			len(argmax), gradOut.Size()))
 	}
-	out := New(inShape...)
+	out.Zero()
 	for i, g := range gradOut.data {
 		out.data[argmax[i]] += g
 	}
-	return out
 }

@@ -1,0 +1,328 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The bit-identity equivalence suite of the performance engine: the
+// im2col/GEMM convolution against the direct loop oracle, every worker
+// count against serial, and arena-backed buffers against fresh
+// allocations. Comparisons use math.Float64bits, so even sign-of-zero
+// differences would fail.
+
+func bitsEqual(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v != %v", name, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+			t.Fatalf("%s: element %d differs: %x (%g) != %x (%g)",
+				name, i, math.Float64bits(gd[i]), gd[i], math.Float64bits(wd[i]), wd[i])
+		}
+	}
+}
+
+func bitsEqualSlice(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d differs: %g != %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+// convCase is one convolution geometry of the equivalence sweep. The set
+// covers the repo's models (single-channel stride-1 same-padding at
+// every pooling-relevant size) plus multi-channel, strided, asymmetric
+// and unpadded cases the generic code paths must handle.
+type convCase struct {
+	name             string
+	n, cin, h, w     int
+	cout, kh, kw     int
+	spec             Conv2DSpec
+	sparseGrad       bool // zero out most of the upstream gradient (post-ReLU shape)
+	includeNegatives bool
+}
+
+func convCases() []convCase {
+	return []convCase{
+		{name: "ue_cnn_40x40", n: 9, cin: 1, h: 40, w: 40, cout: 1, kh: 3, kw: 3,
+			spec: Conv2DSpec{1, 1, 1, 1}, includeNegatives: true},
+		{name: "small_batch", n: 3, cin: 1, h: 8, w: 8, cout: 1, kh: 3, kw: 3,
+			spec: Conv2DSpec{1, 1, 1, 1}},
+		{name: "multi_channel", n: 4, cin: 3, h: 11, w: 9, cout: 5, kh: 3, kw: 3,
+			spec: Conv2DSpec{1, 1, 1, 1}, includeNegatives: true},
+		{name: "strided", n: 5, cin: 2, h: 12, w: 12, cout: 3, kh: 3, kw: 3,
+			spec: Conv2DSpec{2, 2, 1, 1}},
+		{name: "asym_kernel_no_pad", n: 2, cin: 2, h: 9, w: 13, cout: 2, kh: 1, kw: 5,
+			spec: Conv2DSpec{1, 1, 0, 2}},
+		{name: "stride_mixed", n: 17, cin: 1, h: 10, w: 14, cout: 2, kh: 5, kw: 3,
+			spec: Conv2DSpec{2, 1, 2, 1}, sparseGrad: true},
+		{name: "sparse_grad", n: 8, cin: 1, h: 16, w: 16, cout: 1, kh: 3, kw: 3,
+			spec: Conv2DSpec{1, 1, 1, 1}, sparseGrad: true, includeNegatives: true},
+	}
+}
+
+func buildConvCase(tc convCase, seed int64) (x, k *Tensor, bias []float64, gradOut *Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	x = Randn(rng, 1, tc.n, tc.cin, tc.h, tc.w)
+	k = Randn(rng, 0.5, tc.cout, tc.cin, tc.kh, tc.kw)
+	if tc.includeNegatives {
+		k.Data()[0] = -k.Data()[0]
+		k.Data()[len(k.Data())-1] = 0 // exercise the zero-tap skip
+	}
+	bias = make([]float64, tc.cout)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	oh, ow := tc.spec.OutSize(tc.h, tc.w, tc.kh, tc.kw)
+	gradOut = Randn(rng, 1, tc.n, tc.cout, oh, ow)
+	if tc.sparseGrad {
+		gd := gradOut.Data()
+		for i := range gd {
+			if i%3 != 0 {
+				gd[i] = 0
+			}
+		}
+	}
+	return x, k, bias, gradOut
+}
+
+// TestConvIm2colMatchesDirectForward: the default (im2col) forward equals
+// the direct oracle bit-for-bit on every geometry.
+func TestConvIm2colMatchesDirectForward(t *testing.T) {
+	for _, tc := range convCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			x, k, bias, _ := buildConvCase(tc, 11)
+			bitsEqual(t, "forward",
+				Conv2D(x, k, bias, tc.spec),
+				Conv2DDirect(x, k, bias, tc.spec))
+			// nil bias path
+			bitsEqual(t, "forward_nobias",
+				Conv2D(x, k, nil, tc.spec),
+				Conv2DDirect(x, k, nil, tc.spec))
+		})
+	}
+}
+
+// TestConvIm2colMatchesDirectBackward: im2col/col2im gradients equal the
+// direct oracle bit-for-bit — input, kernel and bias gradients.
+func TestConvIm2colMatchesDirectBackward(t *testing.T) {
+	for _, tc := range convCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			x, k, _, gradOut := buildConvCase(tc, 23)
+			gX, gK, gB := Conv2DBackward(x, k, gradOut, tc.spec)
+			dX, dK := New(x.Shape()...), New(k.Shape()...)
+			dB := make([]float64, tc.cout)
+			Conv2DBackwardDirect(dX, dK, dB, x, k, gradOut, tc.spec)
+			bitsEqual(t, "gradX", gX, dX)
+			bitsEqual(t, "gradK", gK, dK)
+			bitsEqualSlice(t, "gradBias", gB, dB)
+		})
+	}
+}
+
+// TestWorkerCountInvariance: conv forward/backward and all three matmul
+// kernels produce bit-identical results for every worker-pool size —
+// the shard decomposition, not the worker count, fixes reduction order.
+func TestWorkerCountInvariance(t *testing.T) {
+	defer SetWorkers(0)
+	workerCounts := []int{1, 3, 8, runtime.NumCPU()}
+
+	rng := rand.New(rand.NewSource(31))
+	a := Randn(rng, 1, 33, 17)
+	b := Randn(rng, 1, 17, 29)
+	at := Randn(rng, 1, 17, 33)
+	bt := Randn(rng, 1, 29, 17)
+
+	type result struct {
+		mm, mmA, mmB, fwd, gX, gK *Tensor
+		gB                        []float64
+	}
+	tc := convCases()[0]
+	x, k, bias, gradOut := buildConvCase(tc, 47)
+
+	runAll := func() result {
+		var r result
+		r.mm = MatMul(a, b)
+		r.mmA = MatMulTransA(at, b)
+		r.mmB = MatMulTransB(a, bt)
+		r.fwd = Conv2D(x, k, bias, tc.spec)
+		r.gX, r.gK, r.gB = Conv2DBackward(x, k, gradOut, tc.spec)
+		return r
+	}
+
+	SetWorkers(1)
+	ref := runAll()
+	for _, w := range workerCounts {
+		got := SetWorkers(w)
+		if got < 1 || got > numShards {
+			t.Fatalf("SetWorkers(%d) returned %d outside [1, %d]", w, got, numShards)
+		}
+		r := runAll()
+		bitsEqual(t, "MatMul", r.mm, ref.mm)
+		bitsEqual(t, "MatMulTransA", r.mmA, ref.mmA)
+		bitsEqual(t, "MatMulTransB", r.mmB, ref.mmB)
+		bitsEqual(t, "Conv2D", r.fwd, ref.fwd)
+		bitsEqual(t, "gradX", r.gX, ref.gX)
+		bitsEqual(t, "gradK", r.gK, ref.gK)
+		bitsEqualSlice(t, "gradBias", r.gB, ref.gB)
+	}
+}
+
+// TestArenaMatchesFreshAlloc: operating into arena-recycled buffers —
+// including deliberately dirtied ones — produces the same bits as fresh
+// allocations.
+func TestArenaMatchesFreshAlloc(t *testing.T) {
+	tc := convCases()[2] // multi-channel
+	x, k, bias, gradOut := buildConvCase(tc, 59)
+	oh, ow := tc.spec.OutSize(tc.h, tc.w, tc.kh, tc.kw)
+
+	var arena Arena
+	// Cycle 1: dirty the arena's buffers with garbage results.
+	dirty := arena.GetUninit(tc.n, tc.cout, oh, ow)
+	dirty.Fill(math.Pi)
+	arena.Reset()
+
+	// Cycle 2: the same shapes come back dirty; Into-ops must fully
+	// define their outputs.
+	out := arena.GetUninit(tc.n, tc.cout, oh, ow)
+	Conv2DInto(out, x, k, bias, tc.spec)
+	bitsEqual(t, "conv_into_arena", out, Conv2D(x, k, bias, tc.spec))
+
+	gX := arena.Get(tc.n, tc.cin, tc.h, tc.w)
+	gK := arena.Get(tc.cout, tc.cin, tc.kh, tc.kw)
+	gB := make([]float64, tc.cout)
+	Conv2DBackwardInto(gX, gK, gB, x, k, gradOut, tc.spec)
+	wX, wK, wB := Conv2DBackward(x, k, gradOut, tc.spec)
+	bitsEqual(t, "gradX_arena", gX, wX)
+	bitsEqual(t, "gradK_arena", gK, wK)
+	bitsEqualSlice(t, "gradBias_arena", gB, wB)
+}
+
+// TestArenaSteadyStateReusesBuffers: after Reset, a same-shape Get
+// returns the identical tensor — the zero-allocation steady state.
+func TestArenaSteadyStateReusesBuffers(t *testing.T) {
+	var arena Arena
+	t1 := arena.GetUninit(4, 8)
+	t2 := arena.GetUninit(2, 3, 5)
+	arena.Reset()
+	r2 := arena.GetUninit(2, 3, 5)
+	r1 := arena.GetUninit(4, 8)
+	if r1 != t1 || r2 != t2 {
+		t.Fatal("arena did not hand back the recycled tensors for repeated shapes")
+	}
+	if arena.Get(4, 8) == t1 {
+		t.Fatal("arena handed out an in-use tensor twice")
+	}
+	arena.Release()
+}
+
+// TestEnsureShapeReusesCapacity: same shape returns the identical
+// tensor; a smaller shape reuses the backing storage.
+func TestEnsureShapeReusesCapacity(t *testing.T) {
+	a := New(6, 7)
+	if EnsureShape(a, 6, 7) != a {
+		t.Fatal("EnsureShape reallocated for an identical shape")
+	}
+	b := EnsureShape(a, 3, 7)
+	if &b.Data()[0] != &a.Data()[0] {
+		t.Fatal("EnsureShape did not reuse capacity for a smaller shape")
+	}
+	c := EnsureShape(a, 20, 20)
+	if c.Size() != 400 {
+		t.Fatalf("EnsureShape growth produced size %d", c.Size())
+	}
+}
+
+// TestParallelForSmallBatchEngages: the cost-based gate must fan out
+// typical training batches (n ≈ 8 expensive tasks), which the old
+// n >= 16 count threshold left fully serial.
+func TestParallelForSmallBatchEngages(t *testing.T) {
+	if Workers() < 2 {
+		t.Skip("single-worker environment: fan-out not observable")
+	}
+	const n = 8
+	seen := make(map[int]bool)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	parallelFor(n, 1<<20 /* expensive tasks */, func(shard, stride int) {
+		<-mu
+		seen[shard] = true
+		mu <- struct{}{}
+	})
+	if len(seen) != numShards {
+		t.Fatalf("expected all %d shards to run, saw %d", numShards, len(seen))
+	}
+}
+
+// TestParallelForCheapStaysInline: a tiny total cost must not spawn
+// goroutines; every shard still runs exactly once.
+func TestParallelForCheapStaysInline(t *testing.T) {
+	calls := 0
+	parallelFor(4, 1, func(shard, stride int) {
+		if stride != numShards {
+			t.Fatalf("stride %d != %d", stride, numShards)
+		}
+		calls++
+	})
+	if calls != numShards {
+		t.Fatalf("shards run %d times, want %d", calls, numShards)
+	}
+}
+
+// TestMaxPool2DIntoRejectsBadGeometry: the Into variant must keep the
+// divisibility validation of the allocating path — a 3×3 window over a
+// 40×40 input silently truncating would be a wrong result, not an error.
+func TestMaxPool2DIntoRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxPool2DInto accepted a 3x3 window over a 40x40 input")
+		}
+	}()
+	x := New(1, 1, 40, 40)
+	out := New(1, 1, 13, 13)
+	MaxPool2DInto(out, make([]int, out.Size()), x, 3, 3)
+}
+
+// BenchmarkConvForwardSmallBatch measures the satellite fix directly: a
+// training-sized batch of 8 images (below the old n >= 16 serial cutoff)
+// through the conv forward. With >1 workers this now parallelises.
+func BenchmarkConvForwardSmallBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := Randn(rng, 1, 8, 1, 40, 40)
+	k := Randn(rng, 0.3, 1, 1, 3, 3)
+	spec := Conv2DSpec{1, 1, 1, 1}
+	out := New(8, 1, 40, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DInto(out, x, k, []float64{0.1}, spec)
+	}
+}
+
+// BenchmarkConvBackwardSmallBatch is the backward counterpart.
+func BenchmarkConvBackwardSmallBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, 8, 1, 40, 40)
+	k := Randn(rng, 0.3, 1, 1, 3, 3)
+	spec := Conv2DSpec{1, 1, 1, 1}
+	grad := Ones(8, 1, 40, 40)
+	gX, gK := New(x.Shape()...), New(k.Shape()...)
+	gB := make([]float64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gK.Zero()
+		gB[0] = 0
+		Conv2DBackwardInto(gX, gK, gB, x, k, grad, spec)
+	}
+}

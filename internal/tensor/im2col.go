@@ -1,0 +1,225 @@
+package tensor
+
+// im2col/GEMM convolution engine.
+//
+// The forward pass packs each sample's receptive fields into a column
+// matrix C of shape (P, J) with P = Cin·KH·KW and J = OH·OW, then runs the
+// blocked GEMM out = K·C (K viewed as Cout×P) on top of a bias-initialised
+// output block. The column ROW order is (cin, kh, kw) — exactly the
+// summation order of the direct 7-loop implementation — so every output
+// element accumulates the same terms in the same order and the result is
+// bit-identical to Conv2DDirect (the reference oracle kept for tests).
+//
+// The backward pass is the transposed picture: the kernel gradient is the
+// GEMM gradOut·Cᵀ folded term-by-term into the shard accumulator
+// (ascending output-position order, matching the direct loop), and the
+// input gradient is a fused col2im scatter whose tap order (kh, kw
+// descending) makes each input cell receive its contributions in
+// ascending output-position order — again the direct loop's order.
+
+// im2colSample packs sample ni of x (N,Cin,H,W) into col, a (P, J)
+// row-major matrix. Out-of-range (padding) positions are zero.
+func im2colSample(col, xd []float64, ni, cin, h, w, kh, kw, oh, ow int, spec Conv2DSpec) {
+	J := oh * ow
+	p := 0
+	for ci := 0; ci < cin; ci++ {
+		xbase := ((ni * cin) + ci) * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				crow := col[p*J : (p+1)*J]
+				p++
+				if spec.StrideH == 1 && spec.StrideW == 1 {
+					im2colRowStride1(crow, xd, xbase, h, w, ky, kx, oh, ow, spec.PadH, spec.PadW)
+					continue
+				}
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH - spec.PadH + ky
+					dst := crow[oy*ow : (oy+1)*ow]
+					if iy < 0 || iy >= h {
+						for ox := range dst {
+							dst[ox] = 0
+						}
+						continue
+					}
+					xrow := xd[xbase+iy*w : xbase+(iy+1)*w]
+					for ox := range dst {
+						ix := ox*spec.StrideW - spec.PadW + kx
+						if ix < 0 || ix >= w {
+							dst[ox] = 0
+						} else {
+							dst[ox] = xrow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// im2colRowStride1 packs one (ky, kx) tap of a stride-1 convolution: each
+// output row is a shifted contiguous copy of an input row, with the
+// out-of-range edges zeroed.
+func im2colRowStride1(crow, xd []float64, xbase, h, w, ky, kx, oh, ow, padH, padW int) {
+	shift := kx - padW // ix = ox + shift
+	lo, hi := 0, ow-1  // ox span with ix in range
+	if -shift > lo {
+		lo = -shift
+	}
+	if w-1-shift < hi {
+		hi = w - 1 - shift
+	}
+	for oy := 0; oy < oh; oy++ {
+		iy := oy - padH + ky
+		dst := crow[oy*ow : (oy+1)*ow]
+		if iy < 0 || iy >= h || lo > hi {
+			for ox := range dst {
+				dst[ox] = 0
+			}
+			continue
+		}
+		for ox := 0; ox < lo; ox++ {
+			dst[ox] = 0
+		}
+		copy(dst[lo:hi+1], xd[xbase+iy*w+lo+shift:xbase+iy*w+hi+shift+1])
+		for ox := hi + 1; ox < ow; ox++ {
+			dst[ox] = 0
+		}
+	}
+}
+
+// convGEMMSample computes one sample's output block (Cout, J) as
+// bias + K·col, accumulating each output element's terms in ascending p
+// order (the direct loop's order).
+func convGEMMSample(out, kd, col, bias []float64, cout, P, J int) {
+	for co := 0; co < cout; co++ {
+		orow := out[co*J : (co+1)*J]
+		b := 0.0
+		if bias != nil {
+			b = bias[co]
+		}
+		for j := range orow {
+			orow[j] = b
+		}
+		krow := kd[co*P : (co+1)*P]
+		p := 0
+		for ; p+1 < P; p += 2 {
+			av0, av1 := krow[p], krow[p+1]
+			c0 := col[p*J : (p+1)*J]
+			c1 := col[(p+1)*J : (p+2)*J]
+			for j := range orow {
+				// Two explicit adds: a += t0 + t1 would regroup the
+				// floating-point chain and break bit-equality with the
+				// direct loop.
+				v := orow[j] + av0*c0[j]
+				orow[j] = v + av1*c1[j]
+			}
+		}
+		if p < P {
+			av := krow[p]
+			crow := col[p*J : (p+1)*J]
+			for j, cv := range crow {
+				orow[j] += av * cv
+			}
+		}
+	}
+}
+
+// convBackSampleIm2col accumulates one sample's kernel- and bias-gradient
+// contributions into the shard buffers gkd/gbd and scatters the sample's
+// input gradient into gxd. It is the fused col2im formulation: the column
+// matrix is never materialised — each (ky, kx) tap walks its in-range
+// output span once, scattering the input gradient and folding the kernel
+// gradient in the same pass. Term order matches convBackSampleDirect:
+// per accumulator, contributions arrive in ascending output-position
+// order (the tap loop runs (kh, kw) DESCENDING precisely so the input
+// gradient sees ascending (oy, ox)).
+//
+// The direct loop skips g == 0 terms; this kernel adds them anyway. That
+// is bit-identical because a ±0 add is an identity on any accumulator
+// reachable from a +0 start, and it keeps the hot loops branch-free.
+func convBackSampleIm2col(xd, kd, gxd, god, gkd, gbd []float64,
+	ni, cin, cout, h, w, kh, kw, oh, ow int, spec Conv2DSpec) {
+	P, J := cin*kh*kw, oh*ow
+	obase := ni * cout * J
+
+	for co := 0; co < cout; co++ {
+		grow := god[obase+co*J : obase+(co+1)*J]
+
+		// Bias: fold every upstream element in ascending (oy, ox) order.
+		acc := gbd[co]
+		for _, gv := range grow {
+			acc += gv
+		}
+		gbd[co] = acc
+
+		for ci := 0; ci < cin; ci++ {
+			xbase := ((ni * cin) + ci) * h * w
+			kbase := ((co * cin) + ci) * kh * kw
+			for ky := kh - 1; ky >= 0; ky-- {
+				for kx := kw - 1; kx >= 0; kx-- {
+					ki := kbase + ky*kw + kx
+					gi := co*P + ci*kh*kw + ky*kw + kx
+					kv := kd[ki]
+					if spec.StrideH == 1 && spec.StrideW == 1 {
+						gkd[gi] = convBackTapStride1(gxd, xd, grow, gkd[gi],
+							xbase, h, w, ky, kx, oh, ow, spec.PadH, spec.PadW, kv)
+						continue
+					}
+					a := gkd[gi]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*spec.StrideH - spec.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						gRow := grow[oy*ow : (oy+1)*ow]
+						for ox, gv := range gRow {
+							ix := ox*spec.StrideW - spec.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							xi := xbase + iy*w + ix
+							gxd[xi] += gv * kv
+							a += gv * xd[xi]
+						}
+					}
+					gkd[gi] = a
+				}
+			}
+		}
+	}
+}
+
+// convBackTapStride1 processes one (ky, kx) tap of a stride-1 backward
+// pass: a shifted fused multiply-add over the in-range span of each
+// output row — input-gradient scatter and kernel-gradient fold in a
+// single pass, no per-element bounds checks. Returns the updated kernel
+// gradient accumulator.
+func convBackTapStride1(gxd, xd, grow []float64, a float64,
+	xbase, h, w, ky, kx, oh, ow, padH, padW int, kv float64) float64 {
+	shift := kx - padW // ix = ox + shift
+	lo, hi := 0, ow-1
+	if -shift > lo {
+		lo = -shift
+	}
+	if w-1-shift < hi {
+		hi = w - 1 - shift
+	}
+	if lo > hi {
+		return a
+	}
+	for oy := 0; oy < oh; oy++ {
+		iy := oy - padH + ky
+		if iy < 0 || iy >= h {
+			continue
+		}
+		gxRow := gxd[xbase+iy*w : xbase+(iy+1)*w]
+		xRow := xd[xbase+iy*w : xbase+(iy+1)*w]
+		gRow := grow[oy*ow : (oy+1)*ow]
+		for ox := lo; ox <= hi; ox++ {
+			gv := gRow[ox]
+			gxRow[ox+shift] += gv * kv
+			a += gv * xRow[ox+shift]
+		}
+	}
+	return a
+}

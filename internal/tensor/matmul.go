@@ -2,58 +2,167 @@ package tensor
 
 import "fmt"
 
-// MatMul returns the matrix product a·b for rank-2 tensors a (m×k) and
-// b (k×n). The inner loop is ordered i-k-j so the b rows stream through the
-// cache; this is the standard cache-friendly triple loop and is fast enough
-// for the model sizes in this repository.
-func MatMul(a, b *Tensor) *Tensor {
+// Matrix products. All kernels share two structural rules:
+//
+//   - every output element accumulates its inner-product terms in
+//     ascending inner-index order, so results are bit-deterministic and
+//     independent of blocking or worker count;
+//   - rows are sharded across the deterministic worker pool (parallel.go)
+//     and, within a shard, processed two at a time so each streamed row of
+//     the right-hand operand is reused for two outputs — the cheap half of
+//     register blocking that does not perturb per-row summation order.
+
+func checkMatMul(a, b *Tensor, op string) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v × %v", op, a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[1]
+}
+
+func checkDst(dst *Tensor, m, n int, op string) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+}
+
+// MatMul returns the matrix product a·b for a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMul(a, b, "MatMul")
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b, overwriting dst (m×n). dst must not
+// alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto requires rank-2 operands, got %v × %v", a.shape, b.shape))
 	}
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d (%v × %v)", k, k2, a.shape, b.shape))
 	}
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	parallelFor(m, func(start, stride int) {
-		for i := start; i < m; i += stride {
-			arow := ad[i*k : (i+1)*k]
-			orow := od[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
+	checkDst(dst, m, n, "MatMulInto")
+	ad, bd, od := a.data, b.data, dst.data
+	parallelFor(m, 2*k*n, func(shard, stride int) {
+		i := shard
+		for ; i+stride < m; i += 2 * stride {
+			matMulTwoRows(od, ad, bd, i, i+stride, k, n)
+		}
+		if i < m {
+			matMulOneRow(od, ad, bd, i, k, n)
 		}
 	})
-	return out
 }
 
-// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), without materialising
-// the transpose. The result is m×n.
+func matMulOneRow(od, ad, bd []float64, i, k, n int) {
+	arow := ad[i*k : (i+1)*k]
+	orow := od[i*n : (i+1)*n]
+	for j := range orow {
+		orow[j] = 0
+	}
+	for p := 0; p < k; p++ {
+		av := arow[p]
+		if av == 0 {
+			continue
+		}
+		brow := bd[p*n : (p+1)*n]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
+}
+
+func matMulTwoRows(od, ad, bd []float64, i0, i1, k, n int) {
+	a0 := ad[i0*k : (i0+1)*k]
+	a1 := ad[i1*k : (i1+1)*k]
+	o0 := od[i0*n : (i0+1)*n]
+	o1 := od[i1*n : (i1+1)*n]
+	for j := 0; j < n; j++ {
+		o0[j], o1[j] = 0, 0
+	}
+	for p := 0; p < k; p++ {
+		av0, av1 := a0[p], a1[p]
+		brow := bd[p*n : (p+1)*n]
+		switch {
+		case av0 != 0 && av1 != 0:
+			for j, bv := range brow {
+				o0[j] += av0 * bv
+				o1[j] += av1 * bv
+			}
+		case av0 != 0:
+			for j, bv := range brow {
+				o0[j] += av0 * bv
+			}
+		case av1 != 0:
+			for j, bv := range brow {
+				o1[j] += av1 * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), without
+// materialising the transpose. The result is m×n.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	out := New(a.shape[1], b.shape[1])
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b, overwriting dst (m×n). dst must
+// not alias a or b.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransAInto requires rank-2 operands")
 	}
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", k, k2))
 	}
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	// Parallelise over output rows i: each row i accumulates
-	// Σ_p a[p,i]·b[p,·] independently of other rows.
-	parallelFor(m, func(start, stride int) {
-		for i := start; i < m; i += stride {
+	checkDst(dst, m, n, "MatMulTransAInto")
+	ad, bd, od := a.data, b.data, dst.data
+	// Each output row i accumulates Σ_p a[p,i]·b[p,·] independently.
+	parallelFor(m, 2*k*n, func(shard, stride int) {
+		i := shard
+		for ; i+stride < m; i += 2 * stride {
+			i0, i1 := i, i+stride
+			o0 := od[i0*n : (i0+1)*n]
+			o1 := od[i1*n : (i1+1)*n]
+			for j := 0; j < n; j++ {
+				o0[j], o1[j] = 0, 0
+			}
+			for p := 0; p < k; p++ {
+				av0, av1 := ad[p*m+i0], ad[p*m+i1]
+				brow := bd[p*n : (p+1)*n]
+				switch {
+				case av0 != 0 && av1 != 0:
+					for j, bv := range brow {
+						o0[j] += av0 * bv
+						o1[j] += av1 * bv
+					}
+				case av0 != 0:
+					for j, bv := range brow {
+						o0[j] += av0 * bv
+					}
+				case av1 != 0:
+					for j, bv := range brow {
+						o1[j] += av1 * bv
+					}
+				}
+			}
+		}
+		if i < m {
 			orow := od[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] = 0
+			}
 			for p := 0; p < k; p++ {
 				av := ad[p*m+i]
 				if av == 0 {
@@ -66,27 +175,48 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
-// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), without materialising
-// the transpose. The result is m×n.
+// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), without
+// materialising the transpose. The result is m×n.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	out := New(a.shape[0], b.shape[0])
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ, overwriting dst (m×n). dst must
+// not alias a or b.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransBInto requires rank-2 operands")
 	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", k, k2))
 	}
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	parallelFor(m, func(start, stride int) {
-		for i := start; i < m; i += stride {
+	checkDst(dst, m, n, "MatMulTransBInto")
+	ad, bd, od := a.data, b.data, dst.data
+	parallelFor(m, 2*k*n, func(shard, stride int) {
+		for i := shard; i < m; i += stride {
 			arow := ad[i*k : (i+1)*k]
 			orow := od[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
+			j := 0
+			for ; j+1 < n; j += 2 {
+				b0 := bd[j*k : (j+1)*k]
+				b1 := bd[(j+1)*k : (j+2)*k]
+				s0, s1 := 0.0, 0.0
+				for p, av := range arow {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+				}
+				orow[j], orow[j+1] = s0, s1
+			}
+			for ; j < n; j++ {
 				brow := bd[j*k : (j+1)*k]
 				s := 0.0
 				for p, av := range arow {
@@ -96,14 +226,11 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
 func Transpose2D(a *Tensor) *Tensor {
-	if a.Rank() != 2 {
-		panic("tensor: Transpose2D requires a rank-2 tensor")
-	}
+	mustRank(a, 2, "Transpose2D")
 	m, n := a.shape[0], a.shape[1]
 	out := New(n, m)
 	for i := 0; i < m; i++ {
@@ -116,9 +243,7 @@ func Transpose2D(a *Tensor) *Tensor {
 
 // MatVec returns the matrix-vector product a·x for a (m×n) and x of length n.
 func MatVec(a *Tensor, x []float64) []float64 {
-	if a.Rank() != 2 {
-		panic("tensor: MatVec requires a rank-2 tensor")
-	}
+	mustRank(a, 2, "MatVec")
 	m, n := a.shape[0], a.shape[1]
 	if len(x) != n {
 		panic(fmt.Sprintf("tensor: MatVec length %d != %d", len(x), n))

@@ -1,32 +1,90 @@
 package tensor
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
-// Deterministic parallelism: hot operations fan work out to a FIXED
-// number of workers with a FIXED index-stride assignment and reduce
-// partial results in worker order. Results are therefore bit-identical
-// to the sequential implementation regardless of GOMAXPROCS or
-// scheduling — a property the split-learning equivalence tests rely on.
-const parallelWorkers = 8
+// Deterministic parallelism: hot operations decompose their work into a
+// FIXED number of shards (numShards) with a fixed index-stride assignment
+// and reduce partial results in shard order. The number of OS workers that
+// executes the shards is a pure throughput knob — shard contents and
+// reduction order never depend on it — so results are bit-identical to the
+// single-worker run regardless of GOMAXPROCS, SetWorkers or scheduling, a
+// property the split-learning equivalence tests rely on.
+const numShards = 8
 
-// parallelThreshold is the minimum task count before goroutines pay off.
-const parallelThreshold = 16
+// maxWorkers caps the goroutines a single operation fans out to. It is
+// min(GOMAXPROCS, numShards) by default and adjustable via SetWorkers.
+var maxWorkers atomic.Int32
 
-// parallelFor runs f(start, stride) on parallelWorkers goroutines with
-// start ∈ [0, workers) and stride = workers; the caller iterates
-// `for i := start; i < n; i += stride`.
-func parallelFor(n int, f func(start, stride int)) {
-	if n < parallelThreshold {
-		f(0, 1)
+func init() { maxWorkers.Store(int32(defaultWorkers())) }
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > numShards {
+		n = numShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetWorkers sets the worker-pool size for parallel tensor operations and
+// returns the effective value. Values are clamped to [1, numShards]; n <= 0
+// restores the default min(GOMAXPROCS, numShards). Changing the worker
+// count never changes results: work stays sharded the same way and partial
+// results reduce in shard order.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = defaultWorkers()
+	}
+	if n > numShards {
+		n = numShards
+	}
+	maxWorkers.Store(int32(n))
+	return n
+}
+
+// Workers returns the current worker-pool size.
+func Workers() int { return int(maxWorkers.Load()) }
+
+// minParallelFLOPs is the approximate floating-point work below which
+// goroutine fan-out costs more than it saves. The old implementation
+// gated on task *count* (n >= 16), which left typical training batches
+// (8–12 images, each tens of kFLOPs) fully serial; gating on total cost
+// lets small batches of expensive tasks parallelise while keeping tiny
+// element-wise calls serial.
+const minParallelFLOPs = 1 << 15
+
+// parallelFor runs f(shard, numShards) for every shard in [0, numShards).
+// The callee iterates `for i := shard; i < n; i += numShards`. n is the
+// task count and flopsPerTask the approximate per-task cost; together they
+// decide whether the shards run on the worker pool or inline on the
+// caller's goroutine. Either way every shard executes exactly once, so
+// outputs (including shard-ordered reductions) are identical.
+func parallelFor(n, flopsPerTask int, f func(shard, stride int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n*flopsPerTask < minParallelFLOPs {
+		for s := 0; s < numShards; s++ {
+			f(s, numShards)
+		}
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(parallelWorkers)
-	for w := 0; w < parallelWorkers; w++ {
-		go func(start int) {
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
 			defer wg.Done()
-			f(start, parallelWorkers)
-		}(w)
+			for s := wk; s < numShards; s += w {
+				f(s, numShards)
+			}
+		}(wk)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Size-bucketed []float64 pool. Buffers are pooled by power-of-two
+// capacity class so a request is always served by a buffer of at most 2×
+// the asked-for length; steady-state training therefore recycles the same
+// few buffers instead of churning the GC with multi-megabyte allocations
+// every step.
+
+const minPoolClass = 6 // smallest pooled capacity: 1<<6 = 64 floats
+
+var slicePools [64 - minPoolClass]sync.Pool
+
+func sizeClass(n int) int {
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c < minPoolClass {
+		c = minPoolClass
+	}
+	return c
+}
+
+// getSlice returns a length-n slice with UNSPECIFIED contents, drawn from
+// the pool when a buffer of the right class is available.
+func getSlice(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if v := slicePools[c-minPoolClass].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, 1<<c)[:n]
+}
+
+// getSliceZeroed returns a length-n zero-filled slice from the pool.
+func getSliceZeroed(n int) []float64 {
+	s := getSlice(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// putSlice returns a buffer obtained from getSlice to its pool. The caller
+// must not use the slice afterwards.
+func putSlice(s []float64) {
+	if cap(s) < 1<<minPoolClass {
+		return
+	}
+	c := bits.Len(uint(cap(s))) - 1 // floor(log2 cap): the class it serves
+	full := s[:cap(s)]
+	slicePools[c-minPoolClass].Put(full)
+}
+
+// Arena is a step-scoped tensor allocator: Get hands out tensors backed by
+// pooled buffers, Reset recycles every tensor handed out since the last
+// Reset. A training step that allocates the same scratch shapes each
+// iteration reaches a steady state where Get returns the identical tensors
+// (header and backing array) every step — zero allocations.
+//
+// Ownership contract: the arena owner (e.g. split.Model for its batch
+// buffers) calls Reset at a point where no tensor from the previous cycle
+// is live; tensors obtained from Get must not outlive the next Reset.
+// An Arena is not safe for concurrent use; give each goroutine its own.
+type Arena struct {
+	inUse []*Tensor
+	free  []*Tensor
+}
+
+// Get returns a zero-filled tensor of the given shape from the arena.
+func (a *Arena) Get(shape ...int) *Tensor {
+	t := a.GetUninit(shape...)
+	t.Zero()
+	return t
+}
+
+// GetUninit returns a tensor of the given shape with UNSPECIFIED contents;
+// use it when every element is about to be overwritten.
+func (a *Arena) GetUninit(shape ...int) *Tensor {
+	n := checkShape(shape)
+	for i, t := range a.free {
+		if shapeEqual(t.shape, shape) {
+			last := len(a.free) - 1
+			a.free[i] = a.free[last]
+			a.free = a.free[:last]
+			a.inUse = append(a.inUse, t)
+			return t
+		}
+	}
+	t := &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		data:    getSlice(n),
+	}
+	a.inUse = append(a.inUse, t)
+	return t
+}
+
+// Reset recycles every tensor handed out since the previous Reset. The
+// backing buffers stay arena-resident so the next cycle's Get calls are
+// allocation-free when shapes repeat.
+func (a *Arena) Reset() {
+	a.free = append(a.free, a.inUse...)
+	a.inUse = a.inUse[:0]
+}
+
+// Release returns every arena buffer to the shared pool. The arena is
+// reusable afterwards (it simply starts empty again).
+func (a *Arena) Release() {
+	a.Reset()
+	for _, t := range a.free {
+		putSlice(t.data)
+		t.data = nil
+	}
+	a.free = a.free[:0]
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureShape returns t when it already has exactly the given shape,
+// re-headers t's backing storage when its capacity suffices, and
+// allocates a fresh tensor otherwise. Contents are UNSPECIFIED unless the
+// returned tensor is t itself; callers are expected to overwrite (or
+// Zero) it. It is the building block layers use to keep per-instance
+// scratch across training steps.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if t != nil {
+		if shapeEqual(t.shape, shape) {
+			return t
+		}
+		if cap(t.data) >= n {
+			return &Tensor{
+				shape:   append([]int(nil), shape...),
+				strides: computeStrides(shape),
+				data:    t.data[:n],
+			}
+		}
+	}
+	return New(shape...)
+}
+
+// mustRank panics unless t has the given rank.
+func mustRank(t *Tensor, rank int, op string) {
+	if t.Rank() != rank {
+		panic(fmt.Sprintf("tensor: %s requires rank-%d tensor, got shape %v", op, rank, t.shape))
+	}
+}
