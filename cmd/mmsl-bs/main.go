@@ -18,6 +18,14 @@
 //     mmsl-ue -connect localhost:9920 -session ue1 -seed 1
 //     mmsl-ue -connect localhost:9920 -session ue2 -seed 2
 //
+//     Lifecycle hardening: -idle-timeout evicts a UE that wedges
+//     mid-protocol so it cannot hold a -max-ue slot forever;
+//     -checkpoint-dir/-checkpoint-every enable periodic train-state
+//     checkpoints and reconnect-with-resume; SIGTERM/SIGINT drains
+//     gracefully — the server stops accepting, checkpoints every live
+//     session at its next step boundary, detaches the UEs cleanly and
+//     prints the final per-session metrics.
+//
 // See cmd/mmsl-ue for the single-UE pairing instructions.
 package main
 
@@ -26,6 +34,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/dataset"
@@ -47,6 +59,10 @@ func main() {
 	evalEvery := flag.Int("eval-every", 40, "validate every N steps")
 	valAnchors := flag.Int("val-anchors", 128, "validation anchors per evaluation")
 	target := flag.Float64("target", 0, "stop a session early at this val RMSE in dB (0 = never)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "multi-UE mode: fail a session whose connection stalls this long mid-operation (0 = never)")
+	ckptDir := flag.String("checkpoint-dir", "", "multi-UE mode: directory for session train-state checkpoints (empty = checkpoint/resume disabled)")
+	ckptEvery := flag.Int("checkpoint-every", 50, "multi-UE mode: checkpoint interval in training steps")
+	retain := flag.Int("retain", 128, "multi-UE mode: finished-session snapshots kept for reporting")
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	flag.Parse()
 	if *workers != 0 {
@@ -61,7 +77,11 @@ func main() {
 	case *listen != "" && *connect != "":
 		log.Fatal("mmsl-bs: -listen and -connect are mutually exclusive")
 	case *listen != "":
-		serveMultiUE(*listen, *maxUE, *sched, *steps, *evalEvery, *valAnchors, *target)
+		serveMultiUE(*listen, transport.ServerConfig{
+			MaxUE: *maxUE, Steps: *steps, EvalEvery: *evalEvery, ValAnchors: *valAnchors,
+			TargetRMSEdB: *target, IdleTimeout: *idleTimeout,
+			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Retain: *retain,
+		}, *sched)
 	case *connect != "":
 		runSingleUE(*connect, *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
 	default:
@@ -70,18 +90,21 @@ func main() {
 	}
 }
 
-// serveMultiUE runs the concurrent base station until interrupted.
-func serveMultiUE(addr string, maxUE int, sched string, steps, evalEvery, valAnchors int, target float64) {
+// serveMultiUE runs the concurrent base station until the listener dies
+// or a termination signal triggers the graceful drain.
+func serveMultiUE(addr string, cfg transport.ServerConfig, sched string) {
 	policy, err := transport.ParseSchedPolicy(sched)
 	if err != nil {
 		log.Fatalf("mmsl-bs: %v", err)
 	}
-	srv, err := transport.NewBSServer(transport.ServerConfig{
-		MaxUE: maxUE, Sched: policy,
-		Steps: steps, EvalEvery: evalEvery, ValAnchors: valAnchors,
-		TargetRMSEdB: target,
-		Logf:         log.Printf,
-	})
+	cfg.Sched = policy
+	cfg.Logf = log.Printf
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			log.Fatalf("mmsl-bs: checkpoint dir: %v", err)
+		}
+	}
+	srv, err := transport.NewBSServer(cfg)
 	if err != nil {
 		log.Fatalf("mmsl-bs: %v", err)
 	}
@@ -91,11 +114,39 @@ func serveMultiUE(addr string, maxUE int, sched string, steps, evalEvery, valAnc
 	}
 	defer ln.Close()
 	fmt.Printf("mmsl-bs: serving up to %d UEs on %s (%v scheduling, %d steps/session)\n",
-		maxUE, ln.Addr(), policy, steps)
-	if err := srv.Serve(ln); err != nil {
+		cfg.MaxUE, ln.Addr(), policy, cfg.Steps)
+
+	// SIGTERM/SIGINT → graceful drain: stop accepting, checkpoint every
+	// live session at its next step boundary, detach the UEs cleanly.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigs
+		log.Printf("mmsl-bs: %v — draining", sig)
+		srv.Drain()
+		ln.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil && !srv.Draining() {
 		log.Printf("mmsl-bs: accept loop ended: %v", err)
 	}
 	srv.Wait()
+	flushSessionMetrics(srv)
+}
+
+// flushSessionMetrics prints the final per-session report — the metric
+// flush of a graceful shutdown.
+func flushSessionMetrics(srv *transport.BSServer) {
+	snaps := srv.Sessions()
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Println("\nsession      epoch  state       steps  resumed  ckpts  val RMSE   wire in/out")
+	for _, s := range snaps {
+		fmt.Printf("%-11s  %5d  %-10s  %5d  %7d  %5d  %5.2f dB  %d/%d B\n",
+			s.ID, s.Epoch, s.State, s.Steps, s.ResumedFrom, s.Metrics.Checkpoints,
+			s.LastRMSE, s.BytesIn, s.BytesOut)
+	}
 }
 
 // runSingleUE is the original 1:1 flow against a listening mmsl-ue.

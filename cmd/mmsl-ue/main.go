@@ -16,7 +16,11 @@
 //     with the session-hello handshake under -session, and serves until
 //     the BS detaches the session. The BS provisions this session's
 //     model and labels from the announced seed, so many UEs with
-//     different seeds can train against one BS concurrently.
+//     different seeds can train against one BS concurrently. A dropped
+//     connection is re-dialled with capped exponential backoff
+//     (-retries caps the consecutive attempts), resuming from the last
+//     checkpoint the BS instructed the UE to take; with -checkpoint-dir
+//     the UE half's checkpoints also survive a process restart.
 //
 //     mmsl-bs -listen :9920 -max-ue 8 &
 //     mmsl-ue -connect localhost:9920 -session ue1 -seed 1
@@ -33,8 +37,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"os"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/dataset"
@@ -51,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "shared experiment seed")
 	pool := flag.Int("pool", 40, "square pooling size")
 	codecName := flag.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk (single-UE mode: must match the BS)")
+	ckptDir := flag.String("checkpoint-dir", "", "multi-UE mode: persist UE-half checkpoints here so resume survives a process restart (empty = in-memory only)")
+	retries := flag.Int("retries", 6, "multi-UE mode: consecutive reconnect attempts before giving up")
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	once := flag.Bool("once", true, "single-UE mode: exit after serving one BS session")
 	flag.Parse()
@@ -63,15 +72,16 @@ func main() {
 		log.Fatalf("mmsl-ue: %v", err)
 	}
 	if *connect != "" {
-		joinServer(*connect, *session, *seed, *frames, *pool, codec)
+		joinServer(*connect, *session, *seed, *frames, *pool, codec, *ckptDir, *retries)
 		return
 	}
 	listenLegacy(*listen, *frames, *seed, *pool, codec, *once)
 }
 
-// joinServer dials a multi-UE BS and serves one session; the codec is
-// negotiated per session through the hello/ack handshake.
-func joinServer(addr, session string, seed int64, frames, pool int, codec compress.ID) {
+// joinServer dials a multi-UE BS and serves one session with
+// auto-reconnect and checkpoint/resume; the codec is negotiated per
+// session through the hello/ack handshake.
+func joinServer(addr, session string, seed int64, frames, pool int, codec compress.ID, ckptDir string, retries int) {
 	if session == "" {
 		session = fmt.Sprintf("ue-%d", seed)
 	}
@@ -87,21 +97,27 @@ func joinServer(addr, session string, seed int64, frames, pool int, codec compre
 	if err != nil {
 		log.Fatalf("mmsl-ue: session environment: %v", err)
 	}
-	h.ConfigFP = cfg.Fingerprint()
-
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		log.Fatalf("mmsl-ue: connect: %v", err)
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			log.Fatalf("mmsl-ue: checkpoint dir: %v", err)
+		}
 	}
-	defer conn.Close()
 	fmt.Printf("mmsl-ue: joining session %q at %s (seed %d, pooling %d×%d, %s codec)\n",
-		session, conn.RemoteAddr(), seed, pool, pool, codec)
-	err = transport.ServeUE(conn, h, cfg, data)
+		session, addr, seed, pool, pool, codec)
+	us := &transport.UESession{
+		Hello: h, Cfg: cfg, Data: data,
+		CheckpointDir: ckptDir,
+		Backoff:       transport.Backoff{Base: 200 * time.Millisecond, Max: 10 * time.Second, Retries: retries},
+		Logf:          log.Printf,
+	}
+	err = us.Run(func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) })
 	switch {
 	case err == nil:
-		fmt.Println("mmsl-ue: session detached cleanly")
-	case transport.IsClosedConn(err):
-		fmt.Println("mmsl-ue: BS disconnected")
+		if n := us.Resumes(); n > 0 {
+			fmt.Printf("mmsl-ue: session detached cleanly after %d resume(s)\n", n)
+		} else {
+			fmt.Println("mmsl-ue: session detached cleanly")
+		}
 	default:
 		log.Fatalf("mmsl-ue: session: %v", err)
 	}

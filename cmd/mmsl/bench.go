@@ -4,14 +4,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/split"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // pr2Baseline pins the PR-2 (pre-engine) measurements of the raw-codec
@@ -165,7 +171,17 @@ func cmdBench(args []string) error {
 	trainStep.SpeedupVs = pr2Baseline.Name
 	trainStep.Speedup = pr2Baseline.NsPerOp / trainStep.NsPerOp
 
-	rep.Results = []benchResult{convDirect, convIm2col, backDirect, backIm2col, matmul, trainStep}
+	// Session lifecycle latency: one fresh join (handshake +
+	// provisioning + ack) and one checkpoint-resume (handshake +
+	// provisioning + train-state restore + sampler fast-forward + ack)
+	// against an in-process v3 server over net.Pipe — the serving-path
+	// numbers BENCH.json tracks for the reconnect/resume subsystem.
+	joinLat, resumeLat, err := measureSessionLatency()
+	if err != nil {
+		return err
+	}
+
+	rep.Results = []benchResult{convDirect, convIm2col, backDirect, backIm2col, matmul, trainStep, joinLat, resumeLat}
 
 	if *jsonOut {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -190,4 +206,108 @@ func cmdBench(args []string) error {
 	fmt.Printf("\ntrain step vs PR-2 baseline: %.2fx faster, %.1f%% fewer allocs/op\n",
 		trainStep.Speedup, reduction)
 	return nil
+}
+
+// benchSessionProvision memoises a small session environment so the
+// latency benchmarks measure the serving path (handshake, admission,
+// peer construction, restore), not repeated dataset synthesis.
+func benchSessionProvision() transport.Provision {
+	var (
+		once sync.Once
+		cfg  split.Config
+		d    *dataset.Dataset
+		sp   *dataset.Split
+		err  error
+	)
+	return func(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+		once.Do(func() {
+			gcfg := dataset.DefaultGenConfig()
+			gcfg.NumFrames = int(h.Frames)
+			gcfg.Seed = h.Seed
+			gcfg.Scene.ImageH, gcfg.Scene.ImageW = 8, 8
+			gcfg.Scene.FocalPixels = 5
+			d, err = dataset.Generate(gcfg)
+			if err != nil {
+				return
+			}
+			cfg = split.DefaultConfig(split.Modality(h.Modality), int(h.Pool))
+			cfg.Seed = h.Seed
+			cfg.SeqLen, cfg.HorizonFrames, cfg.BatchSize, cfg.HiddenSize = 2, 2, 4, 6
+			sp, err = dataset.NewSplit(d, cfg.SeqLen, cfg.HorizonFrames, d.Len()*3/4)
+		})
+		return cfg, d, sp, err
+	}
+}
+
+// measureSessionLatency times the v3 join and resume handshakes.
+func measureSessionLatency() (join, resume benchResult, err error) {
+	dir, err := os.MkdirTemp("", "mmsl-bench-ckpt-*")
+	if err != nil {
+		return join, resume, err
+	}
+	defer os.RemoveAll(dir)
+	prov := benchSessionProvision()
+	srv, err := transport.NewBSServer(transport.ServerConfig{
+		MaxUE: 1, Steps: 3, EvalEvery: 1 << 30, ValAnchors: 8,
+		Provision: prov, CheckpointDir: dir, CheckpointEvery: 1,
+	})
+	if err != nil {
+		return join, resume, err
+	}
+	h := transport.Hello{
+		SessionID: "bench-ue", Seed: 7, Frames: 200, Pool: 4,
+		Modality: uint8(split.ImageRF),
+	}
+	cfg, d, _, err := prov(h)
+	if err != nil {
+		return join, resume, err
+	}
+	h.ConfigFP = cfg.Fingerprint()
+
+	// One complete session first, to lay down the checkpoint the resume
+	// iterations restore from.
+	var wg sync.WaitGroup
+	us := &transport.UESession{Hello: h, Cfg: cfg, Data: d,
+		Backoff: transport.Backoff{Base: time.Millisecond, Retries: 1}}
+	runErr := us.Run(func() (io.ReadWriteCloser, error) {
+		ueConn, bsConn := net.Pipe()
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = srv.Handle(bsConn) }()
+		return ueConn, nil
+	})
+	wg.Wait()
+	if runErr != nil {
+		return join, resume, runErr
+	}
+	ckptStep := us.LastCheckpointStep()
+
+	// handshake runs one join/teardown cycle; the teardown (close +
+	// handler join) is included so iterations cannot overlap.
+	handshake := func(h transport.Hello) error {
+		ueConn, bsConn := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- srv.Handle(bsConn) }()
+		_, joinErr := transport.JoinSession(ueConn, h)
+		ueConn.Close()
+		<-done
+		return joinErr
+	}
+
+	join = measure("session/join_latency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := handshake(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hr := h
+	hr.ResumeStep = ckptStep
+	resume = measure("session/resume_latency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := handshake(hr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return join, resume, nil
 }

@@ -10,19 +10,28 @@
 // the sessions either fully in parallel or round-robin, and trains each
 // until its validation RMSE reaches the target.
 //
+// The UEs run the fault-tolerant session loop: the server checkpoints
+// train state every -checkpoint-every steps, and -drop-bytes injects a
+// mid-training connection cut into UE 0's link — it reconnects with
+// capped exponential backoff and resumes from the last checkpoint, so
+// the final table shows a resumed session converging like the rest.
+//
 //	go run ./examples/multi_ue
 //	go run ./examples/multi_ue -sched rr -ues 2 -steps 120
 //	go run ./examples/multi_ue -codecs raw,raw,raw,raw
+//	go run ./examples/multi_ue -drop-bytes 200000     # kill+resume UE 0
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/split"
@@ -36,6 +45,8 @@ func main() {
 	steps := flag.Int("steps", 600, "max training steps per session")
 	sched := flag.String("sched", "async", "scheduling policy: async or rr")
 	codecNames := flag.String("codecs", "int8,float16,topk,raw", "per-UE payload codecs, cycled over the UEs")
+	ckptEvery := flag.Int("checkpoint-every", 25, "server checkpoint interval in steps")
+	dropBytes := flag.Int64("drop-bytes", 0, "fault injection: cut UE 0's first connection after this many uplink bytes (0 = no fault)")
 	flag.Parse()
 
 	var codecs []compress.ID
@@ -51,11 +62,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ckptDir, err := os.MkdirTemp("", "mmsl-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
 	srv, err := transport.NewBSServer(transport.ServerConfig{
 		MaxUE: *ues, Sched: policy,
 		Steps: *steps, EvalEvery: 30, ValAnchors: 64,
-		TargetRMSEdB: 10.0, // fallback for UEs that announce no target
-		Logf:         log.Printf,
+		TargetRMSEdB:  10.0, // fallback for UEs that announce no target
+		IdleTimeout:   30 * time.Second,
+		CheckpointDir: ckptDir, CheckpointEvery: *ckptEvery,
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -65,7 +83,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("BS serving up to %d UEs on %s (%v scheduling)\n", *ues, ln.Addr(), policy)
+	fmt.Printf("BS serving up to %d UEs on %s (%v scheduling, checkpoints every %d steps)\n",
+		*ues, ln.Addr(), policy, *ckptEvery)
 	serveDone := make(chan struct{})
 	go func() {
 		defer close(serveDone)
@@ -73,10 +92,13 @@ func main() {
 	}()
 
 	// Each UE: derive its own environment from its hello, dial, join,
-	// serve its CNN half until the BS detaches the session. Every UE
-	// announces its own stopping target — each corridor has a different
-	// power dynamic range, so a single global threshold fits none.
+	// serve its CNN half until the BS detaches the session — riding
+	// through injected connection faults by resuming from the last
+	// checkpoint. Every UE announces its own stopping target — each
+	// corridor has a different power dynamic range, so a single global
+	// threshold fits none.
 	targets := []float64{9.0, 5.0, 10.5, 1.5}
+	sessions := make([]*transport.UESession, *ues)
 	var wg sync.WaitGroup
 	for i := 0; i < *ues; i++ {
 		wg.Add(1)
@@ -95,13 +117,25 @@ func main() {
 			if err != nil {
 				log.Fatalf("%s: environment: %v", h.SessionID, err)
 			}
-			h.ConfigFP = cfg.Fingerprint()
-			conn, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				log.Fatalf("%s: dial: %v", h.SessionID, err)
+			us := &transport.UESession{
+				Hello: h, Cfg: cfg, Data: data,
+				Backoff: transport.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second},
 			}
-			defer conn.Close()
-			if err := transport.ServeUE(conn, h, cfg, data); err != nil {
+			sessions[i] = us
+			dials := 0
+			err = us.Run(func() (io.ReadWriteCloser, error) {
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					return nil, err
+				}
+				dials++
+				if i == 0 && dials == 1 && *dropBytes > 0 {
+					fmt.Printf("%s: injecting a link fault after %d uplink bytes\n", h.SessionID, *dropBytes)
+					return transport.NewFaultConn(conn, -1, *dropBytes), nil
+				}
+				return conn, nil
+			})
+			if err != nil {
 				log.Fatalf("%s: %v", h.SessionID, err)
 			}
 		}(i)
@@ -111,9 +145,17 @@ func main() {
 	<-serveDone
 	srv.Wait()
 
-	fmt.Println("\nsession   codec     state      steps   val RMSE    target      status   wire in/out")
+	fmt.Println("\nsession   codec     state      steps   resumes   val RMSE    target      status   wire in/out")
 	ok := true
-	for _, s := range srv.Sessions() {
+	seen := map[string]bool{}
+	snaps := srv.Sessions()
+	// Walk newest-first so each session id reports its final incarnation.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s := snaps[i]
+		if seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
 		status := "reached"
 		if !s.Reached {
 			status = "missed"
@@ -123,8 +165,14 @@ func main() {
 			status = s.Err
 			ok = false
 		}
-		fmt.Printf("%-8s  %-8s  %-8s   %5d   %5.2f dB   %5.1f dB   %-7s  %d/%d B\n",
-			s.ID, compress.ID(s.Hello.Codec), s.State, s.Steps, s.LastRMSE,
+		var resumes int
+		for _, us := range sessions {
+			if us != nil && us.Hello.SessionID == s.ID {
+				resumes = us.Resumes()
+			}
+		}
+		fmt.Printf("%-8s  %-8s  %-8s   %5d   %7d   %5.2f dB   %5.1f dB   %-7s  %d/%d B\n",
+			s.ID, compress.ID(s.Hello.Codec), s.State, s.Steps, resumes, s.LastRMSE,
 			s.Hello.TargetRMSEdB, status, s.BytesIn, s.BytesOut)
 	}
 	if !ok {

@@ -3,11 +3,14 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/compress"
@@ -347,6 +350,135 @@ func TestIntegrationMultiUECodecPayload(t *testing.T) {
 	if diff := math.Abs(q8.LastRMSE - raw.LastRMSE); diff > 0.1*raw.LastRMSE {
 		t.Errorf("int8 val RMSE %.3f dB drifts more than 10%% from raw %.3f dB",
 			q8.LastRMSE, raw.LastRMSE)
+	}
+}
+
+// TestIntegrationMultiUEFaultInjection is the fault-tolerant serving
+// flow end to end: several UEs train concurrently against one
+// checkpointing BSServer while one UE's link is cut mid-training
+// (truncating a frame on the wire). The victim reconnects with capped
+// backoff, resumes from the last checkpoint, and must converge to
+// exactly the validation RMSE of an identical session that was never
+// interrupted. MMSL_FAULT=1 (the CI fault-injection step) widens the
+// sweep: more UEs and repeated cuts on the victim's link.
+func TestIntegrationMultiUEFaultInjection(t *testing.T) {
+	nUE, drops := 3, 1
+	if os.Getenv("MMSL_FAULT") != "" {
+		nUE, drops = 5, 3
+	}
+	const steps = 60
+
+	newServer := func(dir string) *transport.BSServer {
+		srv, err := transport.NewBSServer(transport.ServerConfig{
+			MaxUE: nUE, Sched: transport.SchedAsync,
+			Steps: steps, EvalEvery: 15, ValAnchors: 24,
+			Provision:     multiUESessionEnv,
+			CheckpointDir: dir, CheckpointEvery: 5,
+			IdleTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	// runSession drives one UESession to completion; dials [0, drops)
+	// are cut after cutBytes of uplink.
+	runSession := func(srv *transport.BSServer, i int, cutBytes int64, nDrops int) (*transport.UESession, error) {
+		h := transport.Hello{
+			SessionID: fmt.Sprintf("ue-%d", i),
+			Seed:      int64(100 + i),
+			Frames:    200,
+			Pool:      4,
+			Modality:  uint8(split.ImageRF),
+		}
+		cfg, d, _, err := multiUESessionEnv(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := &transport.UESession{
+			Hello: h, Cfg: cfg, Data: d,
+			Backoff: transport.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Retries: nDrops + 3},
+		}
+		var wg sync.WaitGroup
+		dials := 0
+		err = us.Run(func() (io.ReadWriteCloser, error) {
+			ueConn, bsConn := net.Pipe()
+			wg.Add(1)
+			go func() { defer wg.Done(); _ = srv.Handle(bsConn) }()
+			dials++
+			if cutBytes > 0 && dials <= nDrops {
+				return transport.NewFaultConn(ueConn, -1, cutBytes), nil
+			}
+			return ueConn, nil
+		})
+		wg.Wait()
+		return us, err
+	}
+
+	srv := newServer(t.TempDir())
+	sessions := make([]*transport.UESession, nUE)
+	errs := make([]error, nUE)
+	var wg sync.WaitGroup
+	for i := 0; i < nUE; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cut := int64(0)
+			if i == 0 {
+				cut = 3500 // sever mid-activations-frame, past the first checkpoint
+			}
+			sessions[i], errs[i] = runSession(srv, i, cut, drops)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("ue-%d: %v", i, err)
+		}
+	}
+	if got := sessions[0].Resumes(); got < 1 {
+		t.Fatalf("victim UE resumed %d times, want ≥ 1", got)
+	}
+	if live := srv.ActiveSessions(); live != 0 {
+		t.Fatalf("%d sessions still live", live)
+	}
+
+	// Every session id's final incarnation detached after the full
+	// schedule with a sane, converging RMSE.
+	finals := map[string]transport.SessionSnapshot{}
+	for _, s := range srv.Sessions() {
+		finals[s.ID] = s // join order: the last snapshot per id wins
+	}
+	if len(finals) != nUE {
+		t.Fatalf("%d distinct sessions, want %d", len(finals), nUE)
+	}
+	for id, s := range finals {
+		if s.State != transport.SessionDetached {
+			t.Errorf("%s: state %v (err %q), want detached", id, s.State, s.Err)
+			continue
+		}
+		if s.Steps != steps {
+			t.Errorf("%s: %d steps, want %d", id, s.Steps, steps)
+		}
+		if !(s.LastRMSE > 0 && s.LastRMSE < 100) {
+			t.Errorf("%s: final RMSE %g dB out of range", id, s.LastRMSE)
+		}
+	}
+
+	// Determinism across the fault: an identical session that was never
+	// interrupted finishes at the bit-identical validation RMSE.
+	cleanSrv := newServer(t.TempDir())
+	clean, err := runSession(cleanSrv, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Resumes() != 0 {
+		t.Fatal("clean reference session resumed")
+	}
+	cleanFinal := cleanSrv.Sessions()[0]
+	if got, want := finals["ue-0"].LastRMSE, cleanFinal.LastRMSE; got != want {
+		t.Fatalf("resumed session RMSE %v != uninterrupted %v — resume changed the mathematics", got, want)
 	}
 }
 

@@ -46,11 +46,18 @@ func (s *Series) Clone() Series {
 	}
 }
 
-// SessionMetrics aggregates one split-learning session's series.
+// SessionMetrics aggregates one split-learning session's series and
+// lifecycle counters.
 type SessionMetrics struct {
 	SessionID string
 	Loss      Series // per-step mini-batch loss (normalised scale)
 	ValRMSE   Series // validation RMSE in dB at evaluation points
+
+	// Lifecycle counters for the fault-tolerant serving layer.
+	Checkpoints        int // train-state checkpoints written
+	LastCheckpointStep int // step of the most recent checkpoint (0: none)
+	Resumes            int // times this session resumed from a checkpoint
+	LastResumeStep     int // step the most recent resume restarted from
 }
 
 // NewSessionMetrics returns empty telemetry for a session.
@@ -69,11 +76,22 @@ func (m *SessionMetrics) Converged(targetRMSEdB float64) bool {
 	return ok && rmse <= targetRMSEdB
 }
 
+// RecordCheckpoint notes one train-state checkpoint at the given step.
+func (m *SessionMetrics) RecordCheckpoint(step int) {
+	m.Checkpoints++
+	m.LastCheckpointStep = step
+}
+
+// RecordResume notes one resume-from-checkpoint at the given step.
+func (m *SessionMetrics) RecordResume(step int) {
+	m.Resumes++
+	m.LastResumeStep = step
+}
+
 // Clone returns an independent deep copy.
 func (m *SessionMetrics) Clone() *SessionMetrics {
-	return &SessionMetrics{
-		SessionID: m.SessionID,
-		Loss:      m.Loss.Clone(),
-		ValRMSE:   m.ValRMSE.Clone(),
-	}
+	out := *m
+	out.Loss = m.Loss.Clone()
+	out.ValRMSE = m.ValRMSE.Clone()
+	return &out
 }

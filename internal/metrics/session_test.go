@@ -60,3 +60,21 @@ func TestSessionMetricsConverged(t *testing.T) {
 		t.Fatalf("clone identity: %q %q", c.SessionID, c.Loss.Name)
 	}
 }
+
+func TestSessionMetricsLifecycleCounters(t *testing.T) {
+	m := NewSessionMetrics("ue-2")
+	m.RecordCheckpoint(5)
+	m.RecordCheckpoint(10)
+	m.RecordResume(10)
+	if m.Checkpoints != 2 || m.LastCheckpointStep != 10 {
+		t.Fatalf("checkpoints %d @%d", m.Checkpoints, m.LastCheckpointStep)
+	}
+	if m.Resumes != 1 || m.LastResumeStep != 10 {
+		t.Fatalf("resumes %d @%d", m.Resumes, m.LastResumeStep)
+	}
+	c := m.Clone()
+	m.RecordResume(15)
+	if c.Resumes != 1 || c.LastResumeStep != 10 {
+		t.Fatalf("clone mutated: resumes %d @%d", c.Resumes, c.LastResumeStep)
+	}
+}

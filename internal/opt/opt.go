@@ -158,3 +158,17 @@ func (a *Adam) Params() []*nn.Param { return a.params }
 
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount overrides the update counter — the bias-correction clock —
+// when the optimiser is restored from a checkpoint.
+func (a *Adam) SetStepCount(t int) {
+	if t < 0 {
+		t = 0
+	}
+	a.t = t
+}
+
+// Moments returns the live first/second moment buffers of parameter i
+// (the same slices the optimiser updates, not copies). Checkpointing
+// reads them; restoring writes into them.
+func (a *Adam) Moments(i int) (m, v []float64) { return a.m[i], a.v[i] }

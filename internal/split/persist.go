@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/tensor"
 )
 
@@ -175,6 +177,146 @@ func LoadCheckpointFile(path string, m *Model) error {
 	}
 	defer f.Close()
 	return LoadCheckpoint(f, m)
+}
+
+// ---- session train state -------------------------------------------------
+//
+// A train-state checkpoint is the resumable snapshot of ONE half of a
+// split session: its parameter values, its Adam moment estimates and
+// bias-correction clock, and the training step the snapshot was taken
+// at. The multi-UE transport writes one per half at each checkpoint
+// interval, so a dropped session can resume mid-training with state
+// bit-identical to the moment of the checkpoint.
+//
+//	magic "MMSLSES1" | fingerprint(8) | half(1) | step(4) | adamT(4) |
+//	count(4) | count × (nameLen(2) name | value@Depth64 | m@Depth64 | v@Depth64)
+//
+// The fingerprint is Config.Fingerprint() — the full session fingerprint
+// including seed and codec, not just the architecture fields — so a
+// checkpoint can never be resumed into a session whose configuration
+// drifted in any way that changes the mathematics.
+
+var sessMagic = [8]byte{'M', 'M', 'S', 'L', 'S', 'E', 'S', '1'}
+
+// Halves of the split session, as tagged in train-state checkpoints.
+const (
+	HalfUE byte = 'U'
+	HalfBS byte = 'B'
+)
+
+// SaveTrainState writes a resumable snapshot of one session half.
+func SaveTrainState(w io.Writer, fp uint64, half byte, step int, params []*nn.Param, adam *opt.Adam) error {
+	if step < 0 {
+		return fmt.Errorf("%w: negative step %d", ErrCheckpoint, step)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(sessMagic[:]); err != nil {
+		return err
+	}
+	var hdr []byte
+	hdr = binary.BigEndian.AppendUint64(hdr, fp)
+	hdr = append(hdr, half)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(step))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(adam.StepCount()))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(params)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for i, p := range params {
+		name := []byte(p.Name)
+		if len(name) > 1<<15 {
+			return fmt.Errorf("%w: parameter name too long", ErrCheckpoint)
+		}
+		var rec []byte
+		rec = binary.BigEndian.AppendUint16(rec, uint16(len(name)))
+		rec = append(rec, name...)
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		if err := tensor.Encode(bw, p.Value, tensor.Depth64); err != nil {
+			return err
+		}
+		m, v := adam.Moments(i)
+		for _, mom := range [][]float64{m, v} {
+			if err := tensor.Encode(bw, tensor.FromSlice(mom, len(mom)), tensor.Depth64); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTrainState restores a snapshot saved by SaveTrainState into the
+// given parameters and optimiser, returning the step it was taken at.
+// The caller's fingerprint must match the one stored — a mismatch means
+// the session configuration drifted since the checkpoint (stale config).
+func LoadTrainState(r io.Reader, fp uint64, half byte, params []*nn.Param, adam *opt.Adam) (int, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, err
+	}
+	if magic != sessMagic {
+		return 0, fmt.Errorf("%w: bad train-state magic", ErrCheckpoint)
+	}
+	var hdr [8 + 1 + 4 + 4 + 4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, err
+	}
+	gotFP := binary.BigEndian.Uint64(hdr[:])
+	if gotFP != fp {
+		return 0, fmt.Errorf("%w: stale config fingerprint %x, session is %x",
+			ErrCheckpoint, gotFP, fp)
+	}
+	if hdr[8] != half {
+		return 0, fmt.Errorf("%w: checkpoint holds half %q, want %q",
+			ErrCheckpoint, hdr[8], half)
+	}
+	step := int(binary.BigEndian.Uint32(hdr[9:]))
+	adamT := int(binary.BigEndian.Uint32(hdr[13:]))
+	count := int(binary.BigEndian.Uint32(hdr[17:]))
+	if count != len(params) {
+		return 0, fmt.Errorf("%w: %d parameters in checkpoint, model has %d",
+			ErrCheckpoint, count, len(params))
+	}
+	for i, p := range params {
+		var l16 [2]byte
+		if _, err := io.ReadFull(br, l16[:]); err != nil {
+			return 0, err
+		}
+		nameLen := int(binary.BigEndian.Uint16(l16[:]))
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return 0, err
+		}
+		if string(name) != p.Name {
+			return 0, fmt.Errorf("%w: parameter %d is %q in checkpoint, %q in model",
+				ErrCheckpoint, i, name, p.Name)
+		}
+		t, err := tensor.Decode(br)
+		if err != nil {
+			return 0, err
+		}
+		if !t.SameShape(p.Value) {
+			return 0, fmt.Errorf("%w: parameter %q shape %v != %v",
+				ErrCheckpoint, p.Name, t.Shape(), p.Value.Shape())
+		}
+		p.Value.CopyFrom(t)
+		m, v := adam.Moments(i)
+		for _, mom := range [][]float64{m, v} {
+			mt, err := tensor.Decode(br)
+			if err != nil {
+				return 0, err
+			}
+			if mt.Size() != len(mom) {
+				return 0, fmt.Errorf("%w: moment size %d != %d for %q",
+					ErrCheckpoint, mt.Size(), len(mom), p.Name)
+			}
+			copy(mom, mt.Data())
+		}
+	}
+	adam.SetStepCount(adamT)
+	return step, nil
 }
 
 // ParamsEqual reports whether two models' parameters are bit-identical;

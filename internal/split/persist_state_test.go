@@ -1,0 +1,106 @@
+package split
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// trainStateFixture builds a small parameter set with a warmed-up Adam
+// so the checkpoint has non-trivial moments and a non-zero clock.
+func trainStateFixture(seed int64, steps int) ([]*nn.Param, *opt.Adam) {
+	rng := rand.New(rand.NewSource(seed))
+	dense := nn.NewDense(rng, 3, 2)
+	params := dense.Params()
+	adam := opt.NewAdam(params, 0.01, 0.9, 0.999)
+	for s := 0; s < steps; s++ {
+		for _, p := range params {
+			g := p.Grad.Data()
+			for i := range g {
+				g[i] = rng.NormFloat64()
+			}
+		}
+		adam.Step()
+	}
+	return params, adam
+}
+
+func TestTrainStateRoundTrip(t *testing.T) {
+	params, adam := trainStateFixture(1, 5)
+	const fp, step = 0xFEEDFACE, 42
+	var buf bytes.Buffer
+	if err := SaveTrainState(&buf, fp, HalfBS, step, params, adam); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+
+	fresh, freshAdam := trainStateFixture(2, 0) // different values, same shapes
+	got, err := LoadTrainState(bytes.NewReader(saved), fp, HalfBS, fresh, freshAdam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != step {
+		t.Fatalf("restored step %d, want %d", got, step)
+	}
+	if freshAdam.StepCount() != adam.StepCount() {
+		t.Fatalf("adam clock %d, want %d", freshAdam.StepCount(), adam.StepCount())
+	}
+	for i := range params {
+		if tensor.MaxAbsDiff(params[i].Value, fresh[i].Value) != 0 {
+			t.Fatalf("parameter %d values drifted through the checkpoint", i)
+		}
+		m0, v0 := adam.Moments(i)
+		m1, v1 := freshAdam.Moments(i)
+		for j := range m0 {
+			if m0[j] != m1[j] || v0[j] != v1[j] {
+				t.Fatalf("parameter %d moments drifted at %d", i, j)
+			}
+		}
+	}
+
+	// Re-saving the restored state must be byte-identical — the
+	// property the transport's resume-equivalence tests build on.
+	var buf2 bytes.Buffer
+	if err := SaveTrainState(&buf2, fp, HalfBS, step, fresh, freshAdam); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, buf2.Bytes()) {
+		t.Fatal("save → load → save is not byte-identical")
+	}
+}
+
+func TestTrainStateRejectsDrift(t *testing.T) {
+	params, adam := trainStateFixture(1, 3)
+	var buf bytes.Buffer
+	if err := SaveTrainState(&buf, 0xAAAA, HalfUE, 7, params, adam); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// Stale fingerprint: the configuration drifted since the checkpoint.
+	fresh, freshAdam := trainStateFixture(2, 0)
+	_, err := LoadTrainState(bytes.NewReader(saved), 0xBBBB, HalfUE, fresh, freshAdam)
+	if !errors.Is(err, ErrCheckpoint) || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("stale fingerprint: err = %v", err)
+	}
+	// Wrong half.
+	if _, err := LoadTrainState(bytes.NewReader(saved), 0xAAAA, HalfBS, fresh, freshAdam); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("wrong half: err = %v", err)
+	}
+	// Truncation.
+	if _, err := LoadTrainState(bytes.NewReader(saved[:len(saved)/2]), 0xAAAA, HalfUE, fresh, freshAdam); err == nil {
+		t.Fatal("truncated train state accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), saved...)
+	bad[0] ^= 0xFF
+	if _, err := LoadTrainState(bytes.NewReader(bad), 0xAAAA, HalfUE, fresh, freshAdam); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+}

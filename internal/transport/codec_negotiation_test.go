@@ -279,14 +279,12 @@ func TestLegacyTensorFrameDecodesAsRaw(t *testing.T) {
 // TestLegacyHelloDecodesAsRaw: a version-1 hello (no trailing codec
 // byte) must decode with Codec == 0, i.e. the Raw codec.
 func TestLegacyHelloDecodesAsRaw(t *testing.T) {
-	// Build the version-1 hello section by hand: the version-2 layout
-	// minus the trailing codec byte.
+	// Build the version-1 hello section: no trailing codec byte.
 	h := Hello{Version: 1, SessionID: "ue-legacy", Seed: 9, Frames: 100, Pool: 4}
-	full, err := appendHello(nil, &h)
+	legacy, err := appendHello(nil, &h, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy := full[:len(full)-1]
 	frame := legacyFrame(t, 1, MsgSessionHello, 0, nil, legacy)
 	got, err := ReadMessage(bytes.NewReader(frame))
 	if err != nil {

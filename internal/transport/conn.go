@@ -1,9 +1,68 @@
 package transport
 
 import (
+	"errors"
+	"fmt"
 	"io"
+	"net"
 	"sync"
+	"time"
 )
+
+// ErrIdleTimeout marks a session connection that stalled past the
+// configured idle timeout: the peer stopped sending (or draining) bytes
+// mid-protocol, so the server fails the session and frees its slot
+// instead of letting one wedged UE hold a MaxUE slot forever.
+var ErrIdleTimeout = errors.New("transport: session idle timeout")
+
+// deadliner is the deadline subset of net.Conn that idleConn arms.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// idleConn enforces an idle timeout on a connection-like stream by
+// arming a fresh read (write) deadline immediately before every Read
+// (Write). The deadline therefore only binds while an operation is
+// actually blocked on the peer — a session parked in the scheduler with
+// no I/O in flight never times out. Timeouts surface as ErrIdleTimeout.
+type idleConn struct {
+	inner   io.ReadWriteCloser
+	dl      deadliner
+	timeout time.Duration
+}
+
+// newIdleConn wraps inner with the idle timeout. Streams that cannot
+// carry deadlines (or a non-positive timeout) pass through unchanged.
+func newIdleConn(inner io.ReadWriteCloser, timeout time.Duration) io.ReadWriteCloser {
+	dl, ok := inner.(deadliner)
+	if !ok || timeout <= 0 {
+		return inner
+	}
+	return &idleConn{inner: inner, dl: dl, timeout: timeout}
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	_ = c.dl.SetReadDeadline(time.Now().Add(c.timeout))
+	n, err := c.inner.Read(p)
+	return n, c.wrapTimeout(err)
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	_ = c.dl.SetWriteDeadline(time.Now().Add(c.timeout))
+	n, err := c.inner.Write(p)
+	return n, c.wrapTimeout(err)
+}
+
+func (c *idleConn) Close() error { return c.inner.Close() }
+
+func (c *idleConn) wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w after %v: %v", ErrIdleTimeout, c.timeout, err)
+	}
+	return err
+}
 
 // CountingConn wraps a connection-like stream and tallies the bytes and
 // frames crossing it in each direction — the measurement hook for

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// Fault injection for the transport layer. A FaultConn wraps any
+// connection-like stream and severs it after a configured byte budget —
+// the software analogue of a mmWave link dropping mid-frame. The cut is
+// deliberately ragged: the final Write delivers only the bytes left in
+// the budget before the stream closes, so the peer sees a truncated
+// frame, exactly like a UE dying halfway through an activations upload.
+// Tests, examples and the CI fault-injection pass all drive it.
+
+// ErrInjectedFault is returned by a FaultConn operation once its budget
+// is exhausted.
+var ErrInjectedFault = errors.New("transport: injected connection fault")
+
+// FaultConn severs a connection after a read and/or write byte budget.
+type FaultConn struct {
+	inner io.ReadWriteCloser
+
+	mu          sync.Mutex
+	readBudget  int64 // bytes this end may still read; < 0: unlimited
+	writeBudget int64 // bytes this end may still write; < 0: unlimited
+	tripped     bool
+}
+
+// NewFaultConn wraps inner with the given budgets; a negative budget
+// never trips. A zero budget trips on the first operation.
+func NewFaultConn(inner io.ReadWriteCloser, readBudget, writeBudget int64) *FaultConn {
+	return &FaultConn{inner: inner, readBudget: readBudget, writeBudget: writeBudget}
+}
+
+// Tripped reports whether the fault has fired.
+func (f *FaultConn) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// take consumes up to n from the budget, returning how many bytes the
+// operation may move and whether the fault fires after them.
+func (f *FaultConn) take(budget *int64, n int) (allowed int, trip bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		return 0, true
+	}
+	if *budget < 0 {
+		return n, false
+	}
+	if int64(n) <= *budget {
+		*budget -= int64(n)
+		return n, false
+	}
+	allowed = int(*budget)
+	*budget = 0
+	f.tripped = true
+	return allowed, true
+}
+
+// Read implements io.Reader, severing the stream when the read budget
+// runs out.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	allowed, trip := f.take(&f.readBudget, len(p))
+	if allowed == 0 && trip {
+		f.inner.Close()
+		return 0, ErrInjectedFault
+	}
+	n, err := f.inner.Read(p[:allowed])
+	if trip {
+		f.inner.Close()
+		if err == nil {
+			err = ErrInjectedFault
+		}
+	}
+	return n, err
+}
+
+// Write implements io.Writer: the final write delivers only the budget
+// remainder (a truncated frame on the peer's side) before the close.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	allowed, trip := f.take(&f.writeBudget, len(p))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = f.inner.Write(p[:allowed])
+	}
+	if trip {
+		f.inner.Close()
+		if err == nil {
+			err = ErrInjectedFault
+		}
+	}
+	return n, err
+}
+
+// Close implements io.Closer.
+func (f *FaultConn) Close() error { return f.inner.Close() }

@@ -22,10 +22,26 @@ type UEPeer struct {
 	Model *split.UEModel
 	Cfg   split.Config
 
-	data *dataset.Dataset
-	adam *opt.Adam
-	conn io.ReadWriter
+	// Ver is the protocol version this peer stamps on its frames
+	// (default ProtocolVersion); tests lower it to simulate old UEs.
+	Ver uint8
+
+	// OnCheckpoint, when set, is called for every MsgCheckpoint the BS
+	// sends (protocol ≥ 3): the UE must persist its half's train state
+	// at the given step so a later reconnect can resume from it. A
+	// returned error aborts the session.
+	OnCheckpoint func(step uint32) error
+
+	data         *dataset.Dataset
+	adam         *opt.Adam
+	conn         io.ReadWriter
+	shutdownStep uint32 // step field of the shutdown that ended Serve
 }
+
+// ShutdownStep reports the step field of the shutdown that ended a
+// clean Serve: 0 means the session completed (checkpoints may be
+// discarded), non-zero a resumable drain at that checkpointed step.
+func (u *UEPeer) ShutdownStep() uint32 { return u.shutdownStep }
 
 // NewUEPeer constructs the UE endpoint over an established connection.
 func NewUEPeer(cfg split.Config, d *dataset.Dataset, conn io.ReadWriter) (*UEPeer, error) {
@@ -40,10 +56,23 @@ func NewUEPeer(cfg split.Config, d *dataset.Dataset, conn io.ReadWriter) (*UEPee
 	return &UEPeer{
 		Model: model,
 		Cfg:   cfg,
+		Ver:   ProtocolVersion,
 		data:  d,
 		adam:  opt.NewAdam(model.Params(), cfg.LR, cfg.Beta1, cfg.Beta2),
 		conn:  conn,
 	}, nil
+}
+
+// SaveState writes the UE half's resumable train state (parameters +
+// optimiser moments) labelled with the given training step.
+func (u *UEPeer) SaveState(w io.Writer, step int) error {
+	return split.SaveTrainState(w, u.Cfg.Fingerprint(), split.HalfUE, step, u.Model.Params(), u.adam)
+}
+
+// RestoreState loads a snapshot written by SaveState into this peer and
+// returns the step it was taken at.
+func (u *UEPeer) RestoreState(r io.Reader) (int, error) {
+	return split.LoadTrainState(r, u.Cfg.Fingerprint(), split.HalfUE, u.Model.Params(), u.adam)
 }
 
 // imageBatch assembles the (B·L, 1, H, W) stack for the anchors.
@@ -73,7 +102,15 @@ func (u *UEPeer) Serve() error {
 		}
 		switch msg.Type {
 		case MsgShutdown:
+			u.shutdownStep = msg.Step
 			return nil
+
+		case MsgCheckpoint:
+			if u.OnCheckpoint != nil {
+				if err := u.OnCheckpoint(msg.Step); err != nil {
+					return fmt.Errorf("transport: UE checkpoint at step %d: %w", msg.Step, err)
+				}
+			}
 
 		case MsgBatchRequest, MsgEvalRequest:
 			batch, err := u.imageBatch(msg.Anchors)
@@ -82,7 +119,7 @@ func (u *UEPeer) Serve() error {
 			}
 			act := u.Model.Forward(batch)
 			reply := &Message{Type: MsgActivations, Step: msg.Step, Tensor: act, Codec: u.Cfg.Codec}
-			if err := WriteMessage(u.conn, reply); err != nil {
+			if err := WriteMessageVersion(u.conn, reply, u.Ver); err != nil {
 				return fmt.Errorf("transport: UE write: %w", err)
 			}
 			if msg.Type == MsgEvalRequest {
@@ -93,6 +130,7 @@ func (u *UEPeer) Serve() error {
 				return fmt.Errorf("transport: UE read gradient: %w", err)
 			}
 			if grad.Type == MsgShutdown {
+				u.shutdownStep = grad.Step
 				return nil
 			}
 			if grad.Type != MsgCutGradient || grad.Tensor == nil {
@@ -123,11 +161,17 @@ type BSPeer struct {
 	Cfg   split.Config
 	Norm  dataset.Normalizer
 
+	// Ver is the protocol version this peer stamps on its frames
+	// (default ProtocolVersion); the multi-UE server lowers it to the
+	// session's negotiated version for old UEs.
+	Ver uint8
+
 	data    *dataset.Dataset
 	adam    *opt.Adam
 	conn    io.ReadWriter
 	sampler *dataset.Sampler
 	step    uint32
+	trained int // training steps applied (restored across resume)
 }
 
 // NewBSPeer constructs the BS endpoint over an established connection.
@@ -150,6 +194,7 @@ func NewBSPeer(cfg split.Config, d *dataset.Dataset, sp *dataset.Split, conn io.
 		Model:   model,
 		Cfg:     cfg,
 		Norm:    norm,
+		Ver:     ProtocolVersion,
 		data:    d,
 		adam:    opt.NewAdam(model.Params(), cfg.LR, cfg.Beta1, cfg.Beta2),
 		conn:    conn,
@@ -157,11 +202,35 @@ func NewBSPeer(cfg split.Config, d *dataset.Dataset, sp *dataset.Split, conn io.
 	}, nil
 }
 
+// SaveState writes the BS half's resumable train state (parameters +
+// optimiser moments) labelled with the given training step.
+func (b *BSPeer) SaveState(w io.Writer, step int) error {
+	return split.SaveTrainState(w, b.Cfg.Fingerprint(), split.HalfBS, step, b.Model.Params(), b.adam)
+}
+
+// RestoreState loads a snapshot written by SaveState into this freshly
+// constructed peer and returns the step it was taken at. The anchor
+// sampler is fast-forwarded past the restored steps' draws, so the
+// resumed run consumes exactly the mini-batches the uninterrupted run
+// would have — checkpoint/restore never changes the mathematics, only
+// where the wall clock restarts.
+func (b *BSPeer) RestoreState(r io.Reader) (int, error) {
+	step, err := split.LoadTrainState(r, b.Cfg.Fingerprint(), split.HalfBS, b.Model.Params(), b.adam)
+	if err != nil {
+		return 0, err
+	}
+	for i := b.trained; i < step; i++ {
+		b.sampler.Batch(b.Cfg.BatchSize)
+	}
+	b.trained = step
+	return step, nil
+}
+
 // requestActivations asks the UE for a forward pass over the anchors.
 func (b *BSPeer) requestActivations(t MsgType, anchors []int32) (*tensor.Tensor, error) {
 	b.step++
 	req := &Message{Type: t, Step: b.step, Anchors: anchors}
-	if err := WriteMessage(b.conn, req); err != nil {
+	if err := WriteMessageVersion(b.conn, req, b.Ver); err != nil {
 		return nil, fmt.Errorf("transport: BS write: %w", err)
 	}
 	reply, err := ReadMessage(b.conn)
@@ -250,10 +319,11 @@ func (b *BSPeer) TrainStep() (float64, error) {
 	if b.Cfg.Modality.UsesImages() {
 		cut := b.extractImageGrad(fusedGrad, len(anchors))
 		msg := &Message{Type: MsgCutGradient, Step: b.step, Tensor: cut, Codec: b.Cfg.Codec}
-		if err := WriteMessage(b.conn, msg); err != nil {
+		if err := WriteMessageVersion(b.conn, msg, b.Ver); err != nil {
 			return 0, fmt.Errorf("transport: BS write gradient: %w", err)
 		}
 	}
+	b.trained++
 	return loss, nil
 }
 
@@ -287,10 +357,16 @@ func (b *BSPeer) Evaluate(anchors []int) (float64, error) {
 	return b.Norm.DenormalizeRMSE(sqrt(sumSq / float64(total))), nil
 }
 
-// Shutdown tells the UE to stop serving. Safe to call when the scheme has
-// no UE peer (it is then a no-op on a nil-safe connection).
-func (b *BSPeer) Shutdown() error {
-	return WriteMessage(b.conn, &Message{Type: MsgShutdown})
+// Shutdown tells the UE the session is complete. Safe to call when the
+// scheme has no UE peer (it is then a no-op on a nil-safe connection).
+func (b *BSPeer) Shutdown() error { return b.ShutdownAt(0) }
+
+// ShutdownAt tells the UE to stop serving. A non-zero step marks a
+// resumable shutdown (graceful drain with a checkpoint at that step):
+// the UE keeps its checkpointed half for a later resume. Step 0 means
+// the session is complete and checkpoints may be discarded.
+func (b *BSPeer) ShutdownAt(step uint32) error {
+	return WriteMessageVersion(b.conn, &Message{Type: MsgShutdown, Step: step}, b.Ver)
 }
 
 func toInt32(xs []int) []int32 {

@@ -39,19 +39,26 @@ const (
 	MsgShutdown                        // BS→UE: training finished
 	MsgSessionHello                    // UE→BS: join request with session parameters
 	MsgSessionAck                      // BS→UE: session accepted or rejected
+	MsgCheckpoint                      // BS→UE: train state checkpointed at Step; UE saves its half
 )
 
 // ProtocolVersion is stamped into every frame header. Version 0 is the
 // original 1:1 UE↔BS protocol without the session handshake; version 1
 // added the hello/ack handshake; version 2 added the negotiated
 // cut-layer payload codec (tensor sections carry a codec id, hellos a
-// requested codec). Readers accept any version up to their own and
-// reject newer ones; version-0/1 tensor sections decode as the
-// lossless Raw codec. Compatibility is read-side: a version-2 endpoint
-// understands every older peer's frames, while its own frames are
-// always stamped version 2 and are therefore rejected by older readers
-// — upgrade the reader before the writer.
-const ProtocolVersion = 2
+// requested codec); version 3 added the session lifecycle — hellos and
+// acks carry a resume token (epoch + last checkpointed step), and the
+// BS instructs the UE to checkpoint with MsgCheckpoint.
+//
+// Readers accept any version up to their own and reject newer ones;
+// version-0/1 tensor sections decode as the lossless Raw codec.
+// Compatibility is now negotiated on both sides: a reader understands
+// every older peer's frames, and a writer can stamp (and lay out) its
+// frames at any older version via WriteMessageVersion, which the
+// multi-UE server uses to talk to v1/v2 peers in their own dialect —
+// an old UE against a new BS negotiates down cleanly instead of
+// rejecting the BS's frames.
+const ProtocolVersion = 3
 
 // String names the message type for diagnostics.
 func (t MsgType) String() string {
@@ -70,6 +77,8 @@ func (t MsgType) String() string {
 		return "SessionHello"
 	case MsgSessionAck:
 		return "SessionAck"
+	case MsgCheckpoint:
+		return "Checkpoint"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -90,7 +99,27 @@ type Hello struct {
 	TargetRMSEdB float64 // UE's stopping criterion (0: use the server's)
 	Err          string  // ack only: non-empty means the session was rejected
 	Codec        uint8   // compress.ID of the requested/granted payload codec
+
+	// Resume token (protocol ≥ 3). Epoch is the BS-assigned incarnation
+	// number of the session: each accepted connection for a session id
+	// gets a strictly larger epoch, fencing any half-dead predecessor.
+	// ResumeStep in a hello asks the BS to resume from the train-state
+	// checkpoint taken at that step (0: fresh join); in an ack it is the
+	// granted resume step. Flags carries the HelloFlag* bits.
+	Epoch      uint32
+	ResumeStep uint32
+	Flags      uint8
 }
+
+// Hello flag bits (protocol ≥ 3).
+const (
+	// HelloFlagResumeRejected marks a rejection ack whose cause is the
+	// resume token itself (missing checkpoint, stale fingerprint,
+	// resume unsupported) rather than the join as such — a structured
+	// signal that rejoining without the token can cure the rejection,
+	// so clients need not parse the human-readable reason.
+	HelloFlagResumeRejected uint8 = 1 << 0
+)
 
 // maxHelloString bounds the variable-length handshake fields.
 const maxHelloString = 256
@@ -129,9 +158,27 @@ var (
 // byte was reserved (always 0) before ProtocolVersion 1 introduced the
 // session handshake; readers accept any version up to their own.
 
-// WriteMessage encodes and writes one frame.
+// WriteMessage encodes and writes one frame at the current
+// ProtocolVersion.
 func WriteMessage(w io.Writer, m *Message) error {
-	payload, err := encodePayload(m)
+	return WriteMessageVersion(w, m, ProtocolVersion)
+}
+
+// WriteMessageVersion encodes and writes one frame stamped — and laid
+// out — at the given protocol version, which must not exceed this
+// endpoint's own. The multi-UE server uses it to answer v1/v2 peers in
+// frames they can read: older hello layouts drop the trailing v2/v3
+// fields, and pre-codec tensor sections fall back to the bare Depth64
+// encoding (only valid for the Raw codec).
+func WriteMessageVersion(w io.Writer, m *Message, version uint8) error {
+	if version > ProtocolVersion {
+		return fmt.Errorf("%w: cannot write protocol version %d (own is %d)",
+			ErrBadFrame, version, ProtocolVersion)
+	}
+	if version < 3 && m.Type == MsgCheckpoint {
+		return fmt.Errorf("%w: %v needs protocol ≥ 3 (writing %d)", ErrBadFrame, m.Type, version)
+	}
+	payload, err := encodePayload(m, version)
 	if err != nil {
 		return err
 	}
@@ -141,7 +188,7 @@ func WriteMessage(w io.Writer, m *Message) error {
 	header := make([]byte, 12)
 	header[0], header[1] = frameMagic[0], frameMagic[1]
 	header[2] = byte(m.Type)
-	header[3] = ProtocolVersion
+	header[3] = version
 	binary.BigEndian.PutUint32(header[4:], m.Step)
 	binary.BigEndian.PutUint32(header[8:], uint32(len(payload)))
 
@@ -214,7 +261,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 // Codec == compress.CodecRaw. Version-0 frames simply end after the
 // tensor section; their absence of a hello flag decodes as Hello == nil.
 
-func encodePayload(m *Message) ([]byte, error) {
+func encodePayload(m *Message, version uint8) ([]byte, error) {
 	if len(m.Anchors) > maxAnchors {
 		return nil, fmt.Errorf("%w: %d anchors exceeds limit", ErrBadFrame, len(m.Anchors))
 	}
@@ -222,9 +269,23 @@ func encodePayload(m *Message) ([]byte, error) {
 	for _, a := range m.Anchors {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(a))
 	}
-	if m.Tensor == nil {
+	switch {
+	case m.Tensor == nil:
 		buf = append(buf, 0)
-	} else {
+	case version < 2:
+		// Pre-codec dialect: a bare Depth64 tensor section, which the
+		// receiver decodes as Raw — so only Raw can be spoken down.
+		if m.Codec != compress.CodecRaw {
+			return nil, fmt.Errorf("%w: codec %v needs protocol ≥ 2 (writing %d)",
+				ErrBadFrame, m.Codec, version)
+		}
+		var enc bytes.Buffer
+		if err := tensor.Encode(&enc, m.Tensor, tensor.Depth64); err != nil {
+			return nil, err
+		}
+		buf = append(buf, 1)
+		buf = append(buf, enc.Bytes()...)
+	default:
 		codec, err := compress.New(m.Codec)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
@@ -240,10 +301,10 @@ func encodePayload(m *Message) ([]byte, error) {
 	if m.Hello == nil {
 		return buf, nil
 	}
-	return appendHello(append(buf, 1), m.Hello)
+	return appendHello(append(buf, 1), m.Hello, version)
 }
 
-func appendHello(buf []byte, h *Hello) ([]byte, error) {
+func appendHello(buf []byte, h *Hello, version uint8) ([]byte, error) {
 	if len(h.SessionID) > maxHelloString || len(h.Err) > maxHelloString {
 		return nil, fmt.Errorf("%w: hello string exceeds %d bytes", ErrBadFrame, maxHelloString)
 	}
@@ -257,9 +318,30 @@ func appendHello(buf []byte, h *Hello) ([]byte, error) {
 	buf = append(buf, h.SessionID...)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Err)))
 	buf = append(buf, h.Err...)
+	if version < 2 {
+		// Version-1 hellos simply stop after the strings (and decode
+		// with Codec == Raw); requesting anything else cannot be said
+		// in this dialect.
+		if h.Codec != 0 || h.Epoch != 0 || h.ResumeStep != 0 || h.Flags != 0 {
+			return nil, fmt.Errorf("%w: hello codec/resume fields need protocol ≥ 2 (writing %d)",
+				ErrBadFrame, version)
+		}
+		return buf, nil
+	}
 	// The codec byte trails the version-1 layout so version-1 hellos
-	// (which simply stop after the strings) keep decoding as Raw.
-	return append(buf, h.Codec), nil
+	// keep decoding as Raw.
+	buf = append(buf, h.Codec)
+	if version < 3 {
+		if h.Epoch != 0 || h.ResumeStep != 0 || h.Flags != 0 {
+			return nil, fmt.Errorf("%w: hello resume token needs protocol ≥ 3 (writing %d)",
+				ErrBadFrame, version)
+		}
+		return buf, nil
+	}
+	// The version-3 resume token and flags trail the version-2 layout.
+	buf = binary.BigEndian.AppendUint32(buf, h.Epoch)
+	buf = binary.BigEndian.AppendUint32(buf, h.ResumeStep)
+	return append(buf, h.Flags), nil
 }
 
 func decodeHello(payload []byte) (*Hello, error) {
@@ -291,8 +373,13 @@ func decodeHello(payload []byte) (*Hello, error) {
 	}
 	switch len(payload) {
 	case 0: // version-1 hello: no codec byte, Raw implied
-	case 1:
+	case 1: // version-2 hello: codec byte only
 		h.Codec = payload[0]
+	case 10: // version-3 hello: codec byte + epoch + resume step + flags
+		h.Codec = payload[0]
+		h.Epoch = binary.BigEndian.Uint32(payload[1:])
+		h.ResumeStep = binary.BigEndian.Uint32(payload[5:])
+		h.Flags = payload[9]
 	default:
 		return nil, fmt.Errorf("%w: trailing bytes after hello", ErrBadFrame)
 	}

@@ -1,15 +1,19 @@
 package transport
 
 import (
-	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/dataset"
-	"repro/internal/metrics"
 	"repro/internal/split"
 )
 
@@ -20,6 +24,13 @@ import (
 // in a per-session goroutine. Sessions are fully isolated — separate
 // seeds, separate model halves, separate optimiser state — so the only
 // shared resource is the scheduler deciding which sessions may step.
+//
+// Session records live in a sessionStore (session.go): a bounded live
+// map plus a bounded retention ring of finished snapshots, so server
+// memory is flat over arbitrary session churn. With a checkpoint
+// directory configured, protocol-v3 sessions periodically persist both
+// halves' train state and a dropped UE can reconnect and resume from
+// the last checkpoint instead of restarting (see DESIGN.md §7).
 
 // SchedPolicy selects how concurrent sessions interleave their training
 // steps.
@@ -74,6 +85,28 @@ type ServerConfig struct {
 	TargetRMSEdB float64                          // stop a session early at this val RMSE (≤0: never)
 	Provision    Provision                        // session environment factory (nil: SessionEnv)
 	Logf         func(format string, args ...any) // optional progress log
+
+	// IdleTimeout fails a session whose connection stalls this long
+	// mid-operation (read or write), freeing its MaxUE slot; ≤0
+	// disables the timeout. It binds only while an I/O operation is
+	// blocked on the peer, so a session parked by the scheduler with no
+	// request in flight never times out.
+	IdleTimeout time.Duration
+
+	// CheckpointDir enables checkpoint/resume: protocol-v3 sessions
+	// persist their BS-half train state here every CheckpointEvery
+	// steps (and instruct the UE to persist its half), and a
+	// reconnecting UE presenting a resume token restores from the
+	// matching checkpoint. Empty disables checkpointing.
+	CheckpointDir string
+
+	// CheckpointEvery is the checkpoint interval in training steps
+	// (≤0: 50). Only consulted when CheckpointDir is set.
+	CheckpointEvery int
+
+	// Retain bounds the retention ring of finished-session snapshots
+	// kept for reporting (≤0: 128). Live sessions are always reported.
+	Retain int
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -89,6 +122,12 @@ func (c *ServerConfig) fillDefaults() {
 	if c.ValAnchors <= 0 {
 		c.ValAnchors = 64
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50
+	}
+	if c.Retain <= 0 {
+		c.Retain = 128
+	}
 	if c.Provision == nil {
 		c.Provision = SessionEnv
 	}
@@ -97,153 +136,20 @@ func (c *ServerConfig) fillDefaults() {
 	}
 }
 
-// SessionState is a session's position in the join → train → evaluate →
-// detach lifecycle.
-type SessionState int
-
-// Session lifecycle states.
-const (
-	SessionJoined     SessionState = iota // handshake accepted, not yet stepping
-	SessionTraining                       // running distributed SGD steps
-	SessionEvaluating                     // mid-validation pass
-	SessionDetached                       // finished cleanly (shutdown sent)
-	SessionFailed                         // aborted on error
-)
-
-// String names the state.
-func (s SessionState) String() string {
-	switch s {
-	case SessionJoined:
-		return "joined"
-	case SessionTraining:
-		return "training"
-	case SessionEvaluating:
-		return "evaluating"
-	case SessionDetached:
-		return "detached"
-	case SessionFailed:
-		return "failed"
-	}
-	return fmt.Sprintf("SessionState(%d)", int(s))
-}
-
-func (s SessionState) finished() bool {
-	return s == SessionDetached || s == SessionFailed
-}
-
-// SessionSnapshot is a point-in-time copy of one session's progress,
-// safe to use after the session has moved on.
-type SessionSnapshot struct {
-	ID       string
-	Hello    Hello
-	State    SessionState
-	Steps    int                     // training steps completed
-	LastLoss float64                 // most recent mini-batch loss (normalised scale)
-	LastRMSE float64                 // most recent validation RMSE in dB (0 before any eval)
-	Evals    int                     // validation passes completed
-	Reached  bool                    // hit TargetRMSEdB before exhausting Steps
-	BytesIn  int64                   // wire bytes received from the UE
-	BytesOut int64                   // wire bytes sent to the UE
-	Err      string                  // non-empty iff State == SessionFailed
-	Metrics  *metrics.SessionMetrics // deep copy of the full series
-}
-
-// session is the server-side state of one UE.
-type session struct {
-	id    string
-	hello Hello
-
-	mu      sync.Mutex
-	state   SessionState
-	steps   int
-	reached bool
-	err     error
-	met     *metrics.SessionMetrics
-	conn    *CountingConn // nil until provisioned
-}
-
-func (s *session) setState(st SessionState) {
-	s.mu.Lock()
-	s.state = st
-	s.mu.Unlock()
-}
-
-func (s *session) setConn(c *CountingConn) {
-	s.mu.Lock()
-	s.conn = c
-	s.mu.Unlock()
-}
-
-func (s *session) fail(err error) {
-	s.mu.Lock()
-	s.state = SessionFailed
-	if s.err == nil {
-		s.err = err
-	}
-	s.mu.Unlock()
-}
-
-func (s *session) finished() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state.finished()
-}
-
-// record logs one completed step and reports whether the target RMSE has
-// been reached.
-func (s *session) record(step int, loss float64, evaled bool, rmse, target float64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.steps = step
-	s.met.Loss.Add(step, loss)
-	if evaled {
-		s.met.ValRMSE.Add(step, rmse)
-		if target > 0 && rmse <= target {
-			s.reached = true
-		}
-	}
-	return s.reached
-}
-
-func (s *session) snapshot() SessionSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap := SessionSnapshot{
-		ID:      s.id,
-		Hello:   s.hello,
-		State:   s.state,
-		Steps:   s.steps,
-		Evals:   s.met.ValRMSE.Len(),
-		Reached: s.reached,
-		Metrics: s.met.Clone(),
-	}
-	if _, v, ok := s.met.Loss.Last(); ok {
-		snap.LastLoss = v
-	}
-	if _, v, ok := s.met.ValRMSE.Last(); ok {
-		snap.LastRMSE = v
-	}
-	if s.conn != nil {
-		st := s.conn.Stats()
-		snap.BytesIn, snap.BytesOut = st.BytesIn, st.BytesOut
-	}
-	if s.err != nil {
-		snap.Err = s.err.Error()
-	}
-	return snap
-}
+// ckptKeep is how many checkpoint files are kept per session: the
+// newest, plus its predecessor to cover a UE that died after the BS
+// checkpointed step S but before the UE's own step-S save landed.
+const ckptKeep = 2
 
 // BSServer accepts UE connections and trains one split-learning session
 // per UE under the configured scheduling policy.
 type BSServer struct {
 	cfg   ServerConfig
 	sched scheduler
+	store *sessionStore
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	order    []string // join order, for stable reporting
-
-	wg sync.WaitGroup
+	draining atomic.Bool
+	wg       sync.WaitGroup
 }
 
 // NewBSServer builds a server; zero-valued config fields take defaults.
@@ -259,9 +165,9 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 		return nil, fmt.Errorf("transport: unknown scheduling policy %v", cfg.Sched)
 	}
 	return &BSServer{
-		cfg:      cfg,
-		sched:    sched,
-		sessions: make(map[string]*session),
+		cfg:   cfg,
+		sched: sched,
+		store: newSessionStore(cfg.Retain),
 	}, nil
 }
 
@@ -288,44 +194,38 @@ func (s *BSServer) Serve(ln net.Listener) error {
 // Wait blocks until every Serve-spawned session has finished.
 func (s *BSServer) Wait() { s.wg.Wait() }
 
-// Sessions returns snapshots of every session ever admitted, in join
-// order.
-func (s *BSServer) Sessions() []SessionSnapshot {
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.order))
-	for _, id := range s.order {
-		sessions = append(sessions, s.sessions[id])
+// Drain puts the server into graceful shutdown: new sessions are
+// refused, and every live session stops at its next step boundary,
+// writes a final checkpoint (when checkpointing is enabled) and
+// detaches its UE cleanly. Callers close the listener and Wait.
+func (s *BSServer) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.cfg.Logf("bs-server: draining — refusing new sessions, checkpointing %d live", s.store.liveCount())
 	}
-	s.mu.Unlock()
-	out := make([]SessionSnapshot, len(sessions))
-	for i, sess := range sessions {
-		out[i] = sess.snapshot()
-	}
-	return out
 }
+
+// Draining reports whether Drain has been called.
+func (s *BSServer) Draining() bool { return s.draining.Load() }
+
+// Sessions returns snapshots of the retained finished sessions (oldest
+// first, bounded by ServerConfig.Retain) followed by the live ones in
+// join order.
+func (s *BSServer) Sessions() []SessionSnapshot { return s.store.snapshots() }
 
 // ActiveSessions counts sessions that have joined but not yet finished.
-func (s *BSServer) ActiveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, sess := range s.sessions {
-		if !sess.finished() {
-			n++
-		}
-	}
-	return n
-}
+func (s *BSServer) ActiveSessions() int { return s.store.liveCount() }
 
-// Handle runs one complete session — handshake, training, evaluation,
-// shutdown — synchronously over an established connection. Serve calls it
-// per accepted conn; tests call it directly over net.Pipe.
+// Handle runs one complete session incarnation — handshake, optional
+// resume, training, evaluation, shutdown — synchronously over an
+// established connection. Serve calls it per accepted conn; tests call
+// it directly over net.Pipe.
 func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	defer conn.Close()
 
 	// Count from the first byte so the handshake itself is part of each
-	// session's wire accounting.
-	cc := NewCountingConn(conn)
+	// session's wire accounting; the idle wrapper below the counter
+	// frees the slot of a UE that wedges mid-frame.
+	cc := NewCountingConn(newIdleConn(conn, s.cfg.IdleTimeout))
 	msg, err := ReadMessage(cc)
 	if err != nil {
 		// A structurally broken hello (newer frame version, corrupt or
@@ -333,30 +233,55 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		// the dialer learns why it was turned away instead of seeing a
 		// bare connection reset.
 		err = fmt.Errorf("transport: server read hello: %w", err)
-		s.refuse(cc, Hello{}, err)
+		s.refuse(cc, Hello{}, ProtocolVersion, err)
 		return err
 	}
 	if msg.Type != MsgSessionHello || msg.Hello == nil {
 		err := fmt.Errorf("transport: expected SessionHello, got %v", msg.Type)
-		s.refuse(cc, Hello{}, err)
+		s.refuse(cc, Hello{}, ProtocolVersion, err)
 		return err
 	}
 	h := *msg.Hello
 	if h.Version > ProtocolVersion {
 		err := fmt.Errorf("transport: UE protocol version %d newer than %d", h.Version, ProtocolVersion)
-		s.refuse(cc, h, err)
+		s.refuse(cc, h, ProtocolVersion, err)
 		return err
+	}
+	// Negotiate down to the peer's dialect: every frame this session
+	// writes from here on is stamped (and laid out) at ver.
+	ver := h.Version
+	if ver < 1 {
+		ver = 1
 	}
 	if !compress.ID(h.Codec).Valid() {
 		err := fmt.Errorf("transport: unknown codec id %d in hello", h.Codec)
-		s.refuse(cc, h, err)
+		s.refuse(cc, h, ver, err)
+		return err
+	}
+	if s.draining.Load() {
+		err := fmt.Errorf("transport: server draining, not accepting session %q", h.SessionID)
+		s.refuse(cc, h, ver, err)
+		return err
+	}
+	if h.ResumeStep > 0 && s.cfg.CheckpointDir == "" {
+		err := fmt.Errorf("transport: session %q requests resume but server has no checkpoint dir", h.SessionID)
+		s.refuseResume(cc, h, ver, err)
 		return err
 	}
 
-	sess, err := s.admit(h)
+	sess, superseded, err := s.store.admit(h, ver, conn, s.cfg.MaxUE)
 	if err != nil {
-		s.refuse(cc, h, err)
+		s.refuse(cc, h, ver, err)
 		return err
+	}
+	if superseded != nil {
+		// Fence the old epoch: its conn dies now, so its goroutine
+		// unblocks and finds its record already retired.
+		if superseded.closer != nil {
+			_ = superseded.closer.Close()
+		}
+		s.cfg.Logf("bs-server: session %q epoch %d supersedes epoch %d",
+			h.SessionID, sess.epoch, superseded.epoch)
 	}
 	sess.setConn(cc)
 
@@ -374,9 +299,20 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		peer, err = NewBSPeer(cfg, d, sp, cc)
 	}
 	if err != nil {
-		sess.fail(err)
-		s.refuse(cc, h, err)
+		s.fail(sess, err)
+		s.refuse(cc, h, ver, err)
 		return err
+	}
+	peer.Ver = ver
+	if h.ResumeStep > 0 {
+		// A failure from here on is specific to the resume token — the
+		// same hello without it would have joined — so the rejection is
+		// flagged: the UE may drop the token and retrain fresh.
+		if err := s.restore(sess, peer, int(h.ResumeStep)); err != nil {
+			s.fail(sess, err)
+			s.refuseResume(cc, h, ver, err)
+			return err
+		}
 	}
 
 	// The UE's own stopping criterion wins over the server default; the
@@ -386,71 +322,74 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		target = h.TargetRMSEdB
 	}
 	ack := Hello{
-		Version: ProtocolVersion, SessionID: h.SessionID, Seed: h.Seed,
+		Version: ver, SessionID: h.SessionID, Seed: h.Seed,
 		Frames: h.Frames, Pool: h.Pool, Modality: h.Modality,
 		ConfigFP: cfg.Fingerprint(), TargetRMSEdB: target, Codec: h.Codec,
 	}
-	if err := WriteMessage(cc, &Message{Type: MsgSessionAck, Hello: &ack}); err != nil {
+	if ver >= 3 {
+		ack.Epoch, ack.ResumeStep = sess.epoch, h.ResumeStep
+	}
+	if err := WriteMessageVersion(cc, &Message{Type: MsgSessionAck, Hello: &ack}, ver); err != nil {
 		err = fmt.Errorf("transport: server write ack: %w", err)
-		sess.fail(err)
+		s.fail(sess, err)
 		return err
 	}
-	s.cfg.Logf("bs-server: session %q joined (seed %d, pool %d, %s, %s codec)",
-		h.SessionID, h.Seed, h.Pool, split.Modality(h.Modality), compress.ID(h.Codec))
+	if h.ResumeStep > 0 {
+		s.cfg.Logf("bs-server: session %q epoch %d resumed from step %d (seed %d, %s codec)",
+			h.SessionID, sess.epoch, h.ResumeStep, h.Seed, compress.ID(h.Codec))
+	} else {
+		s.cfg.Logf("bs-server: session %q joined (seed %d, pool %d, %s, %s codec)",
+			h.SessionID, h.Seed, h.Pool, split.Modality(h.Modality), compress.ID(h.Codec))
+	}
 
-	return s.train(sess, peer, sp, target)
+	return s.train(sess, peer, sp, target, int(h.ResumeStep))
 }
 
-// admit registers a session if capacity and uniqueness allow.
-func (s *BSServer) admit(h Hello) (*session, error) {
-	if h.SessionID == "" {
-		return nil, errors.New("transport: empty session id")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.sessions[h.SessionID]; ok && !old.finished() {
-		return nil, fmt.Errorf("transport: session %q already active", h.SessionID)
-	}
-	active := 0
-	for _, sess := range s.sessions {
-		if !sess.finished() {
-			active++
-		}
-	}
-	if active >= s.cfg.MaxUE {
-		return nil, fmt.Errorf("transport: server full (%d/%d UEs)", active, s.cfg.MaxUE)
-	}
-	sess := &session{
-		id: h.SessionID, hello: h,
-		state: SessionJoined,
-		met:   metrics.NewSessionMetrics(h.SessionID),
-	}
-	if _, rejoin := s.sessions[h.SessionID]; !rejoin {
-		s.order = append(s.order, h.SessionID)
-	}
-	s.sessions[h.SessionID] = sess
-	return sess, nil
+// fail finishes a session on an error (no-op if already fenced).
+func (s *BSServer) fail(sess *session, err error) {
+	s.store.finish(sess, SessionFailed, err)
 }
 
-// refuse best-effort sends a rejection ack.
-func (s *BSServer) refuse(conn io.Writer, h Hello, cause error) {
+// refuse best-effort sends a rejection ack in the peer's dialect.
+func (s *BSServer) refuse(conn io.Writer, h Hello, ver uint8, cause error) {
+	s.refuseFlags(conn, h, ver, cause, 0)
+}
+
+// refuseResume rejects a hello whose resume token — not the join as
+// such — is the problem, flagging the ack so the UE knows a fresh
+// rejoin can cure it.
+func (s *BSServer) refuseResume(conn io.Writer, h Hello, ver uint8, cause error) {
+	s.refuseFlags(conn, h, ver, cause, HelloFlagResumeRejected)
+}
+
+func (s *BSServer) refuseFlags(conn io.Writer, h Hello, ver uint8, cause error, flags uint8) {
 	reason := cause.Error()
 	if len(reason) > maxHelloString {
 		reason = reason[:maxHelloString]
 	}
-	ack := Hello{Version: ProtocolVersion, SessionID: h.SessionID, Err: reason}
-	_ = WriteMessage(conn, &Message{Type: MsgSessionAck, Hello: &ack})
+	ack := Hello{Version: ver, SessionID: h.SessionID, Err: reason}
+	if ver >= 3 {
+		ack.Flags = flags
+	}
+	_ = WriteMessageVersion(conn, &Message{Type: MsgSessionAck, Hello: &ack}, ver)
 	s.cfg.Logf("bs-server: refused session %q: %v", h.SessionID, cause)
 }
 
-// train drives one admitted session to completion under the scheduler.
-func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target float64) error {
+// train drives one admitted session to completion under the scheduler,
+// starting after the given resume step (0 for a fresh join).
+func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target float64, start int) error {
 	slot := s.sched.join()
 	defer s.sched.leave(slot)
 
 	val := spreadAnchors(sp.Val, s.cfg.ValAnchors)
 	sess.setState(SessionTraining)
-	for step := 1; step <= s.cfg.Steps; step++ {
+	done := start // last completed step
+	drained := false
+	for step := start + 1; step <= s.cfg.Steps; step++ {
+		if s.draining.Load() {
+			drained = true
+			break
+		}
 		s.sched.begin(slot)
 		loss, err := peer.TrainStep()
 		var rmse float64
@@ -462,22 +401,173 @@ func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target 
 		}
 		s.sched.done(slot)
 		if err != nil {
-			sess.fail(err)
+			s.fail(sess, err)
 			return fmt.Errorf("transport: session %q step %d: %w", sess.id, step, err)
 		}
-		if sess.record(step, loss, evalDue, rmse, target) {
+		done = step
+		stop := sess.record(step, loss, evalDue, rmse, target)
+		if s.checkpointDue(sess, step, stop) {
+			if err := s.checkpoint(sess, peer, step); err != nil {
+				s.fail(sess, err)
+				return fmt.Errorf("transport: session %q checkpoint at step %d: %w", sess.id, step, err)
+			}
+		}
+		if stop {
 			break
 		}
 	}
-	if err := peer.Shutdown(); err != nil {
-		sess.fail(err)
+	// A drain that interrupted the schedule still leaves a resumable
+	// checkpoint at the last completed step, and tells the UE (via the
+	// shutdown's step field) to keep its half for a later resume. A
+	// session that ran to completion instead garbage-collects everything
+	// but its final checkpoint — the terminal model artifact.
+	var shutdownStep uint32
+	if drained && s.checkpointEnabled(sess) {
+		if done > start && sess.lastCheckpoint() != done {
+			if err := s.checkpoint(sess, peer, done); err != nil {
+				s.fail(sess, err)
+				return fmt.Errorf("transport: session %q drain checkpoint: %w", sess.id, err)
+			}
+		}
+		shutdownStep = uint32(sess.lastCheckpoint())
+	}
+	if err := peer.ShutdownAt(shutdownStep); err != nil {
+		s.fail(sess, err)
 		return fmt.Errorf("transport: session %q shutdown: %w", sess.id, err)
 	}
-	sess.setState(SessionDetached)
+	s.store.finish(sess, SessionDetached, nil)
+	if !drained && s.checkpointEnabled(sess) {
+		s.pruneCheckpoints(sess.id, done)
+	}
 	snap := sess.snapshot()
 	s.cfg.Logf("bs-server: session %q detached after %d steps (val RMSE %.2f dB)",
 		sess.id, snap.Steps, snap.LastRMSE)
 	return nil
+}
+
+// pruneCheckpoints garbage-collects a completed session's checkpoint
+// files — every incarnation's intermediates — keeping only the final
+// step's as the terminal artifact, so CheckpointDir stays flat over
+// session churn. Failed and drained sessions keep their files: they are
+// the resume material.
+func (s *BSServer) pruneCheckpoints(id string, final int) {
+	keep := ckptPath(s.cfg.CheckpointDir, id, final)
+	matches, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, sanitizeID(id)+"@*.bs.ckpt"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if m != keep {
+			os.Remove(m)
+		}
+	}
+}
+
+// checkpointEnabled reports whether this incarnation checkpoints: the
+// server needs a directory and the peer must speak protocol ≥ 3 (older
+// UEs cannot be told to save their half, so a one-sided checkpoint
+// could never be resumed).
+func (s *BSServer) checkpointEnabled(sess *session) bool {
+	return s.cfg.CheckpointDir != "" && sess.ver >= 3
+}
+
+func (s *BSServer) checkpointDue(sess *session, step int, last bool) bool {
+	if !s.checkpointEnabled(sess) {
+		return false
+	}
+	return step%s.cfg.CheckpointEvery == 0 || last || step == s.cfg.Steps
+}
+
+// checkpoint persists the BS half's train state at step and instructs
+// the UE to persist its half. File errors are surfaced: a server that
+// silently stops checkpointing would strand every future resume.
+func (s *BSServer) checkpoint(sess *session, peer *BSPeer, step int) error {
+	path := ckptPath(s.cfg.CheckpointDir, sess.id, step)
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		return peer.SaveState(w, step)
+	}); err != nil {
+		return err
+	}
+	for _, old := range sess.recordCheckpoint(step, ckptKeep) {
+		os.Remove(ckptPath(s.cfg.CheckpointDir, sess.id, old))
+	}
+	return WriteMessageVersion(peer.conn, &Message{Type: MsgCheckpoint, Step: uint32(step)}, sess.ver)
+}
+
+// writeFileAtomic writes a file via a temp sibling + rename, so a crash
+// mid-write can never leave a torn checkpoint under the final name.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// restore loads the BS-half checkpoint the resume token names into the
+// freshly provisioned peer. The checkpoint's stored fingerprint must
+// match the session's current one — resuming across a drifted
+// configuration is rejected at join time.
+func (s *BSServer) restore(sess *session, peer *BSPeer, step int) error {
+	f, err := os.Open(ckptPath(s.cfg.CheckpointDir, sess.id, step))
+	if err != nil {
+		return fmt.Errorf("transport: session %q has no checkpoint at step %d", sess.id, step)
+	}
+	defer f.Close()
+	got, err := peer.RestoreState(f)
+	if err != nil {
+		return fmt.Errorf("transport: session %q resume from step %d: %w", sess.id, step, err)
+	}
+	if got != step {
+		return fmt.Errorf("transport: session %q checkpoint holds step %d, token says %d", sess.id, got, step)
+	}
+	sess.markResumed(step)
+	return nil
+}
+
+// lastCheckpoint returns the newest on-disk checkpoint step (0: none).
+func (s *session) lastCheckpoint() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ckptSteps) == 0 {
+		return 0
+	}
+	return s.ckptSteps[len(s.ckptSteps)-1]
+}
+
+// ckptPath names a session's BS-half checkpoint file at a step.
+func ckptPath(dir, id string, step int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s@%06d.bs.ckpt", sanitizeID(id), step))
+}
+
+// sanitizeID maps a UE-chosen session id onto a stable filesystem-safe
+// name, suffixed with a hash of the raw id so distinct ids that
+// sanitise alike stay distinct.
+func sanitizeID(id string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, id)
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return fmt.Sprintf("%s-%08x", clean, h.Sum32())
 }
 
 // spreadAnchors subsamples up to n anchors evenly across the whole
@@ -521,7 +611,8 @@ func (a *asyncSched) leave(int) {}
 
 // rrSched grants the turn to joined sessions in strict rotation. A
 // session blocked mid-step holds the turn, so one stalled UE serialises
-// the round — the intended semantics of sequential scheduling.
+// the round — the intended semantics of sequential scheduling (the idle
+// timeout is what eventually evicts a UE wedged mid-step).
 type rrSched struct {
 	mu    sync.Mutex
 	cond  *sync.Cond

@@ -224,33 +224,51 @@ func TestBSServerAdmissionControl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.admit(tinyHello(0)); err != nil {
+	st := srv.store
+	first, old, err := st.admit(tinyHello(0), ProtocolVersion, nil, 2)
+	if err != nil || old != nil {
+		t.Fatalf("fresh admit: %v (superseded %v)", err, old)
+	}
+	// A duplicate id supersedes the live incarnation instead of being
+	// refused: the old record is fenced and retired, the slot count is
+	// unchanged.
+	second, superseded, err := st.admit(tinyHello(0), ProtocolVersion, nil, 2)
+	if err != nil || superseded != first {
+		t.Fatalf("duplicate admit should supersede: err=%v superseded=%v", err, superseded)
+	}
+	if second.epoch <= first.epoch {
+		t.Fatalf("superseding epoch %d not newer than %d", second.epoch, first.epoch)
+	}
+	if !first.finished() {
+		t.Fatal("superseded session not fenced")
+	}
+	if _, _, err := st.admit(tinyHello(1), ProtocolVersion, nil, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.admit(tinyHello(0)); err == nil || !strings.Contains(err.Error(), "already active") {
-		t.Fatalf("duplicate admit: err = %v", err)
-	}
-	if _, err := srv.admit(tinyHello(1)); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := srv.admit(tinyHello(2)); err == nil || !strings.Contains(err.Error(), "full") {
+	if _, _, err := st.admit(tinyHello(2), ProtocolVersion, nil, 2); err == nil || !strings.Contains(err.Error(), "full") {
 		t.Fatalf("over-capacity admit: err = %v", err)
 	}
-	if _, err := srv.admit(Hello{}); err == nil {
+	if _, _, err := st.admit(Hello{}, ProtocolVersion, nil, 2); err == nil {
 		t.Fatal("empty session id admitted")
 	}
 	if got := srv.ActiveSessions(); got != 2 {
 		t.Fatalf("ActiveSessions = %d, want 2", got)
 	}
-	// A finished session frees its slot and its id.
-	srv.mu.Lock()
-	srv.sessions["ue-0"].state = SessionDetached
-	srv.mu.Unlock()
-	if _, err := srv.admit(tinyHello(2)); err != nil {
+	// A finished session is evicted from the live map, freeing its slot
+	// and its id.
+	st.finish(second, SessionDetached, nil)
+	if got := srv.ActiveSessions(); got != 1 {
+		t.Fatalf("ActiveSessions after detach = %d, want 1", got)
+	}
+	if _, _, err := st.admit(tinyHello(2), ProtocolVersion, nil, 2); err != nil {
 		t.Fatalf("admit after detach: %v", err)
 	}
-	if _, err := srv.admit(tinyHello(0)); err == nil || !strings.Contains(err.Error(), "full") {
+	if _, _, err := st.admit(tinyHello(3), ProtocolVersion, nil, 2); err == nil || !strings.Contains(err.Error(), "full") {
 		t.Fatalf("rejoin should respect capacity: err = %v", err)
+	}
+	// Finished sessions live on only as retained snapshots.
+	if n := st.retiredCount(); n != 2 {
+		t.Fatalf("retired %d snapshots, want 2 (superseded + detached)", n)
 	}
 }
 

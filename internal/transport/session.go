@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Session lifecycle. A session is one UE's training run as the base
+// station sees it; a session *incarnation* is one connection serving it.
+// The store below owns every session record: a bounded live map (one
+// entry per unfinished session — the MaxUE accounting), plus a bounded
+// retention ring of finished-session snapshots kept for post-mortem
+// reporting. Nothing a UE does can grow server memory past
+// MaxUE + Retain records: finished sessions are evicted from the live
+// map the moment they finish, and the retention ring drops its oldest
+// snapshot when full.
+
+// SessionState is a session's position in the lifecycle state machine:
+//
+//	            ┌──────────► Detached
+//	Joined ──► Training ◄─► Evaluating
+//	   │          │              │
+//	   └──────────┴──────────────┴──► Failed / Superseded
+//
+// The terminal states (Detached, Failed, Superseded) fence the record:
+// no later transition can overwrite them, so a half-dead predecessor
+// connection racing a rejoin can never resurrect or re-fail a session
+// that was already superseded.
+type SessionState int
+
+// Session lifecycle states.
+const (
+	SessionJoined     SessionState = iota // handshake accepted, not yet stepping
+	SessionTraining                       // running distributed SGD steps
+	SessionEvaluating                     // mid-validation pass
+	SessionDetached                       // finished cleanly (shutdown sent)
+	SessionFailed                         // aborted on error
+	SessionSuperseded                     // fenced off by a newer epoch of the same session id
+)
+
+// String names the state.
+func (s SessionState) String() string {
+	switch s {
+	case SessionJoined:
+		return "joined"
+	case SessionTraining:
+		return "training"
+	case SessionEvaluating:
+		return "evaluating"
+	case SessionDetached:
+		return "detached"
+	case SessionFailed:
+		return "failed"
+	case SessionSuperseded:
+		return "superseded"
+	}
+	return fmt.Sprintf("SessionState(%d)", int(s))
+}
+
+func (s SessionState) finished() bool {
+	return s == SessionDetached || s == SessionFailed || s == SessionSuperseded
+}
+
+// validTransition encodes the state machine above.
+func validTransition(from, to SessionState) bool {
+	if from.finished() {
+		return false
+	}
+	switch to {
+	case SessionDetached, SessionFailed, SessionSuperseded:
+		return true
+	case SessionTraining:
+		return from == SessionJoined || from == SessionEvaluating
+	case SessionEvaluating:
+		return from == SessionTraining
+	}
+	return false
+}
+
+// SessionSnapshot is a point-in-time copy of one session's progress,
+// safe to use after the session has moved on.
+type SessionSnapshot struct {
+	ID          string
+	Hello       Hello
+	Epoch       uint32 // incarnation number (1 for a fresh join)
+	Version     uint8  // negotiated protocol version
+	State       SessionState
+	Steps       int                     // training steps completed
+	ResumedFrom uint32                  // checkpoint step this incarnation resumed from (0: fresh)
+	LastLoss    float64                 // most recent mini-batch loss (normalised scale)
+	LastRMSE    float64                 // most recent validation RMSE in dB (0 before any eval)
+	Evals       int                     // validation passes completed
+	Reached     bool                    // hit TargetRMSEdB before exhausting Steps
+	BytesIn     int64                   // wire bytes received from the UE
+	BytesOut    int64                   // wire bytes sent to the UE
+	Err         string                  // non-empty iff the session finished on an error
+	Metrics     *metrics.SessionMetrics // deep copy of the full series
+}
+
+// session is the server-side state of one UE incarnation.
+type session struct {
+	id     string
+	hello  Hello
+	epoch  uint32
+	ver    uint8     // negotiated protocol version for this incarnation
+	closer io.Closer // underlying conn; closed to fence a superseded epoch
+
+	mu        sync.Mutex
+	state     SessionState
+	steps     int
+	resumed   uint32 // step this incarnation resumed from (0 = fresh)
+	reached   bool
+	err       error
+	met       *metrics.SessionMetrics
+	conn      *CountingConn // nil until provisioned
+	ckptSteps []int         // steps with an on-disk checkpoint, oldest first
+}
+
+// setState applies a non-terminal lifecycle transition; it is a no-op
+// if the session has concurrently been fenced into a terminal state.
+func (s *session) setState(st SessionState) {
+	s.mu.Lock()
+	if validTransition(s.state, st) {
+		s.state = st
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) setConn(c *CountingConn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+func (s *session) finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.finished()
+}
+
+// markResumed notes that this incarnation restored from a checkpoint.
+// The restored step seeds the checkpoint ring — that file exists and is
+// this incarnation's fallback, so a drain before the first new
+// checkpoint still reports a resumable step (and the ring's pruning
+// eventually collects the inherited file like any other).
+func (s *session) markResumed(step int) {
+	s.mu.Lock()
+	s.resumed = uint32(step)
+	s.steps = step
+	s.ckptSteps = []int{step}
+	s.met.RecordResume(step)
+	s.mu.Unlock()
+}
+
+// recordCheckpoint notes an on-disk checkpoint at step and returns the
+// steps whose files should be pruned (everything but the newest keep).
+func (s *session) recordCheckpoint(step, keep int) (prune []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met.RecordCheckpoint(step)
+	s.ckptSteps = append(s.ckptSteps, step)
+	for len(s.ckptSteps) > keep {
+		prune = append(prune, s.ckptSteps[0])
+		s.ckptSteps = s.ckptSteps[1:]
+	}
+	return prune
+}
+
+// record logs one completed step and reports whether the target RMSE has
+// been reached.
+func (s *session) record(step int, loss float64, evaled bool, rmse, target float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.steps = step
+	s.met.Loss.Add(step, loss)
+	if evaled {
+		s.met.ValRMSE.Add(step, rmse)
+		if target > 0 && rmse <= target {
+			s.reached = true
+		}
+	}
+	return s.reached
+}
+
+func (s *session) snapshot() SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SessionSnapshot{
+		ID:          s.id,
+		Hello:       s.hello,
+		Epoch:       s.epoch,
+		Version:     s.ver,
+		State:       s.state,
+		Steps:       s.steps,
+		ResumedFrom: s.resumed,
+		Evals:       s.met.ValRMSE.Len(),
+		Reached:     s.reached,
+		Metrics:     s.met.Clone(),
+	}
+	if _, v, ok := s.met.Loss.Last(); ok {
+		snap.LastLoss = v
+	}
+	if _, v, ok := s.met.ValRMSE.Last(); ok {
+		snap.LastRMSE = v
+	}
+	if s.conn != nil {
+		st := s.conn.Stats()
+		snap.BytesIn, snap.BytesOut = st.BytesIn, st.BytesOut
+	}
+	if s.err != nil {
+		snap.Err = s.err.Error()
+	}
+	return snap
+}
+
+// ErrSuperseded is the terminal cause recorded on a session incarnation
+// that was fenced off by a newer connection reclaiming its session id.
+var ErrSuperseded = errors.New("transport: session superseded by a newer epoch")
+
+// sessionStore owns every session record. Locking order: store mutex,
+// then session mutex — never the reverse.
+type sessionStore struct {
+	mu      sync.Mutex
+	retain  int
+	live    map[string]*session
+	order   []string          // live sessions in join order
+	retired []SessionSnapshot // finished sessions, oldest first, len ≤ retain
+	evicted int64             // snapshots dropped from the full ring
+}
+
+func newSessionStore(retain int) *sessionStore {
+	return &sessionStore{retain: retain, live: make(map[string]*session)}
+}
+
+// admit registers a new incarnation for h if capacity allows. A live
+// session with the same id is superseded — fenced into a terminal state
+// and retired — rather than blocking the rejoin: the newer connection
+// is, by assumption, the UE that lost its old one. The superseded
+// incarnation (nil if none) is returned so the caller can close its
+// connection. The closer is published with the record so a follow-up
+// supersede can always reach this incarnation's connection.
+func (st *sessionStore) admit(h Hello, ver uint8, closer io.Closer, maxUE int) (sess, superseded *session, err error) {
+	if h.SessionID == "" {
+		return nil, nil, errors.New("transport: empty session id")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.live[h.SessionID]
+	if old == nil && len(st.live) >= maxUE {
+		return nil, nil, fmt.Errorf("transport: server full (%d/%d UEs)", len(st.live), maxUE)
+	}
+	epoch := h.Epoch
+	if old != nil && old.epoch > epoch {
+		epoch = old.epoch
+	}
+	sess = &session{
+		id: h.SessionID, hello: h,
+		epoch: epoch + 1, ver: ver, closer: closer,
+		state: SessionJoined,
+		met:   metrics.NewSessionMetrics(h.SessionID),
+	}
+	if old != nil {
+		st.retireLocked(old, SessionSuperseded, ErrSuperseded)
+		superseded = old
+	}
+	st.live[h.SessionID] = sess
+	st.order = append(st.order, h.SessionID)
+	return sess, superseded, nil
+}
+
+// finish moves sess into a terminal state, evicts it from the live map
+// and retires its snapshot into the bounded ring. It is a no-op when the
+// session already finished — the fence that keeps a superseded
+// incarnation's dying goroutine from touching its successor's record.
+func (st *sessionStore) finish(sess *session, to SessionState, cause error) {
+	st.mu.Lock()
+	st.retireLocked(sess, to, cause)
+	st.mu.Unlock()
+}
+
+// retireLocked is finish with st.mu held.
+func (st *sessionStore) retireLocked(sess *session, to SessionState, cause error) {
+	sess.mu.Lock()
+	if sess.state.finished() || !validTransition(sess.state, to) {
+		sess.mu.Unlock()
+		return
+	}
+	sess.state = to
+	if sess.err == nil && cause != nil {
+		sess.err = cause
+	}
+	sess.mu.Unlock()
+
+	if st.live[sess.id] == sess {
+		delete(st.live, sess.id)
+		for i, id := range st.order {
+			if id == sess.id {
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				break
+			}
+		}
+	}
+	st.retired = append(st.retired, sess.snapshot())
+	if over := len(st.retired) - st.retain; over > 0 {
+		st.retired = append([]SessionSnapshot(nil), st.retired[over:]...)
+		st.evicted += int64(over)
+	}
+}
+
+// snapshots returns the retained finished sessions (oldest first)
+// followed by the live ones in join order.
+func (st *sessionStore) snapshots() []SessionSnapshot {
+	st.mu.Lock()
+	out := make([]SessionSnapshot, 0, len(st.retired)+len(st.live))
+	out = append(out, st.retired...)
+	liveSessions := make([]*session, 0, len(st.order))
+	for _, id := range st.order {
+		liveSessions = append(liveSessions, st.live[id])
+	}
+	st.mu.Unlock()
+	for _, sess := range liveSessions {
+		out = append(out, sess.snapshot())
+	}
+	return out
+}
+
+// liveCount is the number of unfinished sessions — the MaxUE occupancy.
+func (st *sessionStore) liveCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.live)
+}
+
+// retiredCount is the number of finished-session snapshots retained.
+func (st *sessionStore) retiredCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.retired)
+}
+
+// evictedCount is the number of snapshots dropped from the full ring.
+func (st *sessionStore) evictedCount() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evicted
+}
