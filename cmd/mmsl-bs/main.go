@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: live profiling endpoint
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,9 +66,18 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 50, "multi-UE mode: checkpoint interval in training steps")
 	retain := flag.Int("retain", 128, "multi-UE mode: finished-session snapshots kept for reporting")
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
+	batchWindow := flag.Duration("batch-window", 0, "multi-UE mode: pipelined serving with cross-session compute batching; rounds arriving within this window coalesce (0 = serial serving; results are bit-identical either way)")
+	batchMax := flag.Int("batch-max", 16, "multi-UE mode: max rounds coalesced into one compute dispatch")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 	if *workers != 0 {
 		tensor.SetWorkers(*workers)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("mmsl-bs: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("mmsl-bs: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	codec, err := compress.Parse(*codecName)
@@ -81,6 +92,7 @@ func main() {
 			MaxUE: *maxUE, Steps: *steps, EvalEvery: *evalEvery, ValAnchors: *valAnchors,
 			TargetRMSEdB: *target, IdleTimeout: *idleTimeout,
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Retain: *retain,
+			BatchWindow: *batchWindow, BatchMax: *batchMax,
 		}, *sched)
 	case *connect != "":
 		runSingleUE(*connect, *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
@@ -131,7 +143,11 @@ func serveMultiUE(addr string, cfg transport.ServerConfig, sched string) {
 		log.Printf("mmsl-bs: accept loop ended: %v", err)
 	}
 	srv.Wait()
+	srv.Close()
 	flushSessionMetrics(srv)
+	if p50, p99, n := srv.RoundLatency(); n > 0 {
+		fmt.Printf("serving rounds: %d, p50 %v, p99 %v\n", n, p50, p99)
+	}
 }
 
 // flushSessionMetrics prints the final per-session report — the metric
@@ -144,7 +160,7 @@ func flushSessionMetrics(srv *transport.BSServer) {
 	fmt.Println("\nsession      epoch  state       steps  resumed  ckpts  val RMSE   wire in/out")
 	for _, s := range snaps {
 		fmt.Printf("%-11s  %5d  %-10s  %5d  %7d  %5d  %5.2f dB  %d/%d B\n",
-			s.ID, s.Epoch, s.State, s.Steps, s.ResumedFrom, s.Metrics.Checkpoints,
+			s.ID, s.Epoch, s.State, s.Steps, s.ResumedFrom, s.Metrics.Checkpoints.Load(),
 			s.LastRMSE, s.BytesIn, s.BytesOut)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -51,6 +53,7 @@ type benchReport struct {
 	TensorWorkers int           `json:"tensor_workers"`
 	Baseline      benchResult   `json:"pr2_baseline"`
 	Results       []benchResult `json:"results"`
+	Serve         *serveReport  `json:"serve,omitempty"`
 }
 
 func measure(name string, f func(b *testing.B)) benchResult {
@@ -63,13 +66,148 @@ func measure(name string, f func(b *testing.B)) benchResult {
 	}
 }
 
+// loadReport parses an existing BENCH.json (nil if absent/unreadable) so
+// a partial run can merge into it instead of clobbering it.
+func loadReport(path string) *benchReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep benchReport
+	if json.Unmarshal(data, &rep) != nil {
+		return nil
+	}
+	return &rep
+}
+
+func writeReport(rep *benchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// checkServingAllocs is the bench-regression gate: every serving-path
+// (frame_*) result must not allocate more per op than the committed
+// baseline — steady-state frame encode/decode is pinned at zero.
+func checkServingAllocs(results []benchResult, baselinePath string) error {
+	base := loadReport(baselinePath)
+	if base == nil {
+		return fmt.Errorf("bench: -check: cannot read baseline %s", baselinePath)
+	}
+	baseline := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var failures []string
+	checked := 0
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, "frame_") {
+			continue
+		}
+		b, ok := baseline[r.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		if r.AllocsOp > b.AllocsOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d",
+				r.Name, r.AllocsOp, b.AllocsOp))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("bench: -check: baseline %s has no frame_* results to compare", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: serving-path alloc regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("bench: serving-path allocs within baseline (%d results checked)\n", checked)
+	return nil
+}
+
+// loopReader replays one byte slice forever.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// measureFrameBench times the zero-copy frame path on a paper-shaped
+// message (one mini-batch of 1-pixel pooled activations): steady-state
+// encode and decode must run at zero allocs/op in both directions.
+func measureFrameBench() ([]benchResult, error) {
+	rng := rand.New(rand.NewSource(3))
+	msg := &transport.Message{
+		Type:    transport.MsgActivations,
+		Step:    7,
+		Tensor:  tensor.Randn(rng, 1, 256, 1, 1, 1),
+		Anchors: make([]int32, 64),
+	}
+	fw := transport.NewFrameWriter(io.Discard)
+	defer fw.Release()
+	if err := fw.WriteMessage(msg, transport.ProtocolVersion); err != nil {
+		return nil, err
+	}
+	enc := measure("frame_encode/raw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fw.WriteMessage(msg, transport.ProtocolVersion); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	var frame bytes.Buffer
+	if err := transport.WriteMessage(&frame, msg); err != nil {
+		return nil, err
+	}
+	fr := transport.NewFrameReader(&loopReader{data: frame.Bytes()})
+	defer fr.Release()
+	if _, err := fr.ReadMessage(); err != nil {
+		return nil, err
+	}
+	dec := measure("frame_decode/raw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fr.ReadMessage(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []benchResult{enc, dec}, nil
+}
+
 // cmdBench runs the engine micro/macro benchmarks in-process and emits
 // ns/op, allocs/op and speedups — `-json` writes BENCH.json so CI keeps a
-// perf data point per commit.
+// perf data point per commit. `-serve` runs the multi-UE saturation
+// benchmark instead; `-quick -check BENCH.json` is the CI regression
+// gate for the zero-alloc serving path.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "write results as JSON")
 	out := fs.String("out", "BENCH.json", "output path for -json")
+	serve := fs.Bool("serve", false, "run the BS saturation benchmark (serial vs batched serving)")
+	ues := fs.Int("ue", 16, "-serve: concurrent UE sessions")
+	serveSteps := fs.Int("serve-steps", 24, "-serve: training steps per session")
+	serveFrames := fs.Int("serve-frames", 400, "-serve: synthetic dataset length")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "-serve: coalescing window of the batched path")
+	mixed := fs.Bool("mixed-seeds", false, "-serve: per-UE seeds (defeats clone sharing; lower bound)")
+	quick := fs.Bool("quick", false, "run only the frame-path benchmarks")
+	check := fs.String("check", "", "fail if serving-path allocs/op exceed this committed BENCH.json")
 	perf := perfFlags(fs)
 	fs.Parse(args)
 	if err := perf.apply(nil); err != nil {
@@ -77,12 +215,66 @@ func cmdBench(args []string) error {
 	}
 	defer perf.finish()
 
+	if *serve {
+		srep, err := runServeBench(*ues, *serveSteps, *serveFrames, *window, *mixed)
+		if err != nil {
+			return err
+		}
+		printServeReport(srep)
+		if *jsonOut {
+			rep := loadReport(*out)
+			if rep == nil {
+				rep = &benchReport{
+					Schema: "mmsl-bench/v1", CPUs: runtime.NumCPU(),
+					GoMaxProcs: runtime.GOMAXPROCS(0), TensorWorkers: tensor.Workers(),
+					Baseline: pr2Baseline,
+				}
+			}
+			rep.Serve = srep
+			return writeReport(rep, *out)
+		}
+		return nil
+	}
+
 	rep := &benchReport{
 		Schema:        "mmsl-bench/v1",
 		CPUs:          runtime.NumCPU(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		TensorWorkers: tensor.Workers(),
 		Baseline:      pr2Baseline,
+	}
+	if prev := loadReport(*out); prev != nil {
+		rep.Serve = prev.Serve // a micro-suite run keeps the recorded serve section
+	}
+
+	frameResults, err := measureFrameBench()
+	if err != nil {
+		return err
+	}
+	if *quick {
+		// Merge, don't clobber: keep any previously recorded engine
+		// results and replace only the frame-path entries re-measured
+		// here.
+		if prev := loadReport(*out); prev != nil {
+			for _, r := range prev.Results {
+				if !strings.HasPrefix(r.Name, "frame_") {
+					rep.Results = append(rep.Results, r)
+				}
+			}
+		}
+		rep.Results = append(rep.Results, frameResults...)
+		for _, r := range frameResults {
+			fmt.Printf("%-28s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesOp, r.AllocsOp)
+		}
+		if *jsonOut {
+			if err := writeReport(rep, *out); err != nil {
+				return err
+			}
+		}
+		if *check != "" {
+			return checkServingAllocs(frameResults, *check)
+		}
+		return nil
 	}
 
 	// Convolution: im2col engine vs the direct reference oracle, on one
@@ -182,17 +374,12 @@ func cmdBench(args []string) error {
 	}
 
 	rep.Results = []benchResult{convDirect, convIm2col, backDirect, backIm2col, matmul, trainStep, joinLat, resumeLat}
+	rep.Results = append(rep.Results, frameResults...)
 
 	if *jsonOut {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
+		if err := writeReport(rep, *out); err != nil {
 			return err
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *out)
 	}
 	fmt.Printf("%-28s %14s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op", "speedup")
 	for _, r := range rep.Results {
@@ -205,6 +392,9 @@ func cmdBench(args []string) error {
 	reduction := 100 * (1 - float64(trainStep.AllocsOp)/float64(pr2Baseline.AllocsOp))
 	fmt.Printf("\ntrain step vs PR-2 baseline: %.2fx faster, %.1f%% fewer allocs/op\n",
 		trainStep.Speedup, reduction)
+	if *check != "" {
+		return checkServingAllocs(rep.Results, *check)
+	}
 	return nil
 }
 

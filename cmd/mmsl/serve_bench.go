@@ -1,0 +1,307 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/transport"
+)
+
+// The base-station saturation benchmark (`mmsl bench -serve -ue N`):
+// aggregate steps/sec at the BS — not single-session step latency — is
+// what bounds how many UEs one server can train, so this harness drives
+// N concurrent sessions against an in-process BSServer twice, once
+// through the serial PR-4 serving path and once through the pipelined/
+// batched path, and reports aggregate steps/sec, wire bytes/sec and
+// p50/p99 round latency for both.
+//
+// The UEs are replay load generators: one real UE session is recorded
+// first (per seed), and each benchmark UE answers the server's requests
+// with the recorded activation frames verbatim. Replay keeps the UE
+// side down to a frame read and a memcpy-sized write, so the benchmark
+// measures the server's serving capacity rather than the host's
+// ability to run N extra CNN halves; because the server's request
+// sequence is deterministic per seed, the replayed bytes are exactly
+// what a live UE would have sent.
+
+type serveResult struct {
+	Mode         string  `json:"mode"` // serial | batched
+	StepsPerSec  float64 `json:"agg_steps_per_sec"`
+	BytesPerSec  float64 `json:"wire_bytes_per_sec"`
+	P50Ms        float64 `json:"round_p50_ms"`
+	P99Ms        float64 `json:"round_p99_ms"`
+	SharedRounds int64   `json:"shared_rounds"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+}
+
+type serveReport struct {
+	UEs        int         `json:"ues"`
+	StepsPerUE int         `json:"steps_per_ue"`
+	Frames     int         `json:"dataset_frames"`
+	Seeds      string      `json:"seeds"` // clone: all UEs share one seed; mixed: distinct seeds
+	Serial     serveResult `json:"serial"`
+	Batched    serveResult `json:"batched"`
+	// Speedup is batched aggregate steps/sec over serial — the number
+	// the ≥2× acceptance bar applies to.
+	Speedup float64 `json:"batched_vs_serial_speedup"`
+}
+
+// memoProvision memoises transport.SessionEnv per seed so N same-seed
+// sessions provision one shared (read-only) dataset instead of N copies
+// and the benchmark clock never includes dataset synthesis.
+func memoProvision() transport.Provision {
+	type env struct {
+		cfg split.Config
+		d   *dataset.Dataset
+		sp  *dataset.Split
+		err error
+	}
+	var mu sync.Mutex
+	cache := map[int64]*env{}
+	return func(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		e, ok := cache[h.Seed]
+		if !ok {
+			e = &env{}
+			e.cfg, e.d, e.sp, e.err = transport.SessionEnv(h)
+			cache[h.Seed] = e
+		}
+		return e.cfg, e.d, e.sp, e.err
+	}
+}
+
+// gateProvision delays every provision until n handshakes are in flight,
+// so all benchmark sessions start their rounds together.
+func gateProvision(n int, inner transport.Provision) transport.Provision {
+	gate := make(chan struct{})
+	var joined atomic.Int32
+	return func(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+		if joined.Add(1) == int32(n) {
+			close(gate)
+		}
+		<-gate
+		return inner(h)
+	}
+}
+
+// frameTap records every Write as one frame (the frame path issues
+// exactly one Write per frame).
+type frameTap struct {
+	inner  io.ReadWriter
+	frames [][]byte
+}
+
+func (t *frameTap) Read(p []byte) (int, error) { return t.inner.Read(p) }
+
+func (t *frameTap) Write(p []byte) (int, error) {
+	t.frames = append(t.frames, append([]byte(nil), p...))
+	return t.inner.Write(p)
+}
+
+// recordTrajectory runs one real UE session against a serial server and
+// captures the UE→BS activation frames in order.
+func recordTrajectory(prov transport.Provision, h transport.Hello, steps int) ([][]byte, error) {
+	srv, err := transport.NewBSServer(transport.ServerConfig{
+		MaxUE: 1, Sched: transport.SchedAsync, Steps: steps,
+		EvalEvery: 1 << 30, ValAnchors: 16, Provision: prov,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg, d, _, err := prov(h)
+	if err != nil {
+		return nil, err
+	}
+	h.ConfigFP = cfg.Fingerprint()
+	ueConn, bsConn := net.Pipe()
+	defer ueConn.Close()
+	done := make(chan error, 1)
+	go func() { done <- srv.Handle(bsConn) }()
+	if _, err := transport.JoinSession(ueConn, h); err != nil {
+		return nil, err
+	}
+	tap := &frameTap{inner: ueConn}
+	ue, err := transport.NewUEPeer(cfg, d, tap)
+	if err != nil {
+		return nil, err
+	}
+	if err := ue.Serve(); err != nil {
+		return nil, err
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	return tap.frames, nil
+}
+
+// replayUE serves one benchmark session: join, then answer every
+// forward-pass request with the next recorded activation frame.
+func replayUE(conn io.ReadWriteCloser, h transport.Hello, frames [][]byte) error {
+	defer conn.Close()
+	if _, err := transport.JoinSession(conn, h); err != nil {
+		return err
+	}
+	fr := transport.NewFrameReader(conn)
+	defer fr.Release()
+	next := 0
+	for {
+		hdr, _, err := fr.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch hdr.Type {
+		case transport.MsgShutdown:
+			return nil
+		case transport.MsgBatchRequest, transport.MsgEvalRequest:
+			if next >= len(frames) {
+				return fmt.Errorf("bench: replay exhausted after %d frames", next)
+			}
+			if _, err := conn.Write(frames[next]); err != nil {
+				return err
+			}
+			next++
+		case transport.MsgCutGradient, transport.MsgCheckpoint:
+			// absorbed: the recording already accounted for the model
+			// trajectory these induce on a live UE.
+		default:
+			return fmt.Errorf("bench: replay UE got unexpected %v", hdr.Type)
+		}
+	}
+}
+
+// runServePath drives ues replay sessions through one server and
+// measures aggregate serving throughput.
+func runServePath(batched bool, ues, steps int, window time.Duration,
+	seeds []int64, frames uint32, traj map[int64][][]byte, prov transport.Provision) (serveResult, error) {
+
+	scfg := transport.ServerConfig{
+		MaxUE: ues, Sched: transport.SchedAsync, Steps: steps,
+		EvalEvery: 1 << 30, ValAnchors: 16,
+		Provision: gateProvision(ues, prov),
+	}
+	mode := "serial"
+	if batched {
+		mode = "batched"
+		scfg.BatchWindow = window
+		scfg.BatchMax = ues
+	}
+	srv, err := transport.NewBSServer(scfg)
+	if err != nil {
+		return serveResult{}, err
+	}
+	defer srv.Close()
+
+	errs := make(chan error, 2*ues)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < ues; i++ {
+		seed := seeds[i%len(seeds)]
+		h := transport.Hello{
+			SessionID: fmt.Sprintf("bench-ue-%02d", i),
+			Seed:      seed, Frames: frames, Pool: 40,
+			Modality: uint8(split.ImageRF),
+		}
+		cfg, _, _, err := prov(h)
+		if err != nil {
+			return serveResult{}, err
+		}
+		h.ConfigFP = cfg.Fingerprint()
+		ueConn, bsConn := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := srv.Handle(bsConn); err != nil {
+				errs <- fmt.Errorf("session %s: %w", h.SessionID, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := replayUE(ueConn, h, traj[seed]); err != nil {
+				errs <- fmt.Errorf("replay %s: %w", h.SessionID, err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return serveResult{}, err
+	}
+
+	var wireBytes int64
+	for _, snap := range srv.Sessions() {
+		wireBytes += snap.BytesIn + snap.BytesOut
+	}
+	p50, p99, _ := srv.RoundLatency()
+	return serveResult{
+		Mode:         mode,
+		StepsPerSec:  float64(ues*steps) / elapsed.Seconds(),
+		BytesPerSec:  float64(wireBytes) / elapsed.Seconds(),
+		P50Ms:        float64(p50) / 1e6,
+		P99Ms:        float64(p99) / 1e6,
+		SharedRounds: srv.SharedRounds(),
+		ElapsedSec:   elapsed.Seconds(),
+	}, nil
+}
+
+// runServeBench records the trajectories and measures both serving
+// paths on the same workload.
+func runServeBench(ues, steps, frames int, window time.Duration, mixed bool) (*serveReport, error) {
+	prov := memoProvision()
+	seedMode := "clone"
+	seeds := []int64{11}
+	if mixed {
+		seedMode = "mixed"
+		seeds = make([]int64, ues)
+		for i := range seeds {
+			seeds[i] = int64(11 + i)
+		}
+	}
+	traj := make(map[int64][][]byte, len(seeds))
+	for _, seed := range seeds {
+		h := transport.Hello{
+			SessionID: fmt.Sprintf("bench-rec-%d", seed),
+			Seed:      seed, Frames: uint32(frames), Pool: 40,
+			Modality: uint8(split.ImageRF),
+		}
+		t, err := recordTrajectory(prov, h, steps)
+		if err != nil {
+			return nil, fmt.Errorf("bench: record seed %d: %w", seed, err)
+		}
+		traj[seed] = t
+	}
+
+	serial, err := runServePath(false, ues, steps, window, seeds, uint32(frames), traj, prov)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serial path: %w", err)
+	}
+	batched, err := runServePath(true, ues, steps, window, seeds, uint32(frames), traj, prov)
+	if err != nil {
+		return nil, fmt.Errorf("bench: batched path: %w", err)
+	}
+	rep := &serveReport{
+		UEs: ues, StepsPerUE: steps, Frames: frames, Seeds: seedMode,
+		Serial: serial, Batched: batched,
+		Speedup: batched.StepsPerSec / serial.StepsPerSec,
+	}
+	return rep, nil
+}
+
+func printServeReport(rep *serveReport) {
+	fmt.Printf("saturation bench: %d UEs × %d steps (%s seeds, %d-frame dataset)\n",
+		rep.UEs, rep.StepsPerUE, rep.Seeds, rep.Frames)
+	fmt.Printf("%-8s %14s %14s %10s %10s %8s\n",
+		"path", "steps/sec", "bytes/sec", "p50 ms", "p99 ms", "shared")
+	for _, r := range []serveResult{rep.Serial, rep.Batched} {
+		fmt.Printf("%-8s %14.1f %14.0f %10.2f %10.2f %8d\n",
+			r.Mode, r.StepsPerSec, r.BytesPerSec, r.P50Ms, r.P99Ms, r.SharedRounds)
+	}
+	fmt.Printf("batched vs serial aggregate steps/sec: %.2fx\n", rep.Speedup)
+}

@@ -29,8 +29,18 @@ func (Raw) ID() ID { return CodecRaw }
 // Encode implements Codec: lossless Depth64 tensor encoding.
 func (Raw) Encode(t *tensor.Tensor) ([]byte, error) { return tensorEncode(t, tensor.Depth64) }
 
+// EncodeInto implements Codec.
+func (Raw) EncodeInto(dst []byte, t *tensor.Tensor) ([]byte, error) {
+	return tensor.Append(dst, t, tensor.Depth64)
+}
+
 // Decode implements Codec.
 func (Raw) Decode(data []byte) (*tensor.Tensor, error) { return tensorDecode(data) }
+
+// DecodeInto implements Codec.
+func (Raw) DecodeInto(dst *tensor.Tensor, data []byte) (*tensor.Tensor, error) {
+	return tensorDecodeInto(dst, data)
+}
 
 // Bits implements Codec: the paper's R-bit-per-element payload model.
 func (r Raw) Bits(t *tensor.Tensor) int {
@@ -53,8 +63,18 @@ func (QuantInt8) ID() ID { return CodecQuantInt8 }
 // Encode implements Codec: Depth8 tensor encoding (range + bytes).
 func (QuantInt8) Encode(t *tensor.Tensor) ([]byte, error) { return tensorEncode(t, tensor.Depth8) }
 
+// EncodeInto implements Codec.
+func (QuantInt8) EncodeInto(dst []byte, t *tensor.Tensor) ([]byte, error) {
+	return tensor.Append(dst, t, tensor.Depth8)
+}
+
 // Decode implements Codec.
 func (QuantInt8) Decode(data []byte) (*tensor.Tensor, error) { return tensorDecode(data) }
+
+// DecodeInto implements Codec.
+func (QuantInt8) DecodeInto(dst *tensor.Tensor, data []byte) (*tensor.Tensor, error) {
+	return tensorDecodeInto(dst, data)
+}
 
 // Bits implements Codec: one byte per element plus the two float64s of
 // the quantisation range.
@@ -70,13 +90,16 @@ func tensorEncode(t *tensor.Tensor, d tensor.BitDepth) ([]byte, error) {
 }
 
 func tensorDecode(data []byte) (*tensor.Tensor, error) {
-	r := bytes.NewReader(data)
-	t, err := tensor.Decode(r)
+	return tensorDecodeInto(nil, data)
+}
+
+func tensorDecodeInto(dst *tensor.Tensor, data []byte) (*tensor.Tensor, error) {
+	t, rest, err := tensor.DecodeBytes(dst, data)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
 	}
 	return t, nil
 }

@@ -61,14 +61,31 @@ const numCodecs = 4
 // Codec encodes cut-layer tensors for the wire and prices them for the
 // simulated channel. Implementations are stateless value types, safe
 // for concurrent use.
+//
+// EncodeInto/DecodeInto are the zero-copy faces used by the transport
+// layer's serving hot path: EncodeInto appends to a caller-owned frame
+// buffer and DecodeInto refills a caller-owned tensor, so a connection
+// that round-trips the same cut-layer shape every message reaches a
+// steady state with no per-message allocation. Encode/Decode remain the
+// convenience forms (Encode(t) ≡ EncodeInto(nil, t); Decode(d) ≡
+// DecodeInto(nil, d)) and both pairs produce byte-identical wire
+// payloads and bit-identical tensors.
 type Codec interface {
 	// ID returns the codec's wire identifier.
 	ID() ID
 	// Encode serialises t, shape included.
 	Encode(t *tensor.Tensor) ([]byte, error)
+	// EncodeInto appends t's serialisation to dst and returns the
+	// extended slice.
+	EncodeInto(dst []byte, t *tensor.Tensor) ([]byte, error)
 	// Decode inverts Encode. For lossy codecs the values are the
 	// quantised/sparsified approximation the far end would see.
 	Decode(data []byte) (*tensor.Tensor, error)
+	// DecodeInto inverts Encode reusing dst's storage when its shape (or
+	// capacity) allows; dst may be nil. The returned tensor is only
+	// guaranteed to alias dst when shapes match — callers keep the
+	// return value, exactly as with tensor.EnsureShape.
+	DecodeInto(dst *tensor.Tensor, data []byte) (*tensor.Tensor, error)
 	// Bits returns the idealised on-air payload size of t in bits, the
 	// unit the wireless channel model charges. It depends only on the
 	// tensor's size, never its values.
@@ -147,6 +164,26 @@ func MustNew(id ID) Codec {
 	return c
 }
 
+// codecTable caches one default-parameter instance per built-in id so
+// the per-message decode path can resolve a codec without the interface
+// boxing allocation New incurs.
+var codecTable = func() [numCodecs]Codec {
+	var t [numCodecs]Codec
+	for _, id := range IDs() {
+		t[id] = MustNew(id)
+	}
+	return t
+}()
+
+// ForID returns the cached default-parameter codec for a valid id and
+// nil otherwise — the allocation-free form of New for the serving path.
+func ForID(id ID) Codec {
+	if !id.Valid() {
+		return nil
+	}
+	return codecTable[id]
+}
+
 // Shape-header helpers shared by the self-contained codecs (Float16,
 // TopK): uint8 rank, rank × uint32 dims. Raw and QuantInt8 reuse the
 // tensor package's wire format instead.
@@ -162,8 +199,10 @@ func appendShape(buf []byte, t *tensor.Tensor) ([]byte, error) {
 		return nil, fmt.Errorf("compress: rank %d exceeds wire maximum %d", t.Rank(), maxRank)
 	}
 	buf = append(buf, byte(t.Rank()))
-	for _, dim := range t.Shape() {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(dim))
+	// Dim, not Shape: Shape returns a defensive copy, which would cost
+	// the zero-alloc encode path one allocation per message.
+	for i := 0; i < t.Rank(); i++ {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(t.Dim(i)))
 	}
 	return buf, nil
 }
@@ -172,29 +211,39 @@ func appendShape(buf []byte, t *tensor.Tensor) ([]byte, error) {
 // the remaining bytes. Dimensions and volume are bounded before any
 // allocation.
 func readShape(data []byte) (shape []int, vol int, rest []byte, err error) {
-	if len(data) < 1 {
-		return nil, 0, nil, fmt.Errorf("%w: missing shape header", ErrCorrupt)
+	var buf [maxRank]int
+	rank, vol, rest, err := readShapeBuf(data, &buf)
+	if err != nil {
+		return nil, 0, nil, err
 	}
-	rank := int(data[0])
+	return append([]int(nil), buf[:rank]...), vol, rest, nil
+}
+
+// readShapeBuf is readShape into a caller-owned array — the
+// allocation-free form the DecodeInto paths use.
+func readShapeBuf(data []byte, shape *[maxRank]int) (rank, vol int, rest []byte, err error) {
+	if len(data) < 1 {
+		return 0, 0, nil, fmt.Errorf("%w: missing shape header", ErrCorrupt)
+	}
+	rank = int(data[0])
 	if rank == 0 || rank > maxRank {
-		return nil, 0, nil, fmt.Errorf("%w: bad rank %d", ErrCorrupt, rank)
+		return 0, 0, nil, fmt.Errorf("%w: bad rank %d", ErrCorrupt, rank)
 	}
 	data = data[1:]
 	if len(data) < 4*rank {
-		return nil, 0, nil, fmt.Errorf("%w: truncated shape header", ErrCorrupt)
+		return 0, 0, nil, fmt.Errorf("%w: truncated shape header", ErrCorrupt)
 	}
-	shape = make([]int, rank)
 	vol = 1
-	for i := range shape {
+	for i := 0; i < rank; i++ {
 		dim := int(binary.BigEndian.Uint32(data[4*i:]))
 		if dim <= 0 || dim > maxDim {
-			return nil, 0, nil, fmt.Errorf("%w: bad dimension %d", ErrCorrupt, dim)
+			return 0, 0, nil, fmt.Errorf("%w: bad dimension %d", ErrCorrupt, dim)
 		}
 		shape[i] = dim
 		vol *= dim
 		if vol > maxVol {
-			return nil, 0, nil, fmt.Errorf("%w: volume too large", ErrCorrupt)
+			return 0, 0, nil, fmt.Errorf("%w: volume too large", ErrCorrupt)
 		}
 	}
-	return shape, vol, data[4*rank:], nil
+	return rank, vol, data[4*rank:], nil
 }

@@ -20,9 +20,13 @@ type Float16 struct{}
 func (Float16) ID() ID { return CodecFloat16 }
 
 // Encode implements Codec: shape header then 2 bytes per element.
-func (Float16) Encode(t *tensor.Tensor) ([]byte, error) {
-	buf := make([]byte, 0, 1+4*t.Rank()+2*t.Size())
-	buf, err := appendShape(buf, t)
+func (c Float16) Encode(t *tensor.Tensor) ([]byte, error) {
+	return c.EncodeInto(make([]byte, 0, 1+4*t.Rank()+2*t.Size()), t)
+}
+
+// EncodeInto implements Codec.
+func (Float16) EncodeInto(dst []byte, t *tensor.Tensor) ([]byte, error) {
+	buf, err := appendShape(dst, t)
 	if err != nil {
 		return nil, err
 	}
@@ -33,15 +37,19 @@ func (Float16) Encode(t *tensor.Tensor) ([]byte, error) {
 }
 
 // Decode implements Codec.
-func (Float16) Decode(data []byte) (*tensor.Tensor, error) {
-	shape, vol, rest, err := readShape(data)
+func (c Float16) Decode(data []byte) (*tensor.Tensor, error) { return c.DecodeInto(nil, data) }
+
+// DecodeInto implements Codec.
+func (Float16) DecodeInto(dst *tensor.Tensor, data []byte) (*tensor.Tensor, error) {
+	var shape [maxRank]int
+	rank, vol, rest, err := readShapeBuf(data, &shape)
 	if err != nil {
 		return nil, err
 	}
 	if len(rest) != 2*vol {
 		return nil, fmt.Errorf("%w: float16 body %d bytes, want %d", ErrCorrupt, len(rest), 2*vol)
 	}
-	t := tensor.New(shape...)
+	t := tensor.EnsureShape(dst, shape[:rank]...)
 	for i := range t.Data() {
 		t.Data()[i] = f16ToF64(binary.BigEndian.Uint16(rest[2*i:]))
 	}

@@ -4,9 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
+
+// magsPool recycles the magnitude scratch of TopK.EncodeInto so the
+// selection pass costs no allocation in steady-state serving.
+var magsPool sync.Pool
 
 // maxTopKExpansion bounds Decode's dense-tensor allocation relative to
 // the payload: at most 1024 output elements per stored pair. Without it
@@ -66,16 +71,26 @@ func (c TopK) keep(size int) int {
 // what makes magnitude ties break deterministically toward the lower
 // index, independent of the selection algorithm's internal ordering.
 func (c TopK) Encode(t *tensor.Tensor) ([]byte, error) {
+	return c.EncodeInto(make([]byte, 0, 1+4*t.Rank()+4+8*c.keep(t.Size())), t)
+}
+
+// EncodeInto implements Codec.
+func (c TopK) EncodeInto(dst []byte, t *tensor.Tensor) ([]byte, error) {
 	data := t.Data()
 	k := c.keep(len(data))
-	mags := make([]float64, len(data))
+	pv, _ := magsPool.Get().(*[]float64)
+	if pv == nil || cap(*pv) < len(data) {
+		v := make([]float64, len(data))
+		pv = &v
+	}
+	mags := (*pv)[:len(data)]
+	defer magsPool.Put(pv)
 	for i, v := range data {
 		mags[i] = math.Abs(v)
 	}
 	threshold := kthLargest(mags, k)
 
-	buf := make([]byte, 0, 1+4*t.Rank()+4+8*k)
-	buf, err := appendShape(buf, t)
+	buf, err := appendShape(dst, t)
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +169,12 @@ func kthLargest(mags []float64, k int) float64 {
 }
 
 // Decode implements Codec: a dense tensor, zero outside the kept set.
-func (TopK) Decode(data []byte) (*tensor.Tensor, error) {
-	shape, vol, rest, err := readShape(data)
+func (c TopK) Decode(data []byte) (*tensor.Tensor, error) { return c.DecodeInto(nil, data) }
+
+// DecodeInto implements Codec.
+func (TopK) DecodeInto(dst *tensor.Tensor, data []byte) (*tensor.Tensor, error) {
+	var shape [maxRank]int
+	rank, vol, rest, err := readShapeBuf(data, &shape)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +193,8 @@ func (TopK) Decode(data []byte) (*tensor.Tensor, error) {
 	if len(rest) != 8*k {
 		return nil, fmt.Errorf("%w: top-k body %d bytes, want %d", ErrCorrupt, len(rest), 8*k)
 	}
-	t := tensor.New(shape...)
+	t := tensor.EnsureShape(dst, shape[:rank]...)
+	t.Zero() // dropped coordinates decode to exactly zero
 	prev := -1
 	for i := 0; i < k; i++ {
 		idx := int(binary.BigEndian.Uint32(rest[8*i:]))

@@ -159,10 +159,17 @@ func NewSampler(indices []int, rng *rand.Rand) *Sampler {
 // Batch returns n anchor indices sampled uniformly with replacement.
 func (s *Sampler) Batch(n int) []int {
 	out := make([]int, n)
-	for i := range out {
-		out[i] = s.indices[s.rng.Intn(len(s.indices))]
-	}
+	s.Fill(out)
 	return out
+}
+
+// Fill fills dst with anchor indices sampled uniformly with replacement
+// — the allocation-free form of Batch, consuming exactly the same RNG
+// draws, used by the serving hot path.
+func (s *Sampler) Fill(dst []int) {
+	for i := range dst {
+		dst[i] = s.indices[s.rng.Intn(len(s.indices))]
+	}
 }
 
 // Normalizer standardises powers for network consumption. Images are

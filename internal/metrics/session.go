@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Per-session training telemetry for the multi-UE base station: each
 // split-learning session tracks its mini-batch losses and validation
@@ -48,16 +51,25 @@ func (s *Series) Clone() Series {
 
 // SessionMetrics aggregates one split-learning session's series and
 // lifecycle counters.
+//
+// The counters are lock-free atomics: they sit on the serving hot path
+// (Steps is bumped once per training round, the lifecycle counters on
+// every checkpoint/resume) while concurrent snapshot reporting polls
+// them, and under many live UEs a shared mutex here measurably
+// serialises rounds. The series still need external locking — they are
+// append-only slices — which callers (the server's session records)
+// already provide; the counters deliberately do not.
 type SessionMetrics struct {
 	SessionID string
 	Loss      Series // per-step mini-batch loss (normalised scale)
 	ValRMSE   Series // validation RMSE in dB at evaluation points
 
-	// Lifecycle counters for the fault-tolerant serving layer.
-	Checkpoints        int // train-state checkpoints written
-	LastCheckpointStep int // step of the most recent checkpoint (0: none)
-	Resumes            int // times this session resumed from a checkpoint
-	LastResumeStep     int // step the most recent resume restarted from
+	// Per-step and lifecycle counters for the serving layer.
+	Steps              atomic.Int64 // latest completed training step (resume restores it)
+	Checkpoints        atomic.Int64 // train-state checkpoints written
+	LastCheckpointStep atomic.Int64 // step of the most recent checkpoint (0: none)
+	Resumes            atomic.Int64 // times this session resumed from a checkpoint
+	LastResumeStep     atomic.Int64 // step the most recent resume restarted from
 }
 
 // NewSessionMetrics returns empty telemetry for a session.
@@ -76,22 +88,34 @@ func (m *SessionMetrics) Converged(targetRMSEdB float64) bool {
 	return ok && rmse <= targetRMSEdB
 }
 
+// RecordStep notes one completed training round at the given step.
+func (m *SessionMetrics) RecordStep(step int) {
+	m.Steps.Store(int64(step))
+}
+
 // RecordCheckpoint notes one train-state checkpoint at the given step.
 func (m *SessionMetrics) RecordCheckpoint(step int) {
-	m.Checkpoints++
-	m.LastCheckpointStep = step
+	m.Checkpoints.Add(1)
+	m.LastCheckpointStep.Store(int64(step))
 }
 
 // RecordResume notes one resume-from-checkpoint at the given step.
 func (m *SessionMetrics) RecordResume(step int) {
-	m.Resumes++
-	m.LastResumeStep = step
+	m.Resumes.Add(1)
+	m.LastResumeStep.Store(int64(step))
 }
 
 // Clone returns an independent deep copy.
 func (m *SessionMetrics) Clone() *SessionMetrics {
-	out := *m
-	out.Loss = m.Loss.Clone()
-	out.ValRMSE = m.ValRMSE.Clone()
-	return &out
+	out := &SessionMetrics{
+		SessionID: m.SessionID,
+		Loss:      m.Loss.Clone(),
+		ValRMSE:   m.ValRMSE.Clone(),
+	}
+	out.Steps.Store(m.Steps.Load())
+	out.Checkpoints.Store(m.Checkpoints.Load())
+	out.LastCheckpointStep.Store(m.LastCheckpointStep.Load())
+	out.Resumes.Store(m.Resumes.Load())
+	out.LastResumeStep.Store(m.LastResumeStep.Load())
+	return out
 }

@@ -63,18 +63,24 @@ func TestSessionMetricsConverged(t *testing.T) {
 
 func TestSessionMetricsLifecycleCounters(t *testing.T) {
 	m := NewSessionMetrics("ue-2")
+	m.RecordStep(3)
 	m.RecordCheckpoint(5)
 	m.RecordCheckpoint(10)
 	m.RecordResume(10)
-	if m.Checkpoints != 2 || m.LastCheckpointStep != 10 {
-		t.Fatalf("checkpoints %d @%d", m.Checkpoints, m.LastCheckpointStep)
+	if m.Steps.Load() != 3 {
+		t.Fatalf("steps %d, want 3", m.Steps.Load())
 	}
-	if m.Resumes != 1 || m.LastResumeStep != 10 {
-		t.Fatalf("resumes %d @%d", m.Resumes, m.LastResumeStep)
+	if m.Checkpoints.Load() != 2 || m.LastCheckpointStep.Load() != 10 {
+		t.Fatalf("checkpoints %d @%d", m.Checkpoints.Load(), m.LastCheckpointStep.Load())
+	}
+	if m.Resumes.Load() != 1 || m.LastResumeStep.Load() != 10 {
+		t.Fatalf("resumes %d @%d", m.Resumes.Load(), m.LastResumeStep.Load())
 	}
 	c := m.Clone()
 	m.RecordResume(15)
-	if c.Resumes != 1 || c.LastResumeStep != 10 {
-		t.Fatalf("clone mutated: resumes %d @%d", c.Resumes, c.LastResumeStep)
+	m.RecordStep(4)
+	if c.Resumes.Load() != 1 || c.LastResumeStep.Load() != 10 || c.Steps.Load() != 3 {
+		t.Fatalf("clone mutated: resumes %d @%d steps %d",
+			c.Resumes.Load(), c.LastResumeStep.Load(), c.Steps.Load())
 	}
 }

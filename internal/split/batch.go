@@ -1,0 +1,64 @@
+package split
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Cross-session batching support. The base station's compute scheduler
+// (internal/transport's batcher) shares one forward/backward between
+// split-learning sessions whose model halves are bit-identical clones.
+// The helpers here are the two halves of that contract: proving two
+// parameter sets are clones, and scattering the shared gradients back
+// into a member's own parameters so its optimiser update is
+// indistinguishable from solo execution.
+
+// BitsEqual reports Float64bits equality of two slices. NaNs compare by
+// bit pattern: the predicate is "the same deterministic computation
+// reading either slice sees the same bits", which is the exact
+// precondition for sharing a computation between sessions.
+func BitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParamsBitsEqual reports whether two parameter lists are bit-identical
+// clones: same length, same shapes, same Float64bits values.
+func ParamsBitsEqual(a, b []*nn.Param) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Value.SameShape(b[i].Value) || !BitsEqual(a[i].Value.Data(), b[i].Value.Data()) {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyGrads copies src's parameter gradients into dst's matching slots,
+// overwriting them completely (no ZeroGrads needed first). It reports
+// false — copying nothing — when the lists do not line up, so a caller
+// can fall back to computing solo.
+func CopyGrads(dst, src []*nn.Param) bool {
+	if len(dst) != len(src) {
+		return false
+	}
+	for i := range dst {
+		if !dst[i].Grad.SameShape(src[i].Grad) {
+			return false
+		}
+	}
+	for i := range dst {
+		copy(dst[i].Grad.Data(), src[i].Grad.Data())
+	}
+	return true
+}

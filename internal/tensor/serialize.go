@@ -56,13 +56,26 @@ func EncodedBits(t *Tensor, d BitDepth) int { return EncodedSize(t, d) * 8 }
 
 // Encode writes t to w at the given bit depth.
 func Encode(w io.Writer, t *Tensor, d BitDepth) error {
+	buf, err := Append(make([]byte, 0, EncodedSize(t, d)), t, d)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Append appends t's wire encoding at the given bit depth to buf and
+// returns the extended slice — the allocation-free building block of the
+// transport layer's zero-copy frame path (a caller that reuses buf
+// across messages reaches a steady state with no per-message
+// allocation).
+func Append(buf []byte, t *Tensor, d BitDepth) ([]byte, error) {
 	if !d.Valid() {
-		return fmt.Errorf("tensor: unsupported bit depth %d", d)
+		return nil, fmt.Errorf("tensor: unsupported bit depth %d", d)
 	}
 	if t.Rank() > maxWireRank {
-		return fmt.Errorf("tensor: rank %d exceeds wire maximum %d", t.Rank(), maxWireRank)
+		return nil, fmt.Errorf("tensor: rank %d exceeds wire maximum %d", t.Rank(), maxWireRank)
 	}
-	buf := make([]byte, 0, EncodedSize(t, d))
 	buf = append(buf, byte(d), byte(t.Rank()))
 	for _, dim := range t.shape {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(dim))
@@ -95,8 +108,7 @@ func Encode(w io.Writer, t *Tensor, d BitDepth) error {
 			}
 		}
 	}
-	_, err := w.Write(buf)
-	return err
+	return buf, nil
 }
 
 func clamp01(v float64) float64 {
@@ -107,6 +119,85 @@ func clamp01(v float64) float64 {
 		return 1
 	}
 	return v
+}
+
+// DecodeBytes decodes one tensor encoding from the front of data,
+// returning the decoded tensor and the remaining bytes. When dst is
+// non-nil its storage is reused: the returned tensor is dst itself when
+// the shapes match (the steady state of a serving loop decoding the
+// same cut-layer shape every round — zero allocations), a re-headered
+// view of dst's buffer when the capacity suffices, and a fresh tensor
+// otherwise. Pass nil dst for the plain allocating behaviour.
+func DecodeBytes(dst *Tensor, data []byte) (*Tensor, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, fmt.Errorf("%w: truncated header", ErrCorruptTensor)
+	}
+	d := BitDepth(data[0])
+	rank := int(data[1])
+	if !d.Valid() {
+		return nil, nil, fmt.Errorf("%w: bad bit depth %d", ErrCorruptTensor, data[0])
+	}
+	if rank == 0 || rank > maxWireRank {
+		return nil, nil, fmt.Errorf("%w: bad rank %d", ErrCorruptTensor, rank)
+	}
+	data = data[2:]
+	if len(data) < 4*rank {
+		return nil, nil, fmt.Errorf("%w: truncated shape", ErrCorruptTensor)
+	}
+	var shape [maxWireRank]int
+	vol := 1
+	for i := 0; i < rank; i++ {
+		dim := int(binary.BigEndian.Uint32(data[4*i:]))
+		if dim <= 0 || dim > 1<<20 {
+			return nil, nil, fmt.Errorf("%w: bad dimension %d", ErrCorruptTensor, dim)
+		}
+		shape[i] = dim
+		vol *= dim
+		if vol > 1<<28 {
+			return nil, nil, fmt.Errorf("%w: volume too large", ErrCorruptTensor)
+		}
+	}
+	data = data[4*rank:]
+	// Validate the body length before touching dst so corrupt input never
+	// clobbers a caller's reusable buffer.
+	var lo, hi float64
+	if d == Depth8 || d == Depth16 {
+		if len(data) < 16 {
+			return nil, nil, fmt.Errorf("%w: truncated quantisation range", ErrCorruptTensor)
+		}
+		lo = math.Float64frombits(binary.BigEndian.Uint64(data[0:]))
+		hi = math.Float64frombits(binary.BigEndian.Uint64(data[8:]))
+		if math.IsNaN(lo) || math.IsNaN(hi) || hi <= lo {
+			return nil, nil, fmt.Errorf("%w: bad quantisation range [%g,%g]", ErrCorruptTensor, lo, hi)
+		}
+		data = data[16:]
+	}
+	body := vol * int(d) / 8
+	if len(data) < body {
+		return nil, nil, fmt.Errorf("%w: body %d bytes, want %d", ErrCorruptTensor, len(data), body)
+	}
+	t := EnsureShape(dst, shape[:rank]...)
+	switch d {
+	case Depth64:
+		for i := range t.data {
+			t.data[i] = math.Float64frombits(binary.BigEndian.Uint64(data[8*i:]))
+		}
+	case Depth32:
+		for i := range t.data {
+			t.data[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(data[4*i:])))
+		}
+	case Depth16:
+		span := hi - lo
+		for i := range t.data {
+			t.data[i] = lo + span*float64(binary.BigEndian.Uint16(data[2*i:]))/65535
+		}
+	case Depth8:
+		span := hi - lo
+		for i := range t.data {
+			t.data[i] = lo + span*float64(data[i])/255
+		}
+	}
+	return t, data[body:], nil
 }
 
 // Decode reads a tensor previously written by Encode.

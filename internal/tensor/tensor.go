@@ -93,7 +93,12 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+			// Copy the shape for the panic message: handing the slice to
+			// Sprintf directly would leak every caller's shape argument to
+			// the heap, costing the zero-alloc serving paths one
+			// allocation per call on the non-panicking path too.
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v",
+				d, append([]int(nil), shape...)))
 		}
 		n *= d
 	}

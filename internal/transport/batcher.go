@@ -1,0 +1,387 @@
+package transport
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/split"
+	"repro/internal/tensor"
+)
+
+// The pipelined serving path. With ServerConfig.BatchWindow set, a
+// session round no longer runs its whole read→decode→compute→encode→
+// write cycle inline on the session goroutine: the session goroutine
+// keeps the blocking network I/O (reads and writes), while payload
+// decoding, model compute and reply encoding run on shared stage worker
+// pools. Network I/O for session A therefore overlaps compute for
+// session B even when both would otherwise serialise, and the number of
+// concurrently computing rounds is bounded by the worker pool instead
+// of the session count. Per-session ordering is structural: the
+// lock-step protocol admits at most one in-flight round per session.
+//
+// The compute stage is where cross-session micro-batching happens. A
+// dispatcher coalesces rounds arriving within BatchWindow (or until
+// min(BatchMax, live sessions) rounds are pending — a full batch never
+// waits out the window) and groups them by model-state key. Sessions in
+// one group whose parameters and round inputs are *proven* bit-identical
+// (compared, never assumed) execute as one forward/backward through the
+// group representative's model half; the resulting loss, parameter
+// gradients and cut-layer gradient rows are then scattered to every
+// member, each of which applies its own optimiser. Because the shared
+// computation is exactly the computation each member would have run
+// solo, every member's update — and every byte it sends back to its UE
+// — is bit-identical to solo execution (the invariant-8 suite pins
+// this). Sessions that fail the equality guard simply compute solo
+// within the batch, so correctness never depends on the grouping
+// heuristic.
+
+// batchKey is the grouping hint for coalesced rounds: sessions sharing
+// a config fingerprint (which covers seed, geometry, codec and
+// hyper-parameters) and a trained-step count are *candidate* clones.
+// The key admits false positives — a custom Provision can hand
+// same-fingerprint sessions different datasets — which is why group
+// members are additionally verified bitwise before any sharing.
+type batchKey struct {
+	fp      uint64
+	trained int
+}
+
+// roundTask carries one session round through the pipeline stages. Each
+// peer owns exactly one, reused round after round.
+type roundTask struct {
+	peer *BSPeer
+
+	// decode stage in/out
+	hdr     FrameHeader
+	payload []byte
+	pooled  *tensor.Tensor
+
+	// compute stage in/out
+	anchors []int32
+	key     batchKey
+	shared  bool // scratch for runGroup's partition
+	loss    float64
+	cut     *tensor.Tensor
+
+	// encode stage in
+	outMsg Message
+
+	err  error
+	done chan struct{} // capacity 1; one signal per stage submission
+}
+
+// computeHub owns the stage worker pools of one BSServer.
+type computeHub struct {
+	window time.Duration
+	max    int
+	store  *sessionStore // live-count hint for early dispatch
+
+	decodeq  chan *roundTask
+	computeq chan *roundTask
+	encodeq  chan *roundTask
+	execq    chan []*roundTask
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+
+	// sharedRounds counts rounds served by a clone group's shared
+	// computation instead of their own — the dedup win the saturation
+	// benchmark reports.
+	sharedRounds atomic.Int64
+}
+
+// newComputeHub starts the stage workers: one decode and one encode
+// worker per two procs, one compute worker per proc, plus the
+// coalescing dispatcher.
+func newComputeHub(window time.Duration, max int, store *sessionStore) *computeHub {
+	procs := runtime.GOMAXPROCS(0)
+	h := &computeHub{
+		window:   window,
+		max:      max,
+		store:    store,
+		decodeq:  make(chan *roundTask, 64),
+		computeq: make(chan *roundTask, 64),
+		encodeq:  make(chan *roundTask, 64),
+		execq:    make(chan []*roundTask, 64),
+		stopc:    make(chan struct{}),
+	}
+	side := (procs + 1) / 2
+	for i := 0; i < side; i++ {
+		go h.decodeWorker()
+		go h.encodeWorker()
+	}
+	for i := 0; i < procs; i++ {
+		go h.computeWorker()
+	}
+	go h.dispatch()
+	return h
+}
+
+// stop terminates the stage workers. Callers must ensure no round is in
+// flight (BSServer.Close after Wait).
+func (h *computeHub) stop() {
+	h.stopOnce.Do(func() { close(h.stopc) })
+}
+
+// step drives one pipelined training round for a session. It runs on
+// the session's goroutine, which performs the I/O; decode, compute and
+// encode are submitted to the stage workers.
+func (h *computeHub) step(peer *BSPeer) (float64, error) {
+	t := peer.task
+	if t == nil {
+		t = &roundTask{peer: peer, done: make(chan struct{}, 1)}
+		peer.task = t
+	}
+	t.pooled, t.cut, t.err = nil, nil, nil
+	t.anchors = peer.nextAnchors()
+
+	if peer.Cfg.Modality.UsesImages() {
+		if err := peer.sendRequest(MsgBatchRequest, t.anchors); err != nil {
+			return 0, err
+		}
+		hdr, payload, err := peer.fr.ReadFrame()
+		if err != nil {
+			return 0, fmt.Errorf("transport: BS read: %w", err)
+		}
+		t.hdr, t.payload = hdr, payload
+		h.decodeq <- t
+		<-t.done
+		if t.err != nil {
+			return 0, t.err
+		}
+	}
+
+	t.key = batchKey{fp: peer.fp, trained: peer.trained}
+	h.computeq <- t
+	<-t.done
+	if t.err != nil {
+		return 0, t.err
+	}
+	loss := t.loss
+
+	if t.cut != nil {
+		t.outMsg = Message{Type: MsgCutGradient, Step: peer.step, Tensor: t.cut, Codec: peer.Cfg.Codec}
+		h.encodeq <- t
+		<-t.done
+		if t.err != nil {
+			return 0, t.err
+		}
+		if err := peer.fw.Flush(); err != nil {
+			return 0, fmt.Errorf("transport: BS write gradient: %w", err)
+		}
+	}
+	return loss, nil
+}
+
+func (h *computeHub) decodeWorker() {
+	for {
+		select {
+		case t := <-h.decodeq:
+			m, err := t.peer.fr.Decode(t.hdr, t.payload)
+			if err != nil {
+				t.err = fmt.Errorf("transport: BS read: %w", err)
+			} else {
+				t.pooled, t.err = t.peer.checkActivations(m)
+			}
+			t.done <- struct{}{}
+		case <-h.stopc:
+			return
+		}
+	}
+}
+
+func (h *computeHub) encodeWorker() {
+	for {
+		select {
+		case t := <-h.encodeq:
+			t.err = t.peer.fw.Encode(&t.outMsg, t.peer.Ver)
+			t.done <- struct{}{}
+		case <-h.stopc:
+			return
+		}
+	}
+}
+
+// dispatch coalesces compute submissions into batches: a batch fires
+// when min(BatchMax, live sessions) rounds are pending or when the
+// window since the first pending round expires, whichever is first. The
+// window is also the resynchronisation mechanism — a session whose
+// round finished late rejoins its clone group as long as its skew stays
+// under the window.
+func (h *computeHub) dispatch() {
+	var pending []*roundTask
+	timer := time.NewTimer(h.window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	flush := func() {
+		for len(pending) > 0 {
+			key := pending[0].key
+			group := make([]*roundTask, 0, len(pending))
+			rest := pending[:0]
+			for _, t := range pending {
+				if t.key == key {
+					group = append(group, t)
+				} else {
+					rest = append(rest, t)
+				}
+			}
+			pending = rest
+			h.execq <- group
+		}
+		pending = nil
+	}
+	for {
+		select {
+		case t := <-h.computeq:
+			pending = append(pending, t)
+			target := h.max
+			if live := h.store.liveCount(); live < target {
+				target = live
+			}
+			if target < 1 {
+				target = 1
+			}
+			if len(pending) >= target {
+				disarm()
+				flush()
+			} else if !armed {
+				timer.Reset(h.window)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			flush()
+		case <-h.stopc:
+			return
+		}
+	}
+}
+
+func (h *computeHub) computeWorker() {
+	for {
+		select {
+		case g := <-h.execq:
+			h.sharedRounds.Add(runGroup(g))
+		case <-h.stopc:
+			return
+		}
+	}
+}
+
+// runGroup executes one coalesced batch of same-key rounds: the
+// representative's model half runs the batched forward/backward once,
+// and the result is scattered to every member whose parameters and
+// inputs are bit-identical to the representative's. The equality guard
+// runs *before* the representative's optimiser update mutates its
+// parameters; members that fail it compute solo. Returns the number of
+// rounds served by the shared computation.
+func runGroup(g []*roundTask) (shared int64) {
+	rep := g[0]
+	for _, t := range g[1:] {
+		t.shared = slices.Equal(rep.anchors, t.anchors) &&
+			tensorBitsEqual(rep.pooled, t.pooled) &&
+			split.ParamsBitsEqual(rep.peer.Model.Params(), t.peer.Model.Params())
+	}
+	rep.loss, rep.cut = rep.peer.computeStep(rep.anchors, rep.pooled)
+	for _, t := range g[1:] {
+		if t.shared && shareStep(rep, t) {
+			shared++
+			t.done <- struct{}{}
+			continue
+		}
+		t.loss, t.cut = t.peer.computeStep(t.anchors, t.pooled)
+		t.done <- struct{}{}
+	}
+	rep.done <- struct{}{}
+	return shared
+}
+
+// shareStep applies the representative's already-computed round to a
+// verified clone member: the member re-derives its own fused input and
+// targets (covering its private dataset and normaliser) and, only if
+// they too are bit-identical to the representative's, takes the shared
+// gradients — copied into its own parameters — and steps its own
+// optimiser. Reports false when the member must compute solo after all.
+func shareStep(rep, t *roundTask) bool {
+	peer := t.peer
+	peer.arena.Reset()
+	fused := peer.fuse(t.anchors, t.pooled)
+	targets := peer.targets(t.anchors)
+	if !tensorBitsEqual(fused, rep.peer.lastFused) || !tensorBitsEqual(targets, rep.peer.lastTargets) {
+		return false
+	}
+	if !split.CopyGrads(peer.Model.Params(), rep.peer.Model.Params()) {
+		return false
+	}
+	peer.adam.Step()
+	peer.trained++
+	peer.lastFused, peer.lastTargets = fused, targets
+	t.loss = rep.loss
+	t.cut = nil
+	if rep.cut != nil {
+		c := peer.arena.GetUninit(rep.cut.Shape()...)
+		copy(c.Data(), rep.cut.Data())
+		t.cut = c
+	}
+	return true
+}
+
+// tensorBitsEqual reports Float64bits equality of two tensors (both nil
+// counts as equal). NaNs compare by bit pattern, so an equality here is
+// exactly "the same computation would see the same input".
+func tensorBitsEqual(a, b *tensor.Tensor) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if !a.SameShape(b) {
+		return false
+	}
+	return split.BitsEqual(a.Data(), b.Data())
+}
+
+// latencyRing records per-round serving latencies into a fixed-size
+// ring with lock-free writes — the measurement behind the saturation
+// benchmark's p50/p99 columns.
+type latencyRing struct {
+	n   atomic.Int64
+	buf [4096]atomic.Int64
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	i := r.n.Add(1) - 1
+	r.buf[i&4095].Store(int64(d))
+}
+
+// percentiles returns the p50/p99 over the retained (most recent)
+// rounds and the total number of rounds recorded.
+func (r *latencyRing) percentiles() (p50, p99 time.Duration, n int64) {
+	n = r.n.Load()
+	k := n
+	if k > int64(len(r.buf)) {
+		k = int64(len(r.buf))
+	}
+	if k == 0 {
+		return 0, 0, 0
+	}
+	s := make([]int64, k)
+	for i := range s {
+		s[i] = r.buf[i].Load()
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	p50 = time.Duration(s[(k-1)*50/100])
+	p99 = time.Duration(s[(k-1)*99/100])
+	return p50, p99, n
+}

@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/tensor"
+)
+
+// Invariant 8: batching is mathematically invisible. N sessions served
+// through the pipelined/batched path produce byte-identical wire
+// traffic in both directions — hence Float64bits-identical activations
+// and gradients — and bit-identical final UE model halves, compared to
+// the same sessions run one at a time through the serial path.
+
+// recordConn tees both directions of a connection into buffers.
+type recordConn struct {
+	inner io.ReadWriteCloser
+	mu    sync.Mutex
+	in    bytes.Buffer // bytes read (BS→UE when wrapping the UE side)
+	out   bytes.Buffer // bytes written (UE→BS)
+}
+
+func (c *recordConn) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.mu.Lock()
+	c.in.Write(p[:n])
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *recordConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.out.Write(p)
+	c.mu.Unlock()
+	return c.inner.Write(p)
+}
+
+func (c *recordConn) Close() error { return c.inner.Close() }
+
+func (c *recordConn) streams() (in, out []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.in.Bytes()...), append([]byte(nil), c.out.Bytes()...)
+}
+
+// sessionRun is the observable outcome of one UE's session: both wire
+// streams and the final UE-half parameters.
+type sessionRun struct {
+	in, out []byte
+	params  []*tensor.Tensor
+}
+
+// gatedProvision wraps tinySessionEnv so no session is provisioned until
+// n handshakes are in flight — the batched run's sessions start their
+// rounds together, exercising the coalescing path deterministically.
+func gatedProvision(n int) Provision {
+	gate := make(chan struct{})
+	var joined atomic.Int32
+	return func(h Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+		if joined.Add(1) == int32(n) {
+			close(gate)
+		}
+		<-gate
+		return tinySessionEnv(h)
+	}
+}
+
+// runBatchedSessions serves the hellos concurrently through one batched
+// server and returns each session's run, keyed by session id.
+func runBatchedSessions(t *testing.T, hellos []Hello, steps int) (map[string]sessionRun, *BSServer) {
+	t.Helper()
+	srv, err := NewBSServer(ServerConfig{
+		MaxUE: len(hellos), Sched: SchedAsync,
+		Steps: steps, EvalEvery: steps / 2, ValAnchors: 8,
+		Provision:   gatedProvision(len(hellos)),
+		BatchWindow: 200 * time.Millisecond, BatchMax: len(hellos),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	runs := make(map[string]sessionRun, len(hellos))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(hellos))
+	for _, h := range hellos {
+		h := h
+		cfg, d, _, err := tinySessionEnv(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Codec = compress.ID(h.Codec)
+		h.ConfigFP = cfg.Fingerprint()
+		ueConn, bsConn := net.Pipe()
+		rec := &recordConn{inner: ueConn}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := srv.Handle(bsConn); err != nil {
+				errs <- fmt.Errorf("BS %s: %w", h.SessionID, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			run, err := serveRecordedUE(rec, h, cfg, d)
+			if err != nil {
+				errs <- fmt.Errorf("UE %s: %w", h.SessionID, err)
+				return
+			}
+			mu.Lock()
+			runs[h.SessionID] = run
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return runs, srv
+}
+
+// runSoloSession serves one hello against a fresh serial (un-batched)
+// server — the reference execution.
+func runSoloSession(t *testing.T, h Hello, steps int) sessionRun {
+	t.Helper()
+	srv, err := NewBSServer(ServerConfig{
+		MaxUE: 1, Sched: SchedAsync,
+		Steps: steps, EvalEvery: steps / 2, ValAnchors: 8,
+		Provision: tinySessionEnv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, d, _, err := tinySessionEnv(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Codec = compress.ID(h.Codec)
+	h.ConfigFP = cfg.Fingerprint()
+	ueConn, bsConn := net.Pipe()
+	rec := &recordConn{inner: ueConn}
+	done := make(chan error, 1)
+	go func() { done <- srv.Handle(bsConn) }()
+	run, err := serveRecordedUE(rec, h, cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// serveRecordedUE joins and serves one UE over a recording connection,
+// returning the streams and a deep copy of the final UE parameters.
+func serveRecordedUE(rec *recordConn, h Hello, cfg split.Config, d *dataset.Dataset) (sessionRun, error) {
+	if _, err := JoinSession(rec, h); err != nil {
+		return sessionRun{}, err
+	}
+	ue, err := NewUEPeer(cfg, d, rec)
+	if err != nil {
+		return sessionRun{}, err
+	}
+	if err := ue.Serve(); err != nil {
+		return sessionRun{}, err
+	}
+	var run sessionRun
+	run.in, run.out = rec.streams()
+	for _, p := range ue.Model.Params() {
+		run.params = append(run.params, p.Value.Clone())
+	}
+	return run, nil
+}
+
+func equalRuns(t *testing.T, id string, got, want sessionRun) {
+	t.Helper()
+	if !bytes.Equal(got.out, want.out) {
+		t.Errorf("session %s: UE→BS stream differs (batched %d B vs solo %d B)",
+			id, len(got.out), len(want.out))
+	}
+	if !bytes.Equal(got.in, want.in) {
+		t.Errorf("session %s: BS→UE stream differs (batched %d B vs solo %d B)",
+			id, len(got.in), len(want.in))
+	}
+	if len(got.params) != len(want.params) {
+		t.Fatalf("session %s: %d params vs %d", id, len(got.params), len(want.params))
+	}
+	for i := range got.params {
+		a, b := got.params[i].Data(), want.params[i].Data()
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Errorf("session %s: param %d element %d differs: %x vs %x",
+					id, i, j, math.Float64bits(a[j]), math.Float64bits(b[j]))
+				return
+			}
+		}
+	}
+}
+
+// batchHellos builds n same-seed clone hellos plus one odd-seed session.
+func batchHellos(n int, codec compress.ID) []Hello {
+	hellos := make([]Hello, 0, n+1)
+	for i := 0; i < n; i++ {
+		h := Hello{
+			SessionID: fmt.Sprintf("clone-%d", i),
+			Seed:      7, Frames: 200, Pool: 4,
+			Modality: uint8(split.ImageRF),
+			Codec:    uint8(codec),
+		}
+		hellos = append(hellos, h)
+	}
+	hellos = append(hellos, Hello{
+		SessionID: "odd",
+		Seed:      31, Frames: 200, Pool: 4,
+		Modality: uint8(split.ImageRF),
+		Codec:    uint8(codec),
+	})
+	return hellos
+}
+
+func TestBatchedMatchesSoloBitIdentical(t *testing.T) {
+	const steps = 12
+	for _, codec := range []compress.ID{
+		compress.CodecRaw, compress.CodecFloat16, compress.CodecQuantInt8, compress.CodecTopK,
+	} {
+		t.Run(codec.String(), func(t *testing.T) {
+			hellos := batchHellos(3, codec)
+			batched, srv := runBatchedSessions(t, hellos, steps)
+			if shared := srv.SharedRounds(); shared == 0 {
+				t.Error("no rounds were served by shared computation — batching never engaged")
+			}
+			// Solo references: one per distinct seed is enough for the
+			// clones, but run every session to also cover the odd one.
+			for _, h := range hellos {
+				solo := runSoloSession(t, h, steps)
+				equalRuns(t, h.SessionID, batched[h.SessionID], solo)
+			}
+		})
+	}
+}
+
+// TestBatchedMatchesSoloAcrossWorkers re-runs the raw-codec identity
+// check under a different tensor worker-pool size: the shared GEMM must
+// be bit-stable against kernel parallelism too.
+func TestBatchedMatchesSoloAcrossWorkers(t *testing.T) {
+	old := tensor.Workers()
+	defer tensor.SetWorkers(old)
+	const steps = 8
+	hellos := batchHellos(2, compress.CodecRaw)
+
+	tensor.SetWorkers(3)
+	batched, srv := runBatchedSessions(t, hellos, steps)
+	if srv.SharedRounds() == 0 {
+		t.Error("batching never engaged")
+	}
+	tensor.SetWorkers(1)
+	for _, h := range hellos {
+		solo := runSoloSession(t, h, steps)
+		equalRuns(t, h.SessionID, batched[h.SessionID], solo)
+	}
+}
+
+// TestBatcherLatencyRecorded pins the serving-latency instrumentation
+// both paths feed.
+func TestBatcherLatencyRecorded(t *testing.T) {
+	hellos := batchHellos(2, compress.CodecRaw)
+	_, srv := runBatchedSessions(t, hellos, 6)
+	p50, p99, n := srv.RoundLatency()
+	if n == 0 || p50 <= 0 || p99 < p50 {
+		t.Fatalf("round latency p50=%v p99=%v n=%d", p50, p99, n)
+	}
+}

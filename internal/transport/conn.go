@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,19 +65,21 @@ func (c *idleConn) wrapTimeout(err error) error {
 }
 
 // CountingConn wraps a connection-like stream and tallies the bytes and
-// frames crossing it in each direction — the measurement hook for
+// ops crossing it in each direction — the measurement hook for
 // comparing the real protocol's overhead against the paper's idealised
 // payload formula. It sits below the codec layer, so with a lossy
 // session codec it reports the true compressed wire bytes (framing
-// included), not the logical tensor sizes.
+// included), not the logical tensor sizes. The counters are lock-free
+// atomics: they are bumped on every Read/Write of the serving hot path
+// and polled by concurrent snapshot reporting, so a mutex here would be
+// taken per message across every live session.
 type CountingConn struct {
 	inner io.ReadWriter
 
-	mu        sync.Mutex
-	bytesIn   int64
-	bytesOut  int64
-	readsOps  int64
-	writesOps int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	readsOps  atomic.Int64
+	writesOps atomic.Int64
 }
 
 // NewCountingConn wraps inner.
@@ -88,20 +90,16 @@ func NewCountingConn(inner io.ReadWriter) *CountingConn {
 // Read implements io.Reader.
 func (c *CountingConn) Read(p []byte) (int, error) {
 	n, err := c.inner.Read(p)
-	c.mu.Lock()
-	c.bytesIn += int64(n)
-	c.readsOps++
-	c.mu.Unlock()
+	c.bytesIn.Add(int64(n))
+	c.readsOps.Add(1)
 	return n, err
 }
 
 // Write implements io.Writer.
 func (c *CountingConn) Write(p []byte) (int, error) {
 	n, err := c.inner.Write(p)
-	c.mu.Lock()
-	c.bytesOut += int64(n)
-	c.writesOps++
-	c.mu.Unlock()
+	c.bytesOut.Add(int64(n))
+	c.writesOps.Add(1)
 	return n, err
 }
 
@@ -113,10 +111,8 @@ type ConnStats struct {
 
 // Stats returns the current counters.
 func (c *CountingConn) Stats() ConnStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return ConnStats{
-		BytesIn: c.bytesIn, BytesOut: c.bytesOut,
-		ReadOps: c.readsOps, WriteOps: c.writesOps,
+		BytesIn: c.bytesIn.Load(), BytesOut: c.bytesOut.Load(),
+		ReadOps: c.readsOps.Load(), WriteOps: c.writesOps.Load(),
 	}
 }

@@ -538,7 +538,7 @@ func TestBSServerResumeMatchesUninterrupted(t *testing.T) {
 	// The resumed incarnation is visible in the lifecycle records.
 	snaps := faultSrv.Sessions()
 	last := snaps[len(snaps)-1]
-	if last.State != SessionDetached || last.ResumedFrom == 0 || last.Metrics.Resumes != 1 {
+	if last.State != SessionDetached || last.ResumedFrom == 0 || last.Metrics.Resumes.Load() != 1 {
 		t.Fatalf("resumed incarnation snapshot: %+v", last)
 	}
 	if len(snaps) < 2 {
@@ -918,8 +918,8 @@ func TestBSServerV2PeerInterop(t *testing.T) {
 	if len(snaps) != 1 || snaps[0].State != SessionDetached || snaps[0].Version != 2 {
 		t.Fatalf("v2 session snapshot: %+v", snaps)
 	}
-	if snaps[0].Metrics.Checkpoints != 0 {
-		t.Fatalf("v2 session wrote %d checkpoints, want 0", snaps[0].Metrics.Checkpoints)
+	if snaps[0].Metrics.Checkpoints.Load() != 0 {
+		t.Fatalf("v2 session wrote %d checkpoints, want 0", snaps[0].Metrics.Checkpoints.Load())
 	}
 	// No stray checkpoint files either.
 	matches, _ := filepath.Glob(filepath.Join(srv.cfg.CheckpointDir, "*.ckpt"))

@@ -35,7 +35,10 @@ type UEPeer struct {
 	data         *dataset.Dataset
 	adam         *opt.Adam
 	conn         io.ReadWriter
-	shutdownStep uint32 // step field of the shutdown that ended Serve
+	fr           *FrameReader
+	fw           *FrameWriter
+	arena        tensor.Arena // per-request batch-assembly scratch
+	shutdownStep uint32       // step field of the shutdown that ended Serve
 }
 
 // ShutdownStep reports the step field of the shutdown that ended a
@@ -53,14 +56,19 @@ func NewUEPeer(cfg split.Config, d *dataset.Dataset, conn io.ReadWriter) (*UEPee
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	model := split.NewUEModel(rng, cfg, d)
-	return &UEPeer{
+	u := &UEPeer{
 		Model: model,
 		Cfg:   cfg,
 		Ver:   ProtocolVersion,
 		data:  d,
 		adam:  opt.NewAdam(model.Params(), cfg.LR, cfg.Beta1, cfg.Beta2),
 		conn:  conn,
-	}, nil
+	}
+	if conn != nil { // nil conn: an offline probe peer (checkpoint validation)
+		u.fr = NewFrameReader(conn)
+		u.fw = NewFrameWriter(conn)
+	}
+	return u, nil
 }
 
 // SaveState writes the UE half's resumable train state (parameters +
@@ -75,11 +83,12 @@ func (u *UEPeer) RestoreState(r io.Reader) (int, error) {
 	return split.LoadTrainState(r, u.Cfg.Fingerprint(), split.HalfUE, u.Model.Params(), u.adam)
 }
 
-// imageBatch assembles the (B·L, 1, H, W) stack for the anchors.
+// imageBatch assembles the (B·L, 1, H, W) stack for the anchors into
+// the peer's arena (valid until the next request).
 func (u *UEPeer) imageBatch(anchors []int32) (*tensor.Tensor, error) {
 	d, L := u.data, u.Cfg.SeqLen
 	px := d.H * d.W
-	out := tensor.New(len(anchors)*L, 1, d.H, d.W)
+	out := u.arena.GetUninit(len(anchors)*L, 1, d.H, d.W)
 	for b, k := range anchors {
 		if int(k) < L-1 || int(k) >= d.Len() {
 			return nil, fmt.Errorf("transport: anchor %d outside usable range", k)
@@ -93,39 +102,46 @@ func (u *UEPeer) imageBatch(anchors []int32) (*tensor.Tensor, error) {
 }
 
 // Serve processes requests until a shutdown message or connection error.
-// A clean shutdown returns nil.
+// A clean shutdown returns nil. The request loop runs through the
+// peer's FrameReader/FrameWriter, so steady-state serving performs zero
+// allocations per message in either direction.
 func (u *UEPeer) Serve() error {
+	defer u.release()
 	for {
-		msg, err := ReadMessage(u.conn)
+		msg, err := u.fr.ReadMessage()
 		if err != nil {
 			return fmt.Errorf("transport: UE read: %w", err)
 		}
-		switch msg.Type {
+		// msg (and its anchors/tensor) is reader-owned scratch: copy the
+		// header fields needed after the next read.
+		reqType, reqStep := msg.Type, msg.Step
+		switch reqType {
 		case MsgShutdown:
-			u.shutdownStep = msg.Step
+			u.shutdownStep = reqStep
 			return nil
 
 		case MsgCheckpoint:
 			if u.OnCheckpoint != nil {
-				if err := u.OnCheckpoint(msg.Step); err != nil {
-					return fmt.Errorf("transport: UE checkpoint at step %d: %w", msg.Step, err)
+				if err := u.OnCheckpoint(reqStep); err != nil {
+					return fmt.Errorf("transport: UE checkpoint at step %d: %w", reqStep, err)
 				}
 			}
 
 		case MsgBatchRequest, MsgEvalRequest:
+			u.arena.Reset()
 			batch, err := u.imageBatch(msg.Anchors)
 			if err != nil {
 				return err
 			}
 			act := u.Model.Forward(batch)
-			reply := &Message{Type: MsgActivations, Step: msg.Step, Tensor: act, Codec: u.Cfg.Codec}
-			if err := WriteMessageVersion(u.conn, reply, u.Ver); err != nil {
+			reply := &Message{Type: MsgActivations, Step: reqStep, Tensor: act, Codec: u.Cfg.Codec}
+			if err := u.fw.WriteMessage(reply, u.Ver); err != nil {
 				return fmt.Errorf("transport: UE write: %w", err)
 			}
-			if msg.Type == MsgEvalRequest {
+			if reqType == MsgEvalRequest {
 				continue // no backward pass for evaluation
 			}
-			grad, err := ReadMessage(u.conn)
+			grad, err := u.fr.ReadMessage()
 			if err != nil {
 				return fmt.Errorf("transport: UE read gradient: %w", err)
 			}
@@ -136,8 +152,8 @@ func (u *UEPeer) Serve() error {
 			if grad.Type != MsgCutGradient || grad.Tensor == nil {
 				return fmt.Errorf("transport: UE expected CutGradient, got %v", grad.Type)
 			}
-			if grad.Step != msg.Step {
-				return fmt.Errorf("transport: gradient step %d for request %d", grad.Step, msg.Step)
+			if grad.Step != reqStep {
+				return fmt.Errorf("transport: gradient step %d for request %d", grad.Step, reqStep)
 			}
 			if grad.Codec != u.Cfg.Codec {
 				return fmt.Errorf("transport: gradient used codec %v, session negotiated %v",
@@ -148,9 +164,21 @@ func (u *UEPeer) Serve() error {
 			u.adam.Step()
 
 		default:
-			return fmt.Errorf("transport: UE unexpected message %v", msg.Type)
+			return fmt.Errorf("transport: UE unexpected message %v", reqType)
 		}
 	}
+}
+
+// release returns the peer's pooled frame buffers and arena storage; the
+// peer's protocol methods must not be used afterwards.
+func (u *UEPeer) release() {
+	if u.fr != nil {
+		u.fr.Release()
+	}
+	if u.fw != nil {
+		u.fw.Release()
+	}
+	u.arena.Release()
 }
 
 // BSPeer is the base-station endpoint. It owns the received powers, the
@@ -169,9 +197,33 @@ type BSPeer struct {
 	data    *dataset.Dataset
 	adam    *opt.Adam
 	conn    io.ReadWriter
+	fr      *FrameReader
+	fw      *FrameWriter
 	sampler *dataset.Sampler
 	step    uint32
 	trained int // training steps applied (restored across resume)
+
+	// Serving-path scratch: the arena holds the per-round batch-assembly
+	// tensors (fused sequence, targets, cut gradient), reset at the top
+	// of every computeStep; the slices are reused across rounds. None of
+	// this changes any computed value — see the equivalence suite.
+	arena      tensor.Arena
+	anchorsInt []int
+	anchors32  []int32
+	lossGrad   *tensor.Tensor
+	fp         uint64 // cached Cfg.Fingerprint()
+
+	// lastFused/lastTargets retain the most recent computeStep's network
+	// inputs (arena-owned, valid until the next computeStep). The
+	// cross-session batcher compares them bitwise against a candidate
+	// clone session's to prove that sharing this step's computation is
+	// exact rather than assumed.
+	lastFused   *tensor.Tensor
+	lastTargets *tensor.Tensor
+
+	// task is the peer's reusable pipeline round (see batcher.go), lazily
+	// created by computeHub.step.
+	task *roundTask
 }
 
 // NewBSPeer constructs the BS endpoint over an established connection.
@@ -190,7 +242,7 @@ func NewBSPeer(cfg split.Config, d *dataset.Dataset, sp *dataset.Split, conn io.
 	}
 	model := split.NewBSModel(rng, cfg, cfg.RNNInputDim(d))
 	norm := dataset.FitNormalizer(d, sp.Train)
-	return &BSPeer{
+	b := &BSPeer{
 		Model:   model,
 		Cfg:     cfg,
 		Norm:    norm,
@@ -199,7 +251,26 @@ func NewBSPeer(cfg split.Config, d *dataset.Dataset, sp *dataset.Split, conn io.
 		adam:    opt.NewAdam(model.Params(), cfg.LR, cfg.Beta1, cfg.Beta2),
 		conn:    conn,
 		sampler: dataset.NewSampler(sp.Train, rand.New(rand.NewSource(cfg.Seed+1000))),
-	}, nil
+		fp:      cfg.Fingerprint(),
+	}
+	if conn != nil {
+		b.fr = NewFrameReader(conn)
+		b.fw = NewFrameWriter(conn)
+	}
+	return b, nil
+}
+
+// release returns the peer's pooled frame buffers and arena storage; the
+// peer's protocol methods must not be used afterwards.
+func (b *BSPeer) release() {
+	if b.fr != nil {
+		b.fr.Release()
+	}
+	if b.fw != nil {
+		b.fw.Release()
+	}
+	b.lastFused, b.lastTargets, b.lossGrad = nil, nil, nil
+	b.arena.Release()
 }
 
 // SaveState writes the BS half's resumable train state (parameters +
@@ -226,17 +297,19 @@ func (b *BSPeer) RestoreState(r io.Reader) (int, error) {
 	return step, nil
 }
 
-// requestActivations asks the UE for a forward pass over the anchors.
-func (b *BSPeer) requestActivations(t MsgType, anchors []int32) (*tensor.Tensor, error) {
+// sendRequest writes a forward-pass request for the anchors, advancing
+// the step correlation id.
+func (b *BSPeer) sendRequest(t MsgType, anchors []int32) error {
 	b.step++
 	req := &Message{Type: t, Step: b.step, Anchors: anchors}
-	if err := WriteMessageVersion(b.conn, req, b.Ver); err != nil {
-		return nil, fmt.Errorf("transport: BS write: %w", err)
+	if err := b.fw.WriteMessage(req, b.Ver); err != nil {
+		return fmt.Errorf("transport: BS write: %w", err)
 	}
-	reply, err := ReadMessage(b.conn)
-	if err != nil {
-		return nil, fmt.Errorf("transport: BS read: %w", err)
-	}
+	return nil
+}
+
+// checkActivations validates a reply against the in-flight request.
+func (b *BSPeer) checkActivations(reply *Message) (*tensor.Tensor, error) {
 	if reply.Type != MsgActivations || reply.Tensor == nil {
 		return nil, fmt.Errorf("transport: BS expected Activations, got %v", reply.Type)
 	}
@@ -250,14 +323,28 @@ func (b *BSPeer) requestActivations(t MsgType, anchors []int32) (*tensor.Tensor,
 	return reply.Tensor, nil
 }
 
+// requestActivations asks the UE for a forward pass over the anchors.
+// The returned tensor is reader-owned scratch, valid until the next
+// read on this peer.
+func (b *BSPeer) requestActivations(t MsgType, anchors []int32) (*tensor.Tensor, error) {
+	if err := b.sendRequest(t, anchors); err != nil {
+		return nil, err
+	}
+	reply, err := b.fr.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("transport: BS read: %w", err)
+	}
+	return b.checkActivations(reply)
+}
+
 // fuse builds the (B, L, D) LSTM input from received activations and the
-// locally measured RF powers.
+// locally measured RF powers into the peer's arena.
 func (b *BSPeer) fuse(anchors []int32, pooled *tensor.Tensor) *tensor.Tensor {
 	cfg, d := b.Cfg, b.data
 	L := cfg.SeqLen
 	featPx := cfg.FeaturePixels(d)
 	dim := cfg.RNNInputDim(d)
-	out := tensor.New(len(anchors), L, dim)
+	out := b.arena.GetUninit(len(anchors), L, dim)
 	for bi, k := range anchors {
 		for t := 0; t < L; t++ {
 			row := out.Data()[(bi*L+t)*dim : (bi*L+t+1)*dim]
@@ -273,7 +360,7 @@ func (b *BSPeer) fuse(anchors []int32, pooled *tensor.Tensor) *tensor.Tensor {
 }
 
 func (b *BSPeer) targets(anchors []int32) *tensor.Tensor {
-	out := tensor.New(len(anchors), 1)
+	out := b.arena.GetUninit(len(anchors), 1)
 	for i, k := range anchors {
 		out.Data()[i] = b.Norm.Normalize(b.data.Powers[int(k)+b.Cfg.HorizonFrames])
 	}
@@ -281,13 +368,14 @@ func (b *BSPeer) targets(anchors []int32) *tensor.Tensor {
 }
 
 // extractImageGrad pulls the image-feature block out of the fused
-// gradient as the cut-layer payload.
+// gradient as the cut-layer payload (arena-owned, valid until the next
+// computeStep).
 func (b *BSPeer) extractImageGrad(grad *tensor.Tensor, batch int) *tensor.Tensor {
 	cfg, d := b.Cfg, b.data
 	L := cfg.SeqLen
 	featPx := cfg.FeaturePixels(d)
 	dim := cfg.RNNInputDim(d)
-	out := tensor.New(batch*L, 1, d.H/cfg.PoolH, d.W/cfg.PoolW)
+	out := b.arena.GetUninit(batch*L, 1, d.H/cfg.PoolH, d.W/cfg.PoolW)
 	for bi := 0; bi < batch; bi++ {
 		for t := 0; t < L; t++ {
 			src := grad.Data()[(bi*L+t)*dim : (bi*L+t)*dim+featPx]
@@ -297,10 +385,60 @@ func (b *BSPeer) extractImageGrad(grad *tensor.Tensor, batch int) *tensor.Tensor
 	return out
 }
 
+// nextAnchors draws the next mini-batch of anchors into the peer's
+// reusable int32 slice.
+func (b *BSPeer) nextAnchors() []int32 {
+	if cap(b.anchorsInt) < b.Cfg.BatchSize {
+		b.anchorsInt = make([]int, b.Cfg.BatchSize)
+		b.anchors32 = make([]int32, b.Cfg.BatchSize)
+	}
+	b.anchorsInt = b.anchorsInt[:b.Cfg.BatchSize]
+	b.anchors32 = b.anchors32[:b.Cfg.BatchSize]
+	b.sampler.Fill(b.anchorsInt)
+	for i, x := range b.anchorsInt {
+		b.anchors32[i] = int32(x)
+	}
+	return b.anchors32
+}
+
+// computeStep runs the local half of one training step — fuse, forward,
+// loss, backward, optimiser update, cut-gradient extraction — with no
+// I/O. It is the unit of work the cross-session batcher schedules; the
+// legacy serial path calls it inline between the activation read and
+// the gradient write, so both paths run byte-for-byte the same
+// mathematics. The returned cut gradient (nil for RF-only schemes) is
+// arena-owned and valid until the next computeStep.
+func (b *BSPeer) computeStep(anchors []int32, pooled *tensor.Tensor) (loss float64, cut *tensor.Tensor) {
+	b.arena.Reset()
+	nn.ZeroGrads(b.Model.Params())
+	fused := b.fuse(anchors, pooled)
+	pred := b.Model.Forward(fused)
+	targets := b.targets(anchors)
+	b.lossGrad = tensor.EnsureShape(b.lossGrad, pred.Shape()...)
+	loss = nn.MSEInto(b.lossGrad, pred, targets)
+	fusedGrad := b.Model.Backward(b.lossGrad)
+	b.adam.Step()
+	if b.Cfg.Modality.UsesImages() {
+		cut = b.extractImageGrad(fusedGrad, len(anchors))
+	}
+	b.lastFused, b.lastTargets = fused, targets
+	b.trained++
+	return loss, cut
+}
+
+// sendCutGradient ships the cut-layer gradient for the in-flight step.
+func (b *BSPeer) sendCutGradient(cut *tensor.Tensor) error {
+	msg := &Message{Type: MsgCutGradient, Step: b.step, Tensor: cut, Codec: b.Cfg.Codec}
+	if err := b.fw.WriteMessage(msg, b.Ver); err != nil {
+		return fmt.Errorf("transport: BS write gradient: %w", err)
+	}
+	return nil
+}
+
 // TrainStep runs one distributed SGD step and returns the mini-batch loss
 // on the normalised scale.
 func (b *BSPeer) TrainStep() (float64, error) {
-	anchors := toInt32(b.sampler.Batch(b.Cfg.BatchSize))
+	anchors := b.nextAnchors()
 
 	var pooled *tensor.Tensor
 	if b.Cfg.Modality.UsesImages() {
@@ -310,20 +448,12 @@ func (b *BSPeer) TrainStep() (float64, error) {
 			return 0, err
 		}
 	}
-	nn.ZeroGrads(b.Model.Params())
-	pred := b.Model.Forward(b.fuse(anchors, pooled))
-	loss, lossGrad := nn.MSE(pred, b.targets(anchors))
-	fusedGrad := b.Model.Backward(lossGrad)
-	b.adam.Step()
-
-	if b.Cfg.Modality.UsesImages() {
-		cut := b.extractImageGrad(fusedGrad, len(anchors))
-		msg := &Message{Type: MsgCutGradient, Step: b.step, Tensor: cut, Codec: b.Cfg.Codec}
-		if err := WriteMessageVersion(b.conn, msg, b.Ver); err != nil {
-			return 0, fmt.Errorf("transport: BS write gradient: %w", err)
+	loss, cut := b.computeStep(anchors, pooled)
+	if cut != nil {
+		if err := b.sendCutGradient(cut); err != nil {
+			return 0, err
 		}
 	}
-	b.trained++
 	return loss, nil
 }
 
@@ -346,6 +476,8 @@ func (b *BSPeer) Evaluate(anchors []int) (float64, error) {
 				return 0, err
 			}
 		}
+		b.arena.Reset()
+		b.lastFused, b.lastTargets = nil, nil
 		pred := b.Model.Forward(b.fuse(batch, pooled))
 		target := b.targets(batch)
 		for i := range batch {
@@ -366,7 +498,14 @@ func (b *BSPeer) Shutdown() error { return b.ShutdownAt(0) }
 // the UE keeps its checkpointed half for a later resume. Step 0 means
 // the session is complete and checkpoints may be discarded.
 func (b *BSPeer) ShutdownAt(step uint32) error {
-	return WriteMessageVersion(b.conn, &Message{Type: MsgShutdown, Step: step}, b.Ver)
+	return b.writeControl(&Message{Type: MsgShutdown, Step: step})
+}
+
+// writeControl sends a control frame through the peer's writer in its
+// negotiated dialect — also the path the server uses for MsgCheckpoint,
+// so control frames never interleave with a staged data frame.
+func (b *BSPeer) writeControl(m *Message) error {
+	return b.fw.WriteMessage(m, b.Ver)
 }
 
 func toInt32(xs []int) []int32 {

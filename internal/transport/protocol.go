@@ -12,7 +12,6 @@
 package transport
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -170,81 +169,71 @@ func WriteMessage(w io.Writer, m *Message) error {
 // frames they can read: older hello layouts drop the trailing v2/v3
 // fields, and pre-codec tensor sections fall back to the bare Depth64
 // encoding (only valid for the Raw codec).
+//
+// The frame is assembled in one buffer and issued as a single Write, so
+// a frame is never torn across writes on its way into the kernel; the
+// serving hot path uses FrameWriter, which reuses the buffer across
+// messages.
 func WriteMessageVersion(w io.Writer, m *Message, version uint8) error {
-	if version > ProtocolVersion {
-		return fmt.Errorf("%w: cannot write protocol version %d (own is %d)",
-			ErrBadFrame, version, ProtocolVersion)
-	}
-	if version < 3 && m.Type == MsgCheckpoint {
-		return fmt.Errorf("%w: %v needs protocol ≥ 3 (writing %d)", ErrBadFrame, m.Type, version)
-	}
-	payload, err := encodePayload(m, version)
+	buf, err := AppendMessage(nil, m, version)
 	if err != nil {
 		return err
 	}
-	if len(payload) > maxFramePayload {
-		return fmt.Errorf("%w: payload %d bytes exceeds limit", ErrBadFrame, len(payload))
-	}
-	header := make([]byte, 12)
-	header[0], header[1] = frameMagic[0], frameMagic[1]
-	header[2] = byte(m.Type)
-	header[3] = version
-	binary.BigEndian.PutUint32(header[4:], m.Step)
-	binary.BigEndian.PutUint32(header[8:], uint32(len(payload)))
-
-	crc := crc32.NewIEEE()
-	crc.Write(header)
-	crc.Write(payload)
-	trailer := binary.BigEndian.AppendUint32(nil, crc.Sum32())
-
-	if _, err := w.Write(header); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	_, err = w.Write(trailer)
+	_, err = w.Write(buf)
 	return err
 }
 
-// ReadMessage reads and validates one frame.
+// AppendMessage appends one complete frame (header, payload, CRC
+// trailer) for m to buf, laid out at the given protocol version, and
+// returns the extended slice — the zero-copy primitive behind
+// WriteMessageVersion and FrameWriter. A caller that reuses buf across
+// messages performs no per-message allocation once the buffer has grown
+// to the session's steady-state frame size.
+func AppendMessage(buf []byte, m *Message, version uint8) ([]byte, error) {
+	if version > ProtocolVersion {
+		return nil, fmt.Errorf("%w: cannot write protocol version %d (own is %d)",
+			ErrBadFrame, version, ProtocolVersion)
+	}
+	if version < 3 && m.Type == MsgCheckpoint {
+		return nil, fmt.Errorf("%w: %v needs protocol ≥ 3 (writing %d)", ErrBadFrame, m.Type, version)
+	}
+	start := len(buf)
+	buf = append(buf, frameMagic[0], frameMagic[1], byte(m.Type), version)
+	buf = binary.BigEndian.AppendUint32(buf, m.Step)
+	buf = append(buf, 0, 0, 0, 0) // length, backfilled below
+	buf, err := appendPayload(buf, m, version)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := len(buf) - start - 12
+	if payloadLen > maxFramePayload {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds limit", ErrBadFrame, payloadLen)
+	}
+	binary.BigEndian.PutUint32(buf[start+8:], uint32(payloadLen))
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
+// ReadMessage reads and validates one frame. The returned message and
+// its tensor are freshly allocated; the serving hot path uses
+// FrameReader, which reuses a per-connection buffer and decode scratch
+// instead.
 func ReadMessage(r io.Reader) (*Message, error) {
-	header := make([]byte, 12)
-	if _, err := io.ReadFull(r, header); err != nil {
+	fr := FrameReader{r: r}
+	m, err := fr.ReadMessage()
+	if err != nil {
 		return nil, err
 	}
-	if header[0] != frameMagic[0] || header[1] != frameMagic[1] {
-		return nil, fmt.Errorf("%w: bad magic %x", ErrBadFrame, header[:2])
-	}
-	if header[3] > ProtocolVersion {
-		return nil, fmt.Errorf("%w: protocol version %d newer than %d",
-			ErrBadFrame, header[3], ProtocolVersion)
-	}
-	msgType := MsgType(header[2])
-	step := binary.BigEndian.Uint32(header[4:])
-	length := binary.BigEndian.Uint32(header[8:])
-	if length > maxFramePayload {
-		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrBadFrame, length)
-	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	trailer := make([]byte, 4)
-	if _, err := io.ReadFull(r, trailer); err != nil {
-		return nil, err
-	}
-	crc := crc32.NewIEEE()
-	crc.Write(header)
-	crc.Write(payload)
-	if crc.Sum32() != binary.BigEndian.Uint32(trailer) {
-		return nil, ErrChecksum
-	}
-	m := &Message{Type: msgType, Step: step}
-	if err := decodePayload(m, payload, header[3]); err != nil {
-		return nil, err
-	}
-	return m, nil
+	out := *m // detach from the local reader's scratch
+	return &out, nil
+}
+
+// FrameHeader is a validated frame header, the handoff between reading
+// a frame's bytes and decoding its payload (the pipelined server runs
+// the two on different stage workers).
+type FrameHeader struct {
+	Type    MsgType
+	Version uint8
+	Step    uint32
 }
 
 // Payload layout: uint32 anchor count, anchors as int32, then an
@@ -261,11 +250,11 @@ func ReadMessage(r io.Reader) (*Message, error) {
 // Codec == compress.CodecRaw. Version-0 frames simply end after the
 // tensor section; their absence of a hello flag decodes as Hello == nil.
 
-func encodePayload(m *Message, version uint8) ([]byte, error) {
+func appendPayload(buf []byte, m *Message, version uint8) ([]byte, error) {
 	if len(m.Anchors) > maxAnchors {
 		return nil, fmt.Errorf("%w: %d anchors exceeds limit", ErrBadFrame, len(m.Anchors))
 	}
-	buf := binary.BigEndian.AppendUint32(nil, uint32(len(m.Anchors)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Anchors)))
 	for _, a := range m.Anchors {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(a))
 	}
@@ -279,24 +268,25 @@ func encodePayload(m *Message, version uint8) ([]byte, error) {
 			return nil, fmt.Errorf("%w: codec %v needs protocol ≥ 2 (writing %d)",
 				ErrBadFrame, m.Codec, version)
 		}
-		var enc bytes.Buffer
-		if err := tensor.Encode(&enc, m.Tensor, tensor.Depth64); err != nil {
+		var err error
+		buf, err = tensor.Append(append(buf, 1), m.Tensor, tensor.Depth64)
+		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, 1)
-		buf = append(buf, enc.Bytes()...)
 	default:
-		codec, err := compress.New(m.Codec)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
-		}
-		enc, err := codec.Encode(m.Tensor)
-		if err != nil {
-			return nil, err
+		codec := compress.ForID(m.Codec)
+		if codec == nil {
+			return nil, fmt.Errorf("%w: compress: unknown codec id %d", ErrBadFrame, uint8(m.Codec))
 		}
 		buf = append(buf, 1, byte(m.Codec))
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
-		buf = append(buf, enc...)
+		lenAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // section length, backfilled
+		var err error
+		buf, err = codec.EncodeInto(buf, m.Tensor)
+		if err != nil {
+			return nil, err
+		}
+		binary.BigEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
 	}
 	if m.Hello == nil {
 		return buf, nil
@@ -386,7 +376,15 @@ func decodeHello(payload []byte) (*Hello, error) {
 	return h, nil
 }
 
-func decodePayload(m *Message, payload []byte, version uint8) error {
+// decodeScratch is the reusable decode state of one connection: the
+// anchor slice and tensor a FrameReader refills message after message,
+// so steady-state serving decodes with zero per-message allocations.
+type decodeScratch struct {
+	anchors []int32
+	tensor  *tensor.Tensor
+}
+
+func decodePayload(m *Message, payload []byte, version uint8, sc *decodeScratch) error {
 	if len(payload) < 5 {
 		return fmt.Errorf("%w: payload too short", ErrBadFrame)
 	}
@@ -396,7 +394,14 @@ func decodePayload(m *Message, payload []byte, version uint8) error {
 	}
 	payload = payload[4:]
 	if n > 0 {
-		m.Anchors = make([]int32, n)
+		if sc != nil && cap(sc.anchors) >= int(n) {
+			m.Anchors = sc.anchors[:n]
+		} else {
+			m.Anchors = make([]int32, n)
+			if sc != nil {
+				sc.anchors = m.Anchors
+			}
+		}
 		for i := range m.Anchors {
 			m.Anchors[i] = int32(binary.BigEndian.Uint32(payload[4*i:]))
 		}
@@ -407,7 +412,7 @@ func decodePayload(m *Message, payload []byte, version uint8) error {
 	switch hasTensor {
 	case 0:
 	case 1:
-		rest, err := decodeTensorSection(m, payload, version)
+		rest, err := decodeTensorSection(m, payload, version, sc)
 		if err != nil {
 			return err
 		}
@@ -432,14 +437,23 @@ func decodePayload(m *Message, payload []byte, version uint8) error {
 // decodeTensorSection parses the tensor section after its presence flag
 // and returns the remaining payload. Version ≥ 2 sections are
 // length-prefixed and codec-tagged; earlier versions are a bare Depth64
-// tensor encoding, which the Raw codec inverts.
-func decodeTensorSection(m *Message, payload []byte, version uint8) ([]byte, error) {
+// tensor encoding, which the Raw codec inverts. With a scratch, the
+// tensor decodes into (and the scratch then tracks) the reusable
+// per-connection tensor.
+func decodeTensorSection(m *Message, payload []byte, version uint8, sc *decodeScratch) ([]byte, error) {
+	var dst *tensor.Tensor
+	if sc != nil {
+		dst = sc.tensor
+	}
 	if version < 2 {
-		t, rest, err := decodeLegacyTensor(payload)
+		t, rest, err := tensor.DecodeBytes(dst, payload)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
 		m.Tensor, m.Codec = t, compress.CodecRaw
+		if sc != nil {
+			sc.tensor = t
+		}
 		return rest, nil
 	}
 	if len(payload) < 5 {
@@ -448,30 +462,22 @@ func decodeTensorSection(m *Message, payload []byte, version uint8) ([]byte, err
 	id := compress.ID(payload[0])
 	length := binary.BigEndian.Uint32(payload[1:])
 	payload = payload[5:]
-	codec, err := compress.New(id)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	codec := compress.ForID(id)
+	if codec == nil {
+		return nil, fmt.Errorf("%w: compress: unknown codec id %d", ErrBadFrame, uint8(id))
 	}
 	if int(length) > len(payload) {
 		return nil, fmt.Errorf("%w: tensor section length %d exceeds payload", ErrBadFrame, length)
 	}
-	t, err := codec.Decode(payload[:length])
+	t, err := codec.DecodeInto(dst, payload[:length])
 	if err != nil {
 		// Fold codec-level corruption into the protocol's error
 		// contract: every reader error is ErrBadFrame or ErrChecksum.
 		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	m.Tensor, m.Codec = t, id
-	return payload[length:], nil
-}
-
-// decodeLegacyTensor inverts the version-0/1 tensor section: a Depth64
-// tensor encoding with no codec id or length prefix.
-func decodeLegacyTensor(payload []byte) (*tensor.Tensor, []byte, error) {
-	r := bytes.NewReader(payload)
-	t, err := tensor.Decode(r)
-	if err != nil {
-		return nil, nil, err
+	if sc != nil {
+		sc.tensor = t
 	}
-	return t, payload[len(payload)-r.Len():], nil
+	return payload[length:], nil
 }

@@ -107,6 +107,23 @@ type ServerConfig struct {
 	// Retain bounds the retention ring of finished-session snapshots
 	// kept for reporting (≤0: 128). Live sessions are always reported.
 	Retain int
+
+	// BatchWindow enables the pipelined serving path: each session
+	// round's decode, compute and encode run on shared stage workers,
+	// and the compute scheduler coalesces rounds from different sessions
+	// that arrive within this window into one dispatch, sharing a single
+	// batched forward/backward through the model half of provably
+	// identical (clone) sessions. Zero disables it — the PR-4 serial
+	// read→decode→compute→encode→write loop. Only effective under
+	// SchedAsync: round-robin admits one in-flight round at a time, so
+	// coalescing could never find a partner and the window would be pure
+	// added latency (the server logs and serves such sessions serially).
+	BatchWindow time.Duration
+
+	// BatchMax caps the rounds coalesced into one dispatch (≤0: 16).
+	// A dispatch fires as soon as min(BatchMax, live sessions) rounds
+	// are pending, so a full batch never waits out the window.
+	BatchMax int
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -128,6 +145,9 @@ func (c *ServerConfig) fillDefaults() {
 	if c.Retain <= 0 {
 		c.Retain = 128
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
 	if c.Provision == nil {
 		c.Provision = SessionEnv
 	}
@@ -147,6 +167,8 @@ type BSServer struct {
 	cfg   ServerConfig
 	sched scheduler
 	store *sessionStore
+	hub   *computeHub // nil: legacy serial serving path
+	lat   latencyRing // per-round serving latency, both paths
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
@@ -164,11 +186,43 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 	default:
 		return nil, fmt.Errorf("transport: unknown scheduling policy %v", cfg.Sched)
 	}
-	return &BSServer{
+	s := &BSServer{
 		cfg:   cfg,
 		sched: sched,
 		store: newSessionStore(cfg.Retain),
-	}, nil
+	}
+	if cfg.BatchWindow > 0 {
+		if cfg.Sched != SchedAsync {
+			cfg.Logf("bs-server: batching needs async scheduling; serving %v serially", cfg.Sched)
+		} else {
+			s.hub = newComputeHub(cfg.BatchWindow, cfg.BatchMax, s.store)
+		}
+	}
+	return s, nil
+}
+
+// Close stops the pipelined serving path's stage workers. Call after
+// Wait; a server built without BatchWindow has nothing to stop. Safe to
+// call more than once.
+func (s *BSServer) Close() {
+	if s.hub != nil {
+		s.hub.stop()
+	}
+}
+
+// RoundLatency reports the p50/p99 of the most recent serving rounds
+// (train steps) across all sessions, and how many rounds were recorded.
+func (s *BSServer) RoundLatency() (p50, p99 time.Duration, n int64) {
+	return s.lat.percentiles()
+}
+
+// SharedRounds counts training rounds served by a clone group's shared
+// computation instead of their own (0 without the batched path).
+func (s *BSServer) SharedRounds() int64 {
+	if s.hub == nil {
+		return 0
+	}
+	return s.hub.sharedRounds.Load()
 }
 
 // Serve accepts connections until the listener fails (closing the
@@ -224,24 +278,29 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 
 	// Count from the first byte so the handshake itself is part of each
 	// session's wire accounting; the idle wrapper below the counter
-	// frees the slot of a UE that wedges mid-frame.
+	// frees the slot of a UE that wedges mid-frame. The hello reader's
+	// pooled buffer is handed back as soon as the hello is copied out.
 	cc := NewCountingConn(newIdleConn(conn, s.cfg.IdleTimeout))
-	msg, err := ReadMessage(cc)
+	hr := NewFrameReader(cc)
+	msg, err := hr.ReadMessage()
 	if err != nil {
 		// A structurally broken hello (newer frame version, corrupt or
 		// truncated payload) still gets a best-effort diagnostic ack so
 		// the dialer learns why it was turned away instead of seeing a
 		// bare connection reset.
+		hr.Release()
 		err = fmt.Errorf("transport: server read hello: %w", err)
 		s.refuse(cc, Hello{}, ProtocolVersion, err)
 		return err
 	}
 	if msg.Type != MsgSessionHello || msg.Hello == nil {
+		hr.Release()
 		err := fmt.Errorf("transport: expected SessionHello, got %v", msg.Type)
 		s.refuse(cc, Hello{}, ProtocolVersion, err)
 		return err
 	}
 	h := *msg.Hello
+	hr.Release()
 	if h.Version > ProtocolVersion {
 		err := fmt.Errorf("transport: UE protocol version %d newer than %d", h.Version, ProtocolVersion)
 		s.refuse(cc, h, ProtocolVersion, err)
@@ -303,6 +362,7 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		s.refuse(cc, h, ver, err)
 		return err
 	}
+	defer peer.release()
 	peer.Ver = ver
 	if h.ResumeStep > 0 {
 		// A failure from here on is specific to the resume token — the
@@ -391,7 +451,15 @@ func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target 
 			break
 		}
 		s.sched.begin(slot)
-		loss, err := peer.TrainStep()
+		t0 := time.Now()
+		var loss float64
+		var err error
+		if s.hub != nil {
+			loss, err = s.hub.step(peer)
+		} else {
+			loss, err = peer.TrainStep()
+		}
+		s.lat.record(time.Since(t0))
 		var rmse float64
 		evalDue := err == nil && (step%s.cfg.EvalEvery == 0 || step == s.cfg.Steps)
 		if evalDue {
@@ -491,7 +559,7 @@ func (s *BSServer) checkpoint(sess *session, peer *BSPeer, step int) error {
 	for _, old := range sess.recordCheckpoint(step, ckptKeep) {
 		os.Remove(ckptPath(s.cfg.CheckpointDir, sess.id, old))
 	}
-	return WriteMessageVersion(peer.conn, &Message{Type: MsgCheckpoint, Step: uint32(step)}, sess.ver)
+	return peer.writeControl(&Message{Type: MsgCheckpoint, Step: uint32(step)})
 }
 
 // writeFileAtomic writes a file via a temp sibling + rename, so a crash

@@ -152,6 +152,7 @@ func (s *session) markResumed(step int) {
 	s.resumed = uint32(step)
 	s.steps = step
 	s.ckptSteps = []int{step}
+	s.met.RecordStep(step)
 	s.met.RecordResume(step)
 	s.mu.Unlock()
 }
@@ -173,6 +174,7 @@ func (s *session) recordCheckpoint(step, keep int) (prune []int) {
 // record logs one completed step and reports whether the target RMSE has
 // been reached.
 func (s *session) record(step int, loss float64, evaled bool, rmse, target float64) bool {
+	s.met.RecordStep(step) // lock-free: polled by concurrent reporting
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.steps = step
