@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/split"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -54,6 +55,7 @@ type benchReport struct {
 	Baseline      benchResult   `json:"pr2_baseline"`
 	Results       []benchResult `json:"results"`
 	Serve         *serveReport  `json:"serve,omitempty"`
+	Fleet         *fleet.Report `json:"fleet,omitempty"`
 }
 
 func measure(name string, f func(b *testing.B)) benchResult {
@@ -206,7 +208,12 @@ func cmdBench(args []string) error {
 	serveFrames := fs.Int("serve-frames", 400, "-serve: synthetic dataset length")
 	window := fs.Duration("batch-window", 2*time.Millisecond, "-serve: coalescing window of the batched path")
 	mixed := fs.Bool("mixed-seeds", false, "-serve: per-UE seeds (defeats clone sharing; lower bound)")
-	quick := fs.Bool("quick", false, "run only the frame-path benchmarks")
+	fleetRun := fs.Bool("fleet", false, "run the heterogeneous fleet soak (live UEs, mixed configs, churn)")
+	fleetSoak := fs.Bool("fleet-soak", false, "run -fleet at 10000 concurrent sessions")
+	fleetSteps := fs.Int("fleet-steps", 6, "-fleet: training steps per session")
+	fleetChurn := fs.Float64("fleet-churn", 0.5, "-fleet: churn fraction among image-bearing UEs")
+	fleetSeed := fs.Int64("fleet-seed", 42, "-fleet: master fleet seed")
+	quick := fs.Bool("quick", false, "run only the frame-path benchmarks (-fleet: 64-UE smoke)")
 	check := fs.String("check", "", "fail if serving-path allocs/op exceed this committed BENCH.json")
 	perf := perfFlags(fs)
 	fs.Parse(args)
@@ -214,6 +221,17 @@ func cmdBench(args []string) error {
 		return err
 	}
 	defer perf.finish()
+
+	if *fleetRun || *fleetSoak {
+		n := *ues
+		if *quick {
+			n = 64
+		}
+		if *fleetSoak {
+			n = 10000
+		}
+		return runFleetBench(n, *fleetSteps, *fleetChurn, *fleetSeed, *jsonOut, *out, *check)
+	}
 
 	if *serve {
 		srep, err := runServeBench(*ues, *serveSteps, *serveFrames, *window, *mixed)
@@ -244,7 +262,8 @@ func cmdBench(args []string) error {
 		Baseline:      pr2Baseline,
 	}
 	if prev := loadReport(*out); prev != nil {
-		rep.Serve = prev.Serve // a micro-suite run keeps the recorded serve section
+		// A micro-suite run keeps the recorded serve/fleet sections.
+		rep.Serve, rep.Fleet = prev.Serve, prev.Fleet
 	}
 
 	frameResults, err := measureFrameBench()

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/tensor"
+)
+
+// The heterogeneous fleet soak (`mmsl bench -fleet`): where `-serve`
+// measures the friendliest load (replayed clones), `-fleet` drives the
+// honest one — live UE halves with mixed scenes, modalities, codecs,
+// pooling widths, per-UE channel quality and churn — and reports the
+// numbers a deployed BS would be judged on: aggregate steps/sec, round
+// latency percentiles, shared-round ratio (≈0 under mixed
+// fingerprints), lifecycle counters and peak RSS. `-fleet-soak` scales
+// the same run to 10k concurrent sessions.
+
+func runFleetBench(ues, steps int, churn float64, seed int64, jsonOut bool, out, check string) error {
+	spec := fleet.Spec{
+		UEs: ues, Seed: seed, Steps: steps,
+		ChurnFraction: churn,
+		Checkpoint:    true,
+		WallLimit:     30 * time.Minute,
+	}
+	rep, err := fleet.Run(spec, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	printFleetReport(rep)
+	if jsonOut {
+		brep := loadReport(out)
+		if brep == nil {
+			brep = &benchReport{
+				Schema: "mmsl-bench/v1", CPUs: runtime.NumCPU(),
+				GoMaxProcs: runtime.GOMAXPROCS(0), TensorWorkers: tensor.Workers(),
+				Baseline: pr2Baseline,
+			}
+		}
+		brep.Fleet = rep
+		if err := writeReport(brep, out); err != nil {
+			return err
+		}
+	}
+	if check != "" {
+		return checkFleetReport(rep, check)
+	}
+	return nil
+}
+
+func printFleetReport(rep *fleet.Report) {
+	fmt.Printf("fleet soak: %d UEs (%d churning) × %d steps, %d scene classes\n",
+		rep.UEs, rep.ChurnUEs, rep.StepsPerUE, rep.SceneClasses)
+	fmt.Printf("  %-22s %12.1f\n", "agg steps/sec", rep.StepsPerSec)
+	fmt.Printf("  %-22s %12d\n", "rounds", rep.Rounds)
+	fmt.Printf("  %-22s %12.2f\n", "round p50 ms", rep.P50Ms)
+	fmt.Printf("  %-22s %12.2f\n", "round p99 ms", rep.P99Ms)
+	fmt.Printf("  %-22s %12.4f  (%d rounds)\n", "shared ratio", rep.SharedRatio, rep.SharedRounds)
+	fmt.Printf("  %-22s %12d\n", "completed", rep.Completed)
+	fmt.Printf("  %-22s %12d\n", "drops", rep.Drops)
+	fmt.Printf("  %-22s %12d\n", "evictions", rep.Evictions)
+	fmt.Printf("  %-22s %12d\n", "supersedes", rep.Supersedes)
+	fmt.Printf("  %-22s %12d\n", "resumes", rep.Resumes)
+	fmt.Printf("  %-22s %12d\n", "leaked sessions", rep.LeakedSessions)
+	fmt.Printf("  %-22s %12d (peak)\n", "batch queue depth", rep.QueuePeak)
+	fmt.Printf("  %-22s %12.1f\n", "peak RSS MB", rep.PeakRSSMB)
+	fmt.Printf("  %-22s %12.1f\n", "elapsed sec", rep.ElapsedSec)
+}
+
+// checkFleetReport is the fleet regression gate: the run just measured
+// must be healthy — nothing leaked, no unexpected driver ending, real
+// work done, and no accidental clone sharing — and the committed
+// baseline must carry a fleet section to compare against.
+func checkFleetReport(rep *fleet.Report, baselinePath string) error {
+	base := loadReport(baselinePath)
+	if base == nil {
+		return fmt.Errorf("bench: -check: cannot read baseline %s", baselinePath)
+	}
+	if base.Fleet == nil {
+		return fmt.Errorf("bench: -check: baseline %s has no fleet section (run `mmsl bench -fleet -json` and commit it)", baselinePath)
+	}
+	var failures []string
+	if rep.LeakedSessions != 0 {
+		failures = append(failures, fmt.Sprintf("%d sessions leaked", rep.LeakedSessions))
+	}
+	if rep.DriverErrors != 0 {
+		failures = append(failures, fmt.Sprintf("%d UE drivers ended on unexpected errors", rep.DriverErrors))
+	}
+	if rep.Rounds == 0 {
+		failures = append(failures, "no rounds served")
+	}
+	if rep.SharedRatio > 0.05 {
+		failures = append(failures, fmt.Sprintf("shared ratio %.4f under mixed fingerprints, want ≈0", rep.SharedRatio))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: fleet regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("bench: fleet gate passed (%d UEs, %d rounds, 0 leaks, shared %.4f)\n",
+		rep.UEs, rep.Rounds, rep.SharedRatio)
+	return nil
+}

@@ -2,13 +2,11 @@ package main
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/split"
 	"repro/internal/transport"
 )
@@ -21,14 +19,11 @@ import (
 // batched path, and reports aggregate steps/sec, wire bytes/sec and
 // p50/p99 round latency for both.
 //
-// The UEs are replay load generators: one real UE session is recorded
-// first (per seed), and each benchmark UE answers the server's requests
-// with the recorded activation frames verbatim. Replay keeps the UE
-// side down to a frame read and a memcpy-sized write, so the benchmark
-// measures the server's serving capacity rather than the host's
-// ability to run N extra CNN halves; because the server's request
-// sequence is deterministic per seed, the replayed bytes are exactly
-// what a live UE would have sent.
+// The UEs are fleet replay load generators (internal/fleet/replay.go):
+// one real UE session is recorded per seed, and each benchmark UE
+// answers the server's requests with the recorded frames verbatim. The
+// heterogeneous/churning end of the load spectrum is `-fleet`
+// (fleet_bench.go), which runs live UE halves instead.
 
 type serveResult struct {
 	Mode         string  `json:"mode"` // serial | batched
@@ -52,130 +47,6 @@ type serveReport struct {
 	Speedup float64 `json:"batched_vs_serial_speedup"`
 }
 
-// memoProvision memoises transport.SessionEnv per seed so N same-seed
-// sessions provision one shared (read-only) dataset instead of N copies
-// and the benchmark clock never includes dataset synthesis.
-func memoProvision() transport.Provision {
-	type env struct {
-		cfg split.Config
-		d   *dataset.Dataset
-		sp  *dataset.Split
-		err error
-	}
-	var mu sync.Mutex
-	cache := map[int64]*env{}
-	return func(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		e, ok := cache[h.Seed]
-		if !ok {
-			e = &env{}
-			e.cfg, e.d, e.sp, e.err = transport.SessionEnv(h)
-			cache[h.Seed] = e
-		}
-		return e.cfg, e.d, e.sp, e.err
-	}
-}
-
-// gateProvision delays every provision until n handshakes are in flight,
-// so all benchmark sessions start their rounds together.
-func gateProvision(n int, inner transport.Provision) transport.Provision {
-	gate := make(chan struct{})
-	var joined atomic.Int32
-	return func(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
-		if joined.Add(1) == int32(n) {
-			close(gate)
-		}
-		<-gate
-		return inner(h)
-	}
-}
-
-// frameTap records every Write as one frame (the frame path issues
-// exactly one Write per frame).
-type frameTap struct {
-	inner  io.ReadWriter
-	frames [][]byte
-}
-
-func (t *frameTap) Read(p []byte) (int, error) { return t.inner.Read(p) }
-
-func (t *frameTap) Write(p []byte) (int, error) {
-	t.frames = append(t.frames, append([]byte(nil), p...))
-	return t.inner.Write(p)
-}
-
-// recordTrajectory runs one real UE session against a serial server and
-// captures the UE→BS activation frames in order.
-func recordTrajectory(prov transport.Provision, h transport.Hello, steps int) ([][]byte, error) {
-	srv, err := transport.NewBSServer(transport.ServerConfig{
-		MaxUE: 1, Sched: transport.SchedAsync, Steps: steps,
-		EvalEvery: 1 << 30, ValAnchors: 16, Provision: prov,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cfg, d, _, err := prov(h)
-	if err != nil {
-		return nil, err
-	}
-	h.ConfigFP = cfg.Fingerprint()
-	ueConn, bsConn := net.Pipe()
-	defer ueConn.Close()
-	done := make(chan error, 1)
-	go func() { done <- srv.Handle(bsConn) }()
-	if _, err := transport.JoinSession(ueConn, h); err != nil {
-		return nil, err
-	}
-	tap := &frameTap{inner: ueConn}
-	ue, err := transport.NewUEPeer(cfg, d, tap)
-	if err != nil {
-		return nil, err
-	}
-	if err := ue.Serve(); err != nil {
-		return nil, err
-	}
-	if err := <-done; err != nil {
-		return nil, err
-	}
-	return tap.frames, nil
-}
-
-// replayUE serves one benchmark session: join, then answer every
-// forward-pass request with the next recorded activation frame.
-func replayUE(conn io.ReadWriteCloser, h transport.Hello, frames [][]byte) error {
-	defer conn.Close()
-	if _, err := transport.JoinSession(conn, h); err != nil {
-		return err
-	}
-	fr := transport.NewFrameReader(conn)
-	defer fr.Release()
-	next := 0
-	for {
-		hdr, _, err := fr.ReadFrame()
-		if err != nil {
-			return err
-		}
-		switch hdr.Type {
-		case transport.MsgShutdown:
-			return nil
-		case transport.MsgBatchRequest, transport.MsgEvalRequest:
-			if next >= len(frames) {
-				return fmt.Errorf("bench: replay exhausted after %d frames", next)
-			}
-			if _, err := conn.Write(frames[next]); err != nil {
-				return err
-			}
-			next++
-		case transport.MsgCutGradient, transport.MsgCheckpoint:
-			// absorbed: the recording already accounted for the model
-			// trajectory these induce on a live UE.
-		default:
-			return fmt.Errorf("bench: replay UE got unexpected %v", hdr.Type)
-		}
-	}
-}
-
 // runServePath drives ues replay sessions through one server and
 // measures aggregate serving throughput.
 func runServePath(batched bool, ues, steps int, window time.Duration,
@@ -184,7 +55,7 @@ func runServePath(batched bool, ues, steps int, window time.Duration,
 	scfg := transport.ServerConfig{
 		MaxUE: ues, Sched: transport.SchedAsync, Steps: steps,
 		EvalEvery: 1 << 30, ValAnchors: 16,
-		Provision: gateProvision(ues, prov),
+		Provision: fleet.GateProvision(ues, prov),
 	}
 	mode := "serial"
 	if batched {
@@ -223,7 +94,7 @@ func runServePath(batched bool, ues, steps int, window time.Duration,
 		}()
 		go func() {
 			defer wg.Done()
-			if err := replayUE(ueConn, h, traj[seed]); err != nil {
+			if err := fleet.ReplayUE(ueConn, h, traj[seed]); err != nil {
 				errs <- fmt.Errorf("replay %s: %w", h.SessionID, err)
 			}
 		}()
@@ -254,7 +125,7 @@ func runServePath(batched bool, ues, steps int, window time.Duration,
 // runServeBench records the trajectories and measures both serving
 // paths on the same workload.
 func runServeBench(ues, steps, frames int, window time.Duration, mixed bool) (*serveReport, error) {
-	prov := memoProvision()
+	prov := fleet.MemoProvision()
 	seedMode := "clone"
 	seeds := []int64{11}
 	if mixed {
@@ -271,7 +142,7 @@ func runServeBench(ues, steps, frames int, window time.Duration, mixed bool) (*s
 			Seed:      seed, Frames: uint32(frames), Pool: 40,
 			Modality: uint8(split.ImageRF),
 		}
-		t, err := recordTrajectory(prov, h, steps)
+		t, err := fleet.RecordTrajectory(prov, h, steps)
 		if err != nil {
 			return nil, fmt.Errorf("bench: record seed %d: %w", seed, err)
 		}

@@ -1,0 +1,320 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/compress"
+	"repro/internal/radio"
+	"repro/internal/transport"
+)
+
+// Per-UE load-generator state machines. Every driver runs real protocol
+// sessions — handshake, live CNN half, checkpoints — over net.Pipe
+// against the shared in-process BSServer; churn is expressed through
+// byte-budget faults (FaultConn) and request-count triggers, never
+// wall-clock ones, so a profile misbehaves at the same protocol point
+// in every run.
+
+// errStopServing is the churn trigger: a UE that returns it from its
+// request hook abandons the round mid-flight but keeps its connection
+// open — the wedged-client shape only the idle timeout or a
+// supersede-on-rejoin can clear.
+var errStopServing = errors.New("fleet: UE stopped serving (churn trigger)")
+
+type driver struct {
+	env      *Env
+	p        Profile
+	srv      *transport.BSServer
+	handlers *sync.WaitGroup
+
+	think func(t transport.MsgType, step uint32) error
+}
+
+func newDriver(env *Env, p Profile, srv *transport.BSServer, handlers *sync.WaitGroup) *driver {
+	dr := &driver{env: env, p: p, srv: srv, handlers: handlers}
+	dr.think = dr.newThink()
+	return dr
+}
+
+// newThink builds the per-request think-time hook: the profile's local
+// compute time plus a geometric retransmission delay drawn from its
+// Nakagami uplink (blockage folded into the link budget). One scaled
+// slot is 1µs — the paper's is 1ms — so a deep fade shapes the round
+// latency distribution without the soak taking paper-real time.
+func (dr *driver) newThink() func(transport.MsgType, uint32) error {
+	const maxSlots = 2000.0
+	cfg := dr.env.Config(dr.p)
+	bits := cfg.UplinkPayloadBits(dr.env.Dataset(dr.p))
+	budget := radio.PaperUplink()
+	budget.TxPowerDBm -= dr.p.BlockageDB
+	rng := rand.New(rand.NewSource(dr.p.Seed + 0x77))
+	mean := 1.0 // expected slots per delivery
+	if ch, err := channel.NewNakagami(budget, radio.PaperSlotSeconds, dr.p.FadingM, rng); err == nil {
+		mean = ch.ExpectedSlots(bits)
+	}
+	if !(mean >= 1) || mean > maxSlots { // deep fade (or NaN/Inf): clamp
+		mean = maxSlots
+	}
+	return func(t transport.MsgType, _ uint32) error {
+		if t != transport.MsgBatchRequest && t != transport.MsgEvalRequest {
+			return nil
+		}
+		slots := 1 + rng.ExpFloat64()*mean
+		if slots > maxSlots {
+			slots = maxSlots
+		}
+		time.Sleep(time.Duration(slots)*time.Microsecond + time.Duration(dr.p.ThinkNs))
+		return nil
+	}
+}
+
+// dial opens one incarnation: a fresh pipe whose server end is handled
+// on its own goroutine. The returned channel closes when the server
+// handler finishes — how churn drivers observe the eviction or
+// supersede they provoked.
+func (dr *driver) dial() (io.ReadWriteCloser, <-chan struct{}) {
+	ueConn, bsConn := net.Pipe()
+	done := make(chan struct{})
+	dr.handlers.Add(1)
+	go func() {
+		defer dr.handlers.Done()
+		defer close(done)
+		_ = dr.srv.Handle(bsConn) // outcomes are counted via OnSessionEnd
+	}()
+	return ueConn, done
+}
+
+// run drives the profile's whole lifecycle and returns only unexpected
+// errors — every churn behaviour's intended failure is absorbed, and so
+// is a server-side disconnect: under saturation the server may evict
+// any session whose round stalls past the idle timeout, which is its
+// call to make, is already counted by the eviction hook, and is part of
+// what a soak is for.
+func (dr *driver) run() error {
+	err := dr.runChurn()
+	if err != nil && isDisconnect(err) {
+		return nil
+	}
+	return err
+}
+
+func (dr *driver) runChurn() error {
+	if !dr.env.Config(dr.p).Modality.UsesImages() {
+		return dr.runRFOnly()
+	}
+	switch dr.p.Churn {
+	case ChurnFlapping:
+		return dr.runFlapping()
+	case ChurnMidRoundDrop:
+		return dr.runMidRoundDrop()
+	case ChurnIdle:
+		return dr.runIdle()
+	case ChurnSupersede:
+		return dr.runSupersede()
+	default:
+		return dr.runSteady()
+	}
+}
+
+// isDisconnect reports whether the error chain bottoms out in the peer
+// tearing the connection down.
+func isDisconnect(err error) bool {
+	return transport.IsClosedConn(err) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}
+
+// session builds the reconnecting UE session shared by the steady and
+// flapping behaviours.
+func (dr *driver) session() *transport.UESession {
+	return &transport.UESession{
+		Hello:     dr.env.Hello(dr.p),
+		Cfg:       dr.env.Config(dr.p),
+		Data:      dr.env.Dataset(dr.p),
+		Backoff:   transport.Backoff{Base: time.Millisecond, Max: 50 * time.Millisecond, Retries: 8},
+		OnRequest: dr.think,
+	}
+}
+
+func (dr *driver) runSteady() error {
+	return dr.session().Run(func() (io.ReadWriteCloser, error) {
+		conn, _ := dr.dial()
+		return conn, nil
+	})
+}
+
+// runRFOnly absorbs control frames until shutdown: an RF-only session
+// trains entirely on the BS, so the UE's only protocol duty is to stay
+// joined.
+func (dr *driver) runRFOnly() error {
+	conn, _ := dr.dial()
+	defer conn.Close()
+	if _, err := transport.JoinSession(conn, dr.env.Hello(dr.p)); err != nil {
+		return err
+	}
+	fr := transport.NewFrameReader(conn)
+	defer fr.Release()
+	for {
+		msg, err := fr.ReadMessage()
+		if err != nil {
+			return fmt.Errorf("fleet: RF-only UE read: %w", err)
+		}
+		switch msg.Type {
+		case transport.MsgShutdown:
+			return nil
+		case transport.MsgCheckpoint:
+			// nothing to persist: the UE half is empty
+		default:
+			return fmt.Errorf("fleet: RF-only UE got unexpected %v", msg.Type)
+		}
+	}
+}
+
+// uplinkFrameBytes estimates one activation frame's wire size for this
+// profile, so cut budgets land mid-run for every codec/pool combination
+// instead of outliving small-payload sessions.
+func (dr *driver) uplinkFrameBytes() int64 {
+	cfg := dr.env.Config(dr.p)
+	d := dr.env.Dataset(dr.p)
+	els := int64(cfg.BatchSize*cfg.SeqLen) * int64((d.H/cfg.PoolH)*(d.W/cfg.PoolW))
+	per := int64(8)
+	switch dr.p.Codec {
+	case compress.CodecFloat16:
+		per = 2
+	case compress.CodecQuantInt8:
+		per = 1
+	}
+	return els*per + 64
+}
+
+// cutBudget is the uplink byte budget of fault incarnation number mult
+// (1-based): the handshake, then a profile-determined number of whole
+// rounds, then half a frame — a ragged mid-upload cut.
+func (dr *driver) cutBudget(mult int64) int64 {
+	frame := dr.uplinkFrameBytes()
+	rounds := 1 + dr.p.CutBytes%int64(dr.env.Spec.Steps)
+	return 256 + mult*rounds*frame + frame/2
+}
+
+// runFlapping reconnects through FaultConn cuts, each incarnation's
+// budget reaching further; after two cuts the link stays up and the
+// session runs to clean detach (resuming from checkpoints when the
+// spec enables them).
+func (dr *driver) runFlapping() error {
+	cuts := int64(0)
+	return dr.session().Run(func() (io.ReadWriteCloser, error) {
+		conn, _ := dr.dial()
+		if cuts < 2 {
+			cuts++
+			return transport.NewFaultConn(conn, -1, dr.cutBudget(cuts)), nil
+		}
+		return conn, nil
+	})
+}
+
+// runMidRoundDrop dies mid-activation-upload and never comes back: the
+// server sees a truncated frame and fails the session (a drop, not an
+// eviction).
+func (dr *driver) runMidRoundDrop() error {
+	conn, hdone := dr.dial()
+	defer conn.Close()
+	fc := transport.NewFaultConn(conn, -1, dr.cutBudget(1))
+	if _, err := transport.JoinSession(fc, dr.env.Hello(dr.p)); err != nil {
+		return err
+	}
+	ue, err := transport.NewUEPeer(dr.env.Config(dr.p), dr.env.Dataset(dr.p), fc)
+	if err != nil {
+		return err
+	}
+	ue.OnRequest = dr.think
+	serr := ue.Serve()
+	<-hdone
+	if serr != nil && !errors.Is(serr, transport.ErrInjectedFault) && !transport.IsClosedConn(serr) {
+		return serr
+	}
+	return nil
+}
+
+// stopAfter wraps the think hook with a request-count trigger: the UE
+// answers `rounds` forward-pass requests, then abandons the next one.
+func (dr *driver) stopAfter(rounds int) func(transport.MsgType, uint32) error {
+	served := 0
+	return func(t transport.MsgType, step uint32) error {
+		if t == transport.MsgBatchRequest || t == transport.MsgEvalRequest {
+			served++
+			if served > rounds {
+				return errStopServing
+			}
+		}
+		return dr.think(t, step)
+	}
+}
+
+// serveWedged runs one incarnation that answers TriggerRound rounds and
+// then wedges — stops serving with the connection held open — returning
+// the conn and the handler-done channel for the caller to dispose of.
+func (dr *driver) serveWedged() (io.ReadWriteCloser, <-chan struct{}, error) {
+	conn, hdone := dr.dial()
+	if _, err := transport.JoinSession(conn, dr.env.Hello(dr.p)); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	ue, err := transport.NewUEPeer(dr.env.Config(dr.p), dr.env.Dataset(dr.p), conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	ue.OnRequest = dr.stopAfter(dr.p.TriggerRound)
+	if serr := ue.Serve(); serr != nil && !errors.Is(serr, errStopServing) && !transport.IsClosedConn(serr) {
+		conn.Close()
+		<-hdone
+		return nil, nil, serr
+	}
+	return conn, hdone, nil
+}
+
+// runIdle wedges and waits: the server's idle timeout must evict the
+// session and free its slot while the dead-but-connected UE holds on.
+func (dr *driver) runIdle() error {
+	conn, hdone, err := dr.serveWedged()
+	if err != nil {
+		return err
+	}
+	<-hdone // the idle timeout fired and the session was evicted
+	conn.Close()
+	return nil
+}
+
+// runSupersede wedges, then immediately rejoins on a fresh connection
+// with the same session id: the server fences the wedged incarnation
+// off (supersede-on-rejoin) instead of waiting out the idle timeout,
+// and the second incarnation trains to completion.
+func (dr *driver) runSupersede() error {
+	connA, hdoneA, err := dr.serveWedged()
+	if err != nil {
+		return err
+	}
+	connB, _ := dr.dial()
+	defer connB.Close()
+	if _, err := transport.JoinSession(connB, dr.env.Hello(dr.p)); err != nil {
+		connA.Close()
+		<-hdoneA
+		return err
+	}
+	ueB, err := transport.NewUEPeer(dr.env.Config(dr.p), dr.env.Dataset(dr.p), connB)
+	if err != nil {
+		connA.Close()
+		<-hdoneA
+		return err
+	}
+	ueB.OnRequest = dr.think
+	berr := ueB.Serve()
+	<-hdoneA // the rejoin closed A's server end and retired it as superseded
+	connA.Close()
+	return berr
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/scene"
+	"repro/internal/split"
+	"repro/internal/transport"
+)
+
+// Session-environment materialisation. Datasets are the expensive part
+// of a 10k-UE fleet, so they are built once per scene class and shared
+// read-only by every UE of that class — heterogeneity across classes,
+// aliasing within one. Config fingerprints stay mixed regardless: each
+// UE's private seed enters its fingerprint, so two same-class UEs are
+// still never clone-shareable.
+
+// Fleet sessions use a deliberately tiny model/data shape (8×8 images,
+// short sequences, small hidden state) so one host can sustain
+// thousands of concurrent live sessions; the serving path under test is
+// shape-agnostic.
+const (
+	fleetImageHW = 8
+	fleetFocalPx = 5
+	fleetSeqLen  = 2
+	fleetHorizon = 2
+	fleetBatch   = 4
+	fleetHidden  = 6
+)
+
+// Env holds a fleet's materialised session environments: the per-class
+// datasets/splits and the per-UE profiles, plus the Provision the
+// in-process BSServer uses to provision each session from its hello.
+type Env struct {
+	Spec     Spec // defaulted
+	Profiles []Profile
+
+	classes []*classEnv
+	byID    map[string]*Profile
+}
+
+type classEnv struct {
+	scene scene.Config
+	d     *dataset.Dataset
+	sp    *dataset.Split
+}
+
+// NewEnv generates the profiles and builds every scene class's dataset.
+func NewEnv(spec Spec) (*Env, error) {
+	spec = spec.withDefaults()
+	e := &Env{
+		Spec:     spec,
+		Profiles: spec.Profiles(),
+		classes:  make([]*classEnv, spec.SceneClasses),
+		byID:     make(map[string]*Profile, spec.UEs),
+	}
+	sw := scene.DefaultSweep()
+	sw.Base.ImageH, sw.Base.ImageW = fleetImageHW, fleetImageHW
+	sw.Base.FocalPixels = fleetFocalPx
+	for c := range e.classes {
+		crng := rand.New(rand.NewSource(int64(mix64(uint64(spec.Seed)*0x9e3779b97f4a7c15 ^ uint64(c) + 0x5eed))))
+		sc, err := sw.At(crng.Float64(), crng.Float64(), crng.Float64())
+		if err != nil {
+			return nil, fmt.Errorf("fleet: scene class %d: %w", c, err)
+		}
+		gen := dataset.DefaultGenConfig()
+		gen.Scene = sc
+		gen.NumFrames = spec.Frames
+		gen.Seed = spec.Seed + 7919*int64(c) + 3
+		d, err := dataset.Generate(gen)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: dataset for class %d: %w", c, err)
+		}
+		sp, err := dataset.NewSplit(d, fleetSeqLen, fleetHorizon, d.Len()*3/4)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: split for class %d: %w", c, err)
+		}
+		e.classes[c] = &classEnv{scene: sc, d: d, sp: sp}
+	}
+	for i := range e.Profiles {
+		p := &e.Profiles[i]
+		e.byID[p.SessionID] = p
+	}
+	return e, nil
+}
+
+// Config derives a profile's split configuration — the UE-side and
+// server-side halves must agree on it, which the fingerprint in the
+// hello enforces.
+func (e *Env) Config(p Profile) split.Config {
+	cfg := split.DefaultConfig(p.Modality, p.Pool)
+	cfg.Seed = p.Seed
+	cfg.SeqLen, cfg.HorizonFrames, cfg.BatchSize, cfg.HiddenSize =
+		fleetSeqLen, fleetHorizon, fleetBatch, fleetHidden
+	cfg.Codec = p.Codec
+	return cfg
+}
+
+// Dataset returns the (shared, read-only) dataset of a profile's class.
+func (e *Env) Dataset(p Profile) *dataset.Dataset { return e.classes[p.SceneClass].d }
+
+// Hello builds the session hello a profile dials with, fingerprint
+// included.
+func (e *Env) Hello(p Profile) transport.Hello {
+	cfg := e.Config(p)
+	return transport.Hello{
+		SessionID: p.SessionID,
+		Seed:      p.Seed,
+		Frames:    uint32(e.Spec.Frames),
+		Pool:      uint16(p.Pool),
+		Modality:  uint8(p.Modality),
+		Codec:     uint8(p.Codec),
+		ConfigFP:  cfg.Fingerprint(),
+	}
+}
+
+// Provision is the BSServer session factory: it resolves the hello's
+// session id to its fleet profile and hands back the class's shared
+// dataset with the profile's private config. Unknown ids are refused —
+// a fleet server serves its fleet, nothing else.
+func (e *Env) Provision() transport.Provision {
+	return func(h transport.Hello) (split.Config, *dataset.Dataset, *dataset.Split, error) {
+		p, ok := e.byID[h.SessionID]
+		if !ok {
+			return split.Config{}, nil, nil, fmt.Errorf("fleet: unknown session %q", h.SessionID)
+		}
+		cls := e.classes[p.SceneClass]
+		return e.Config(*p), cls.d, cls.sp, nil
+	}
+}

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/split"
+	"repro/internal/tensor"
+)
+
+// Profile generation must be byte-identical across calls: the entire
+// profile set is a pure function of (Seed, index).
+func TestProfilesByteIdentical(t *testing.T) {
+	spec := Spec{UEs: 128, Seed: 42, ChurnFraction: 0.5}
+	a, err := json.Marshal(spec.Profiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(spec.Profiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two Profiles() calls for one spec differ")
+	}
+	if c, _ := json.Marshal(Spec{UEs: 128, Seed: 43, ChurnFraction: 0.5}.Profiles()); bytes.Equal(a, c) {
+		t.Fatal("different master seeds produced identical profile sets")
+	}
+}
+
+// Profile i depends on (Seed, SceneClasses, i) alone, so resizing the
+// fleet at a fixed class count preserves the prefix: the first N
+// profiles of a larger fleet are the smaller fleet, byte for byte.
+func TestProfilesStableUnderResize(t *testing.T) {
+	small := Spec{UEs: 32, Seed: 7, ChurnFraction: 0.3, SceneClasses: 16}.Profiles()
+	big := Spec{UEs: 96, Seed: 7, ChurnFraction: 0.3, SceneClasses: 16}.Profiles()
+	for i := range small {
+		a, _ := json.Marshal(small[i])
+		b, _ := json.Marshal(big[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("profile %d changed when the fleet grew:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+// A moderately sized fleet must actually be heterogeneous: every
+// modality, pooling width and churn behaviour represented, plus
+// stragglers and clear-vs-blocked links.
+func TestProfileVariety(t *testing.T) {
+	profiles := Spec{UEs: 256, Seed: 3, ChurnFraction: 0.5}.Profiles()
+	mods := map[split.Modality]int{}
+	pools := map[int]int{}
+	churns := map[Churn]int{}
+	heavy, blocked := 0, 0
+	for _, p := range profiles {
+		mods[p.Modality]++
+		pools[p.Pool]++
+		churns[p.Churn]++
+		if p.HeavyTail {
+			heavy++
+		}
+		if p.BlockageDB > 10 {
+			blocked++
+		}
+		if !p.Modality.UsesImages() && p.Churn != ChurnSteady {
+			t.Fatalf("profile %d: RF-only UE with churn %v", p.Index, p.Churn)
+		}
+	}
+	for _, m := range []split.Modality{split.RFOnly, split.ImageOnly, split.ImageRF} {
+		if mods[m] == 0 {
+			t.Errorf("no UE with modality %v", m)
+		}
+	}
+	for _, w := range []int{2, 4, 8} {
+		if pools[w] == 0 {
+			t.Errorf("no UE with pool width %d", w)
+		}
+	}
+	for c := ChurnSteady; c < numChurn; c++ {
+		if churns[c] == 0 {
+			t.Errorf("no UE with churn %v", c)
+		}
+	}
+	if heavy == 0 || blocked == 0 {
+		t.Errorf("no straggler (%d) or no blocked link (%d) in %d UEs", heavy, blocked, len(profiles))
+	}
+}
+
+func miniSpec() Spec {
+	return Spec{
+		UEs: 10, Seed: 42, Steps: 4,
+		SceneClasses: 3, Frames: 120,
+		ChurnFraction: 0.5,
+		Checkpoint:    true,
+	}
+}
+
+func checkHealthy(t *testing.T, rep *Report, ues int) {
+	t.Helper()
+	if rep.DriverErrors != 0 {
+		t.Errorf("%d driver errors", rep.DriverErrors)
+	}
+	if rep.LeakedSessions != 0 {
+		t.Errorf("%d sessions leaked", rep.LeakedSessions)
+	}
+	if len(rep.Final) != ues {
+		t.Errorf("%d final outcomes, want %d", len(rep.Final), ues)
+	}
+	if rep.Rounds == 0 {
+		t.Error("no rounds served")
+	}
+}
+
+// The fleet extension of invariants 6–8: one spec produces identical
+// per-UE final outcomes — states, step counts, exact loss/RMSE bits —
+// across runs and across tensor worker counts, churn included.
+func TestFleetDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak in -short")
+	}
+	run := func() *Report {
+		rep, err := Run(miniSpec(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHealthy(t, rep, 10)
+		return rep
+	}
+	ref := run()
+	again := run()
+	compareFinal(t, "rerun", ref.Final, again.Final)
+
+	old := tensor.Workers()
+	defer tensor.SetWorkers(old)
+	tensor.SetWorkers(3)
+	wide := run()
+	tensor.SetWorkers(1)
+	narrow := run()
+	compareFinal(t, "3 workers", ref.Final, wide.Final)
+	compareFinal(t, "1 worker", ref.Final, narrow.Final)
+}
+
+func compareFinal(t *testing.T, label string, want, got map[string]Outcome) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d outcomes vs %d", label, len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Errorf("%s: UE %s missing", label, id)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: UE %s diverged:\n got %+v\nwant %+v", label, id, g, w)
+		}
+	}
+}
+
+// TestChurnSoak64 is the CI churn soak (run race-enabled by the fleet
+// CI job): 64 heterogeneous UEs with aggressive churn, asserting the
+// session store ends empty — zero leaks, no wedged deadlines — and that
+// every churn path actually fired.
+func TestChurnSoak64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak in -short")
+	}
+	spec := Spec{
+		UEs: 64, Seed: 7, Steps: 5,
+		SceneClasses: 8, Frames: 120,
+		ChurnFraction: 0.6,
+		Checkpoint:    true,
+	}
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHealthy(t, rep, 64)
+	if rep.Completed == 0 {
+		t.Error("no session completed")
+	}
+	if rep.Evictions == 0 {
+		t.Error("no idle UE was evicted")
+	}
+	if rep.Supersedes == 0 {
+		t.Error("no session was superseded")
+	}
+	if rep.Drops == 0 {
+		t.Error("no mid-round drop failed a session")
+	}
+	if rep.Resumes == 0 {
+		t.Error("no flapping UE resumed from a checkpoint")
+	}
+	if rep.RetainedSnapshots > 128 {
+		t.Errorf("retention ring overran: %d snapshots", rep.RetainedSnapshots)
+	}
+	// Mixed fingerprints: cross-session sharing must find ~nothing.
+	if rep.SharedRatio > 0.05 {
+		t.Errorf("shared ratio %.3f under mixed fingerprints, want ≈0", rep.SharedRatio)
+	}
+}

@@ -1,0 +1,31 @@
+package fleet
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// peakRSSMB reads the process's high-water resident set (VmHWM) from
+// /proc/self/status. On platforms without procfs it falls back to the
+// Go runtime's Sys counter — an upper bound on memory obtained from the
+// OS, not a true peak RSS, but comparable run to run.
+func peakRSSMB() float64 {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				if kb, err := strconv.ParseFloat(f[1], 64); err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys) / (1 << 20)
+}

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Outcome is the terminal record of one UE's session — its final
+// incarnation's state and metrics, plus how often it resumed from a
+// checkpoint along the way. Loss/RMSE are kept as raw float bits so the
+// determinism suite compares exact values, not formatted ones.
+type Outcome struct {
+	State    string `json:"state"`
+	Steps    int    `json:"steps"`
+	LastLoss uint64 `json:"last_loss_bits"`
+	LastRMSE uint64 `json:"last_rmse_bits"`
+	Resumes  int    `json:"resumes"`
+}
+
+// Report is what a fleet soak measures. It lands as the `fleet` section
+// of BENCH.json.
+type Report struct {
+	UEs          int     `json:"ues"`
+	StepsPerUE   int     `json:"steps_per_ue"`
+	SceneClasses int     `json:"scene_classes"`
+	ChurnUEs     int     `json:"churn_ues"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+
+	// Rounds counts training rounds served; StepsPerSec is the
+	// aggregate serving throughput over the whole soak.
+	Rounds      int64   `json:"rounds"`
+	StepsPerSec float64 `json:"agg_steps_per_sec"`
+	P50Ms       float64 `json:"round_p50_ms"`
+	P99Ms       float64 `json:"round_p99_ms"`
+
+	// SharedRatio is the fraction of rounds served by a clone group's
+	// shared computation — ≈0 expected under mixed fingerprints, which
+	// is the point: the fleet is the anti-clone load.
+	SharedRounds int64   `json:"shared_rounds"`
+	SharedRatio  float64 `json:"shared_ratio"`
+
+	// Lifecycle outcome counters, accumulated over every session
+	// incarnation by the server's end-of-session hook.
+	Completed  int `json:"completed"`
+	Drops      int `json:"drops"`
+	Evictions  int `json:"evictions"`
+	Supersedes int `json:"supersedes"`
+	Resumes    int `json:"resumes"`
+
+	// DriverErrors counts UE drivers that ended on an error their churn
+	// script did not call for — always 0 in a healthy soak.
+	DriverErrors int `json:"driver_errors"`
+
+	// LeakedSessions is the number of sessions still live after every
+	// driver and handler finished — always 0 in a healthy soak.
+	LeakedSessions    int     `json:"leaked_sessions"`
+	RetainedSnapshots int     `json:"retained_snapshots"`
+	EvictedSnapshots  int64   `json:"evicted_snapshots"`
+	QueuePeak         int64   `json:"batch_queue_peak"`
+	PeakRSSMB         float64 `json:"peak_rss_mb"`
+
+	// Final maps session id → its last incarnation's outcome: the
+	// per-UE ground truth the determinism suite compares across runs
+	// and worker counts. Excluded from BENCH.json.
+	Final map[string]Outcome `json:"-"`
+}
+
+// Run executes one fleet soak: it materialises the spec's environment,
+// starts an in-process BSServer, drives every profile's state machine
+// to its end, and reports. logf (optional) receives coarse progress.
+func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	env, err := NewEnv(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec = env.Spec
+
+	ckptDir := ""
+	if spec.Checkpoint {
+		ckptDir, err = os.MkdirTemp("", "mmsl-fleet-ckpt-*")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
+		}
+		defer os.RemoveAll(ckptDir)
+	}
+
+	rep := &Report{
+		UEs:          spec.UEs,
+		StepsPerUE:   spec.Steps,
+		SceneClasses: spec.SceneClasses,
+		Final:        make(map[string]Outcome, spec.UEs),
+	}
+	for _, p := range env.Profiles {
+		if p.Churn != ChurnSteady {
+			rep.ChurnUEs++
+		}
+	}
+
+	var mu sync.Mutex
+	onEnd := func(snap transport.SessionSnapshot, cause error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch snap.State {
+		case transport.SessionDetached:
+			rep.Completed++
+		case transport.SessionSuperseded:
+			rep.Supersedes++
+		case transport.SessionFailed:
+			if errors.Is(cause, transport.ErrIdleTimeout) {
+				rep.Evictions++
+			} else {
+				rep.Drops++
+			}
+		}
+		out := Outcome{
+			State:    snap.State.String(),
+			Steps:    snap.Steps,
+			LastLoss: math.Float64bits(snap.LastLoss),
+			LastRMSE: math.Float64bits(snap.LastRMSE),
+		}
+		// Resumes accumulate across the UE's incarnations; everything
+		// else is overwritten, so Final keeps the last incarnation.
+		out.Resumes = rep.Final[snap.ID].Resumes
+		if snap.ResumedFrom > 0 {
+			rep.Resumes++
+			out.Resumes++
+		}
+		rep.Final[snap.ID] = out
+	}
+
+	srv, err := transport.NewBSServer(transport.ServerConfig{
+		MaxUE:           spec.UEs,
+		Sched:           transport.SchedAsync,
+		Steps:           spec.Steps,
+		EvalEvery:       1 << 30, // one final eval per session
+		ValAnchors:      8,
+		Provision:       env.Provision(),
+		IdleTimeout:     spec.IdleTimeout,
+		BatchWindow:     spec.BatchWindow,
+		BatchMax:        spec.BatchMax,
+		Retain:          spec.Retain,
+		CheckpointDir:   ckptDir,
+		CheckpointEvery: 1,
+		OnSessionEnd:    onEnd,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: server: %w", err)
+	}
+
+	logf("fleet: %d UEs (%d churning), %d scene classes, %d steps/UE",
+		spec.UEs, rep.ChurnUEs, spec.SceneClasses, spec.Steps)
+
+	var handlers, drivers sync.WaitGroup
+	start := time.Now()
+	for i := range env.Profiles {
+		dr := newDriver(env, env.Profiles[i], srv, &handlers)
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			if err := dr.run(); err != nil {
+				mu.Lock()
+				rep.DriverErrors++
+				n := rep.DriverErrors
+				mu.Unlock()
+				if n <= 5 {
+					logf("fleet: UE %s (%s): %v", dr.p.SessionID, dr.p.Churn, err)
+				}
+			}
+		}()
+	}
+
+	settled := make(chan struct{})
+	go func() {
+		drivers.Wait()
+		handlers.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+	case <-time.After(spec.WallLimit):
+		return nil, fmt.Errorf("fleet: soak wedged: %d/%d sessions still live after %v",
+			srv.ActiveSessions(), spec.UEs, spec.WallLimit)
+	}
+	rep.ElapsedSec = time.Since(start).Seconds()
+
+	p50, p99, rounds := srv.RoundLatency()
+	rep.Rounds = rounds
+	rep.P50Ms = float64(p50) / float64(time.Millisecond)
+	rep.P99Ms = float64(p99) / float64(time.Millisecond)
+	if rep.ElapsedSec > 0 {
+		rep.StepsPerSec = float64(rounds) / rep.ElapsedSec
+	}
+	rep.SharedRounds = srv.SharedRounds()
+	if rounds > 0 {
+		rep.SharedRatio = float64(rep.SharedRounds) / float64(rounds)
+	}
+	rep.LeakedSessions = srv.ActiveSessions()
+	rep.RetainedSnapshots = srv.RetainedSessions()
+	rep.EvictedSnapshots = srv.EvictedSnapshots()
+	_, rep.QueuePeak = srv.BatchQueueDepth()
+	srv.Close()
+	rep.PeakRSSMB = peakRSSMB()
+
+	logf("fleet: %d rounds in %.1fs (%.0f steps/s), shared %.3f, completed %d, drops %d, evictions %d, supersedes %d, resumes %d",
+		rounds, rep.ElapsedSec, rep.StepsPerSec, rep.SharedRatio,
+		rep.Completed, rep.Drops, rep.Evictions, rep.Supersedes, rep.Resumes)
+	return rep, nil
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a lock-free instantaneous-level counter with a high-water
+// mark: concurrent writers move the current value, and Peak reports the
+// largest value ever observed. The batched serving path uses one to
+// expose its coalescing-queue depth, where the peak is the number that
+// matters — a queue that momentarily spikes under a fleet burst is
+// invisible to any sampled current value.
+type Gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Set moves the gauge to v, updating the peak.
+func (g *Gauge) Set(v int64) {
+	g.cur.Store(v)
+	g.bumpPeak(v)
+}
+
+// Add moves the gauge by delta and returns the new value, updating the
+// peak.
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.cur.Add(delta)
+	g.bumpPeak(v)
+	return v
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.cur.Load() }
+
+// Peak returns the largest value the gauge has held.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+func (g *Gauge) bumpPeak(v int64) {
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetAddPeak(t *testing.T) {
+	var g Gauge
+	if g.Load() != 0 || g.Peak() != 0 {
+		t.Fatalf("zero gauge: load %d peak %d", g.Load(), g.Peak())
+	}
+	g.Set(5)
+	g.Set(2)
+	if g.Load() != 2 || g.Peak() != 5 {
+		t.Fatalf("after Set(5),Set(2): load %d peak %d, want 2/5", g.Load(), g.Peak())
+	}
+	if v := g.Add(7); v != 9 {
+		t.Fatalf("Add(7) = %d, want 9", v)
+	}
+	g.Add(-9)
+	if g.Load() != 0 || g.Peak() != 9 {
+		t.Fatalf("after Add(-9): load %d peak %d, want 0/9", g.Load(), g.Peak())
+	}
+}
+
+// TestGaugePeakConcurrent drives the gauge from many goroutines and
+// checks the high-water mark is at least every observed value.
+func TestGaugePeakConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Load() != 0 {
+		t.Fatalf("balanced adds left load %d", g.Load())
+	}
+	if p := g.Peak(); p < 1 || p > workers {
+		t.Fatalf("peak %d outside [1, %d]", p, workers)
+	}
+}

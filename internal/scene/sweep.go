@@ -1,0 +1,77 @@
+package scene
+
+import "fmt"
+
+// Parameter sweeps over the corridor geometry. A heterogeneous UE fleet
+// is non-IID precisely because each UE watches a different corridor: a
+// longer link, busier foot traffic, faster walkers. Sweep maps unit
+// coordinates onto a family of mutually consistent Configs — the
+// crossing band and camera position scale with the link so every swept
+// corridor stays physically valid — and is the dataset-diversity axis
+// of the fleet simulator.
+
+// Band is an inclusive parameter range.
+type Band struct {
+	Lo, Hi float64
+}
+
+// At maps u ∈ [0, 1] linearly onto the band (u is clamped).
+func (b Band) At(u float64) float64 {
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	return b.Lo + u*(b.Hi-b.Lo)
+}
+
+// Sweep derives corridor configurations from a base Config by moving
+// three physically meaningful axes: link length (geometry), pedestrian
+// inter-arrival time (traffic intensity) and walking-speed band
+// (blockage duration). Dependent parameters follow the link length —
+// the crossing band scales proportionally and the camera keeps its
+// offset behind the UE — so every generated Config validates.
+type Sweep struct {
+	Base         Config
+	LinkLength   Band // BS–UE distance in metres
+	Interarrival Band // mean seconds between walker entries
+	SpeedMin     Band // slowest walker speed; the band width of Base is preserved
+}
+
+// DefaultSweep spans corridors from a short dense link to a long sparse
+// one around DefaultConfig.
+func DefaultSweep() Sweep {
+	return Sweep{
+		Base:         DefaultConfig(),
+		LinkLength:   Band{Lo: 3.0, Hi: 6.0},
+		Interarrival: Band{Lo: 1.5, Hi: 6.0},
+		SpeedMin:     Band{Lo: 0.5, Hi: 1.6},
+	}
+}
+
+// At instantiates the swept corridor at unit coordinates (uLink, uArr,
+// uSpeed), each clamped to [0, 1]. The returned Config is validated.
+func (s Sweep) At(uLink, uArr, uSpeed float64) (Config, error) {
+	c := s.Base
+	if c.LinkLength <= 0 {
+		return Config{}, fmt.Errorf("scene: sweep base has non-positive link length %g", c.LinkLength)
+	}
+	link := s.LinkLength.At(uLink)
+	scale := link / c.LinkLength
+	camOffset := c.CameraPos.X - c.LinkLength
+	c.LinkLength = link
+	c.CrossXMin *= scale
+	c.CrossXMax *= scale
+	c.CameraPos.X = link + camOffset
+
+	c.MeanInterarrival = s.Interarrival.At(uArr)
+
+	width := c.SpeedMax - c.SpeedMin
+	c.SpeedMin = s.SpeedMin.At(uSpeed)
+	c.SpeedMax = c.SpeedMin + width
+
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("scene: sweep at (%g, %g, %g): %w", uLink, uArr, uSpeed, err)
+	}
+	return c, nil
+}

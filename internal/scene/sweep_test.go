@@ -1,0 +1,80 @@
+package scene
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBandAtClamps(t *testing.T) {
+	b := Band{Lo: 2, Hi: 6}
+	cases := []struct{ u, want float64 }{
+		{0, 2}, {1, 6}, {0.5, 4}, {-3, 2}, {7, 6},
+	}
+	for _, c := range cases {
+		if got := b.At(c.u); got != c.want {
+			t.Errorf("Band.At(%g) = %g, want %g", c.u, got, c.want)
+		}
+	}
+}
+
+// TestSweepGridValid walks a grid of the default sweep and checks every
+// generated corridor validates with consistent dependent geometry.
+func TestSweepGridValid(t *testing.T) {
+	sw := DefaultSweep()
+	base := sw.Base
+	for i := 0; i <= 4; i++ {
+		for j := 0; j <= 4; j++ {
+			for k := 0; k <= 4; k++ {
+				uL, uA, uS := float64(i)/4, float64(j)/4, float64(k)/4
+				cfg, err := sw.At(uL, uA, uS)
+				if err != nil {
+					t.Fatalf("At(%g,%g,%g): %v", uL, uA, uS, err)
+				}
+				if cfg.CrossXMax > cfg.LinkLength || cfg.CrossXMin < 0 {
+					t.Fatalf("crossing band [%g,%g] outside link %g",
+						cfg.CrossXMin, cfg.CrossXMax, cfg.LinkLength)
+				}
+				wantCam := cfg.LinkLength + (base.CameraPos.X - base.LinkLength)
+				if math.Abs(cfg.CameraPos.X-wantCam) > 1e-12 {
+					t.Fatalf("camera at %g, want link-relative %g", cfg.CameraPos.X, wantCam)
+				}
+				if w := cfg.SpeedMax - cfg.SpeedMin; math.Abs(w-(base.SpeedMax-base.SpeedMin)) > 1e-12 {
+					t.Fatalf("speed band width %g drifted from base %g", w, base.SpeedMax-base.SpeedMin)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepDeterministic pins that equal coordinates give equal configs.
+func TestSweepDeterministic(t *testing.T) {
+	sw := DefaultSweep()
+	a, err := sw.At(0.3, 0.7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.At(0.3, 0.7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same sweep coordinates produced different configs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSweepExtremesDiffer guards against a sweep that silently ignores
+// its axes.
+func TestSweepExtremesDiffer(t *testing.T) {
+	sw := DefaultSweep()
+	lo, err := sw.At(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := sw.At(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.LinkLength >= hi.LinkLength || lo.MeanInterarrival >= hi.MeanInterarrival || lo.SpeedMin >= hi.SpeedMin {
+		t.Fatalf("sweep extremes not ordered: lo %+v hi %+v", lo, hi)
+	}
+}

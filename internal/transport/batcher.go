@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/split"
 	"repro/internal/tensor"
 )
@@ -93,6 +94,12 @@ type computeHub struct {
 	// computation instead of their own — the dedup win the saturation
 	// benchmark reports.
 	sharedRounds atomic.Int64
+
+	// queue tracks the rounds inside the compute stage — submitted and
+	// not yet answered, whether coalescing in the dispatcher or
+	// executing in a group. Its peak is the backlog number the fleet
+	// soak reports (BSServer.BatchQueueDepth).
+	queue metrics.Gauge
 }
 
 // newComputeHub starts the stage workers: one decode and one encode
@@ -157,8 +164,10 @@ func (h *computeHub) step(peer *BSPeer) (float64, error) {
 	}
 
 	t.key = batchKey{fp: peer.fp, trained: peer.trained}
+	h.queue.Add(1)
 	h.computeq <- t
 	<-t.done
+	h.queue.Add(-1)
 	if t.err != nil {
 		return 0, t.err
 	}

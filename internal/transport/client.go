@@ -168,6 +168,11 @@ type UESession struct {
 	Backoff Backoff
 	Logf    func(format string, args ...any)
 
+	// OnRequest, when set, is installed on every incarnation's UEPeer
+	// (see UEPeer.OnRequest): it observes each BS request across
+	// reconnects, the hook fleet load generators use for think time.
+	OnRequest func(t MsgType, step uint32) error
+
 	// sleep is the retry delay hook (tests shrink it); nil: time.Sleep.
 	sleep func(time.Duration)
 
@@ -317,6 +322,7 @@ func (s *UESession) serveOnce(conn io.ReadWriteCloser, logf func(string, ...any)
 		logf("ue-session %q: resumed from step %d (epoch %d)", h.SessionID, step, ack.Epoch)
 	}
 	ue.OnCheckpoint = func(step uint32) error { return s.saveCheckpoint(ue, step) }
+	ue.OnRequest = s.OnRequest
 	s.mu.Lock()
 	s.epoch = ack.Epoch
 	s.peer = ue

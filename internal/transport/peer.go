@@ -32,6 +32,14 @@ type UEPeer struct {
 	// returned error aborts the session.
 	OnCheckpoint func(step uint32) error
 
+	// OnRequest, when set, observes every request frame the BS sends —
+	// batch, eval, checkpoint, shutdown — before the peer acts on it.
+	// The fleet simulator hangs its think-time and churn triggers here:
+	// sleeping models a straggler or a slow channel, and a returned
+	// error makes Serve return without touching the connection (the
+	// mid-round abandonment a wedged UE exhibits).
+	OnRequest func(t MsgType, step uint32) error
+
 	data         *dataset.Dataset
 	adam         *opt.Adam
 	conn         io.ReadWriter
@@ -115,6 +123,11 @@ func (u *UEPeer) Serve() error {
 		// msg (and its anchors/tensor) is reader-owned scratch: copy the
 		// header fields needed after the next read.
 		reqType, reqStep := msg.Type, msg.Step
+		if u.OnRequest != nil {
+			if err := u.OnRequest(reqType, reqStep); err != nil {
+				return fmt.Errorf("transport: UE request hook at step %d: %w", reqStep, err)
+			}
+		}
 		switch reqType {
 		case MsgShutdown:
 			u.shutdownStep = reqStep

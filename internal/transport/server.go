@@ -124,6 +124,18 @@ type ServerConfig struct {
 	// A dispatch fires as soon as min(BatchMax, live sessions) rounds
 	// are pending, so a full batch never waits out the window.
 	BatchMax int
+
+	// OnSessionEnd, when set, is called exactly once per session
+	// incarnation as it reaches a terminal state — detached, failed or
+	// superseded — with the terminal snapshot and its cause (nil for a
+	// clean detach; classify with errors.Is, e.g. ErrIdleTimeout for an
+	// idle eviction). The retention ring only keeps the last Retain
+	// snapshots, so this hook is how fleet-scale drivers count outcomes
+	// without racing the ring. It runs on the retiring session's (or,
+	// for a supersede, the admitting session's) goroutine outside the
+	// store lock; it may call the server's read-side accessors but must
+	// not block for long.
+	OnSessionEnd func(snap SessionSnapshot, cause error)
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -191,6 +203,7 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 		sched: sched,
 		store: newSessionStore(cfg.Retain),
 	}
+	s.store.onEnd = cfg.OnSessionEnd
 	if cfg.BatchWindow > 0 {
 		if cfg.Sched != SchedAsync {
 			cfg.Logf("bs-server: batching needs async scheduling; serving %v serially", cfg.Sched)
@@ -224,6 +237,25 @@ func (s *BSServer) SharedRounds() int64 {
 	}
 	return s.hub.sharedRounds.Load()
 }
+
+// BatchQueueDepth reports the current and peak number of rounds parked
+// in the batched path's coalescing queue awaiting dispatch (0/0 without
+// the batched path). The peak is the fleet-soak headroom number: it
+// bounds how far mixed-fingerprint bursts back the dispatcher up.
+func (s *BSServer) BatchQueueDepth() (cur, peak int64) {
+	if s.hub == nil {
+		return 0, 0
+	}
+	return s.hub.queue.Load(), s.hub.queue.Peak()
+}
+
+// RetainedSessions reports how many finished-session snapshots the
+// retention ring currently holds (≤ ServerConfig.Retain).
+func (s *BSServer) RetainedSessions() int { return s.store.retiredCount() }
+
+// EvictedSnapshots reports how many finished-session snapshots were
+// dropped from the full retention ring over the server's lifetime.
+func (s *BSServer) EvictedSnapshots() int64 { return s.store.evictedCount() }
 
 // Serve accepts connections until the listener fails (closing the
 // listener is the shutdown signal) and handles each in its own goroutine.
@@ -505,7 +537,7 @@ func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target 
 	}
 	s.store.finish(sess, SessionDetached, nil)
 	if !drained && s.checkpointEnabled(sess) {
-		s.pruneCheckpoints(sess.id, done)
+		s.pruneCheckpoints(sess, done)
 	}
 	snap := sess.snapshot()
 	s.cfg.Logf("bs-server: session %q detached after %d steps (val RMSE %.2f dB)",
@@ -517,10 +549,24 @@ func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target 
 // files — every incarnation's intermediates — keeping only the final
 // step's as the terminal artifact, so CheckpointDir stays flat over
 // session churn. Failed and drained sessions keep their files: they are
-// the resume material.
-func (s *BSServer) pruneCheckpoints(id string, final int) {
-	keep := ckptPath(s.cfg.CheckpointDir, id, final)
-	matches, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, sanitizeID(id)+"@*.bs.ckpt"))
+// the resume material. A never-resumed incarnation knows every file it
+// wrote (its checkpoint ring), so the common case removes those
+// directly; only a resumed incarnation — whose predecessors may have
+// left files outside its ring — pays for a directory glob. At fleet
+// scale this matters: a glob per completed session over a shared
+// checkpoint directory is O(sessions²) directory scanning.
+func (s *BSServer) pruneCheckpoints(sess *session, final int) {
+	steps, resumed := sess.ckptHistory()
+	if !resumed {
+		for _, step := range steps {
+			if step != final {
+				os.Remove(ckptPath(s.cfg.CheckpointDir, sess.id, step))
+			}
+		}
+		return
+	}
+	keep := ckptPath(s.cfg.CheckpointDir, sess.id, final)
+	matches, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, sanitizeID(sess.id)+"@*.bs.ckpt"))
 	if err != nil {
 		return
 	}

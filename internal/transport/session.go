@@ -99,7 +99,17 @@ type SessionSnapshot struct {
 	BytesOut    int64                   // wire bytes sent to the UE
 	Err         string                  // non-empty iff the session finished on an error
 	Metrics     *metrics.SessionMetrics // deep copy of the full series
+
+	// cause retains the terminal error as a value (Err is its string
+	// form) so end-of-session hooks can classify endings with errors.Is;
+	// unexported because it is only meaningful on hook-delivered
+	// snapshots.
+	cause error
 }
+
+// Cause returns the terminal error this snapshot was retired with (nil
+// for a clean detach, and on snapshots not delivered by OnSessionEnd).
+func (s SessionSnapshot) Cause() error { return s.cause }
 
 // session is the server-side state of one UE incarnation.
 type session struct {
@@ -140,6 +150,23 @@ func (s *session) finished() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state.finished()
+}
+
+// terminalCause returns the error the session finished on (nil while
+// live or after a clean detach).
+func (s *session) terminalCause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ckptHistory returns the checkpoint steps this incarnation recorded
+// and whether it resumed from a predecessor (whose stray files may lie
+// outside the recorded ring).
+func (s *session) ckptHistory() (steps []int, resumed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.ckptSteps...), s.resumed > 0
 }
 
 // markResumed notes that this incarnation restored from a checkpoint.
@@ -232,6 +259,12 @@ type sessionStore struct {
 	order   []string          // live sessions in join order
 	retired []SessionSnapshot // finished sessions, oldest first, len ≤ retain
 	evicted int64             // snapshots dropped from the full ring
+
+	// onEnd, when set, observes every retiring incarnation. It fires
+	// after the store mutex is released (a hook that re-entered the
+	// store — counting live sessions, say — would otherwise deadlock),
+	// with the terminal snapshot and the session's recorded cause.
+	onEnd func(SessionSnapshot, error)
 }
 
 func newSessionStore(retain int) *sessionStore {
@@ -250,10 +283,11 @@ func (st *sessionStore) admit(h Hello, ver uint8, closer io.Closer, maxUE int) (
 		return nil, nil, errors.New("transport: empty session id")
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	old := st.live[h.SessionID]
 	if old == nil && len(st.live) >= maxUE {
-		return nil, nil, fmt.Errorf("transport: server full (%d/%d UEs)", len(st.live), maxUE)
+		n := len(st.live)
+		st.mu.Unlock()
+		return nil, nil, fmt.Errorf("transport: server full (%d/%d UEs)", n, maxUE)
 	}
 	epoch := h.Epoch
 	if old != nil && old.epoch > epoch {
@@ -265,12 +299,18 @@ func (st *sessionStore) admit(h Hello, ver uint8, closer io.Closer, maxUE int) (
 		state: SessionJoined,
 		met:   metrics.NewSessionMetrics(h.SessionID),
 	}
+	var snap SessionSnapshot
+	retired := false
 	if old != nil {
-		st.retireLocked(old, SessionSuperseded, ErrSuperseded)
+		snap, retired = st.retireLocked(old, SessionSuperseded, ErrSuperseded)
 		superseded = old
 	}
 	st.live[h.SessionID] = sess
 	st.order = append(st.order, h.SessionID)
+	st.mu.Unlock()
+	if retired && st.onEnd != nil {
+		st.onEnd(snap, snap.cause)
+	}
 	return sess, superseded, nil
 }
 
@@ -280,16 +320,21 @@ func (st *sessionStore) admit(h Hello, ver uint8, closer io.Closer, maxUE int) (
 // incarnation's dying goroutine from touching its successor's record.
 func (st *sessionStore) finish(sess *session, to SessionState, cause error) {
 	st.mu.Lock()
-	st.retireLocked(sess, to, cause)
+	snap, retired := st.retireLocked(sess, to, cause)
 	st.mu.Unlock()
+	if retired && st.onEnd != nil {
+		st.onEnd(snap, snap.cause)
+	}
 }
 
-// retireLocked is finish with st.mu held.
-func (st *sessionStore) retireLocked(sess *session, to SessionState, cause error) {
+// retireLocked is finish with st.mu held. It reports whether this call
+// retired the session (false when a prior transition already fenced it)
+// and, when it did, the terminal snapshot.
+func (st *sessionStore) retireLocked(sess *session, to SessionState, cause error) (SessionSnapshot, bool) {
 	sess.mu.Lock()
 	if sess.state.finished() || !validTransition(sess.state, to) {
 		sess.mu.Unlock()
-		return
+		return SessionSnapshot{}, false
 	}
 	sess.state = to
 	if sess.err == nil && cause != nil {
@@ -306,11 +351,14 @@ func (st *sessionStore) retireLocked(sess *session, to SessionState, cause error
 			}
 		}
 	}
-	st.retired = append(st.retired, sess.snapshot())
+	snap := sess.snapshot()
+	snap.cause = sess.terminalCause()
+	st.retired = append(st.retired, snap)
 	if over := len(st.retired) - st.retain; over > 0 {
 		st.retired = append([]SessionSnapshot(nil), st.retired[over:]...)
 		st.evicted += int64(over)
 	}
+	return snap, true
 }
 
 // snapshots returns the retained finished sessions (oldest first)
