@@ -35,13 +35,13 @@ import (
 	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // -pprof: live profiling endpoint
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/control"
 	"repro/internal/dataset"
 	"repro/internal/split"
 	"repro/internal/tensor"
@@ -68,16 +68,17 @@ func main() {
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	batchWindow := flag.Duration("batch-window", 0, "multi-UE mode: pipelined serving with cross-session compute batching; rounds arriving within this window coalesce (0 = serial serving; results are bit-identical either way)")
 	batchMax := flag.Int("batch-max", 16, "multi-UE mode: max rounds coalesced into one compute dispatch")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for live profiling (e.g. localhost:6060; empty = off)")
+	adminAddr := flag.String("admin", "", "serve the control plane on this address: /metrics, session admin, live /config, /debug/pprof/ (e.g. localhost:6060; empty = off)")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -admin (the old standalone pprof listener is folded into the admin mux)")
 	flag.Parse()
 	if *workers != 0 {
 		tensor.SetWorkers(*workers)
 	}
 	if *pprofAddr != "" {
-		go func() {
-			log.Printf("mmsl-bs: pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Printf("mmsl-bs: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
-		}()
+		log.Printf("mmsl-bs: -pprof is deprecated; use -admin (serving pprof under the admin mux on %s)", *pprofAddr)
+		if *adminAddr == "" {
+			*adminAddr = *pprofAddr
+		}
 	}
 
 	codec, err := compress.Parse(*codecName)
@@ -88,23 +89,41 @@ func main() {
 	case *listen != "" && *connect != "":
 		log.Fatal("mmsl-bs: -listen and -connect are mutually exclusive")
 	case *listen != "":
-		serveMultiUE(*listen, transport.ServerConfig{
+		serveMultiUE(*listen, *adminAddr, transport.ServerConfig{
 			MaxUE: *maxUE, Steps: *steps, EvalEvery: *evalEvery, ValAnchors: *valAnchors,
 			TargetRMSEdB: *target, IdleTimeout: *idleTimeout,
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Retain: *retain,
 			BatchWindow: *batchWindow, BatchMax: *batchMax,
 		}, *sched)
 	case *connect != "":
+		serveAdmin(*adminAddr, nil, nil)
 		runSingleUE(*connect, *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
 	default:
 		// Original default behaviour: dial the standard mmsl-ue address.
+		serveAdmin(*adminAddr, nil, nil)
 		runSingleUE("localhost:9910", *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
 	}
 }
 
+// serveAdmin starts the control plane on addr (no-op when empty). With
+// a nil server the surface degrades to /healthz and /debug/pprof/ — the
+// single-UE mode's profiling story. onDrain, when set, runs after
+// BSServer.Drain on POST /drain; the daemon passes the listener closer
+// so the endpoint is observably the SIGTERM path.
+func serveAdmin(addr string, srv *transport.BSServer, onDrain func()) {
+	if addr == "" {
+		return
+	}
+	ctl := control.New(srv, control.Options{Logf: log.Printf, Pprof: true, OnDrain: onDrain})
+	go func() {
+		log.Printf("mmsl-bs: control plane on http://%s/ (metrics, sessions, config, pprof)", addr)
+		log.Printf("mmsl-bs: control plane server: %v", http.ListenAndServe(addr, ctl.Handler()))
+	}()
+}
+
 // serveMultiUE runs the concurrent base station until the listener dies
 // or a termination signal triggers the graceful drain.
-func serveMultiUE(addr string, cfg transport.ServerConfig, sched string) {
+func serveMultiUE(addr, adminAddr string, cfg transport.ServerConfig, sched string) {
 	policy, err := transport.ParseSchedPolicy(sched)
 	if err != nil {
 		log.Fatalf("mmsl-bs: %v", err)
@@ -130,6 +149,7 @@ func serveMultiUE(addr string, cfg transport.ServerConfig, sched string) {
 
 	// SIGTERM/SIGINT → graceful drain: stop accepting, checkpoint every
 	// live session at its next step boundary, detach the UEs cleanly.
+	// POST /drain on the admin address runs the identical sequence.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
 	go func() {
@@ -138,6 +158,7 @@ func serveMultiUE(addr string, cfg transport.ServerConfig, sched string) {
 		srv.Drain()
 		ln.Close()
 	}()
+	serveAdmin(adminAddr, srv, func() { ln.Close() })
 
 	if err := srv.Serve(ln); err != nil && !srv.Draining() {
 		log.Printf("mmsl-bs: accept loop ended: %v", err)

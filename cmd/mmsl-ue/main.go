@@ -57,7 +57,7 @@ func main() {
 	frames := flag.Int("frames", 2400, "synthetic dataset length")
 	seed := flag.Int64("seed", 1, "shared experiment seed")
 	pool := flag.Int("pool", 40, "square pooling size")
-	codecName := flag.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk (single-UE mode: must match the BS)")
+	codecName := flag.String("codec", "raw", "cut-layer payload codec: raw, float16, int8 or topk; multi-UE mode also accepts `default` to use whatever the BS's policy grants (single-UE mode: must match the BS)")
 	ckptDir := flag.String("checkpoint-dir", "", "multi-UE mode: persist UE-half checkpoints here so resume survives a process restart (empty = in-memory only)")
 	retries := flag.Int("retries", 6, "multi-UE mode: consecutive reconnect attempts before giving up")
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
@@ -67,21 +67,30 @@ func main() {
 		tensor.SetWorkers(*workers)
 	}
 
-	codec, err := compress.Parse(*codecName)
-	if err != nil {
-		log.Fatalf("mmsl-ue: %v", err)
+	helloCodec := transport.CodecServerDefault
+	if *codecName != "default" {
+		codec, err := compress.Parse(*codecName)
+		if err != nil {
+			log.Fatalf("mmsl-ue: %v", err)
+		}
+		helloCodec = uint8(codec)
 	}
 	if *connect != "" {
-		joinServer(*connect, *session, *seed, *frames, *pool, codec, *ckptDir, *retries)
+		joinServer(*connect, *session, *seed, *frames, *pool, helloCodec, *ckptDir, *retries)
 		return
 	}
-	listenLegacy(*listen, *frames, *seed, *pool, codec, *once)
+	if helloCodec == transport.CodecServerDefault {
+		log.Fatal("mmsl-ue: -codec default needs -connect (the grant comes from the multi-UE hello/ack handshake)")
+	}
+	listenLegacy(*listen, *frames, *seed, *pool, compress.ID(helloCodec), *once)
 }
 
 // joinServer dials a multi-UE BS and serves one session with
 // auto-reconnect and checkpoint/resume; the codec is negotiated per
-// session through the hello/ack handshake.
-func joinServer(addr, session string, seed int64, frames, pool int, codec compress.ID, ckptDir string, retries int) {
+// session through the hello/ack handshake. codec is the hello's codec
+// byte — a compress.ID, or transport.CodecServerDefault to take
+// whatever the BS's live policy grants in the ack.
+func joinServer(addr, session string, seed int64, frames, pool int, codec uint8, ckptDir string, retries int) {
 	if session == "" {
 		session = fmt.Sprintf("ue-%d", seed)
 	}
@@ -91,7 +100,7 @@ func joinServer(addr, session string, seed int64, frames, pool int, codec compre
 		Frames:    uint32(frames),
 		Pool:      uint16(pool),
 		Modality:  uint8(split.ImageRF),
-		Codec:     uint8(codec),
+		Codec:     codec,
 	}
 	cfg, data, _, err := transport.SessionEnv(h)
 	if err != nil {
@@ -102,8 +111,12 @@ func joinServer(addr, session string, seed int64, frames, pool int, codec compre
 			log.Fatalf("mmsl-ue: checkpoint dir: %v", err)
 		}
 	}
+	codecDesc := "server-default"
+	if codec != transport.CodecServerDefault {
+		codecDesc = compress.ID(codec).String()
+	}
 	fmt.Printf("mmsl-ue: joining session %q at %s (seed %d, pooling %d×%d, %s codec)\n",
-		session, addr, seed, pool, pool, codec)
+		session, addr, seed, pool, pool, codecDesc)
 	us := &transport.UESession{
 		Hello: h, Cfg: cfg, Data: data,
 		CheckpointDir: ckptDir,

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"net/http"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/fleet"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // The heterogeneous fleet soak (`mmsl bench -fleet`): where `-serve`
@@ -19,16 +24,37 @@ import (
 // fingerprints), lifecycle counters and peak RSS. `-fleet-soak` scales
 // the same run to 10k concurrent sessions.
 
-func runFleetBench(ues, steps int, churn float64, seed int64, jsonOut bool, out, check string) error {
+func runFleetBench(ues, steps int, churn float64, seed int64, adminAddr string, jsonOut bool, out, check string) error {
 	spec := fleet.Spec{
 		UEs: ues, Seed: seed, Steps: steps,
 		ChurnFraction: churn,
 		Checkpoint:    true,
 		WallLimit:     30 * time.Minute,
 	}
+	// -admin mounts the control plane on the soak's in-process server for
+	// the run's duration, so a scraper (or a curious operator) can watch
+	// /metrics and /sessions while the churn load is live.
+	var admin *http.Server
+	if adminAddr != "" {
+		spec.OnServer = func(srv *transport.BSServer) {
+			ctl := control.New(srv, control.Options{Logf: log.Printf, Pprof: true})
+			admin = &http.Server{Addr: adminAddr, Handler: ctl.Handler()}
+			fmt.Printf("fleet soak: control plane on http://%s/\n", adminAddr)
+			go func() {
+				if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					log.Printf("bench: control plane: %v", err)
+				}
+			}()
+		}
+	}
 	rep, err := fleet.Run(spec, func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	})
+	if admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		admin.Shutdown(ctx)
+		cancel()
+	}
 	if err != nil {
 		return err
 	}

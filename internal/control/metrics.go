@@ -1,0 +1,116 @@
+package control
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled over the
+// stdlib. All collection happens scrape-side: the serving hot path only
+// bumps the atomics it already bumps, and the scrape allocates the
+// buffer it renders into. ValidateExposition (validate.go) pins the
+// format; the smoke test scrapes a live server through it.
+
+// expositionContentType is the content type Prometheus scrapers expect.
+const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.writeMetrics(&buf)
+	w.Header().Set("Content-Type", expositionContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeMetrics renders one scrape. Split from the handler so tests can
+// validate the bytes without HTTP plumbing.
+func (s *Server) writeMetrics(buf *bytes.Buffer) {
+	st := s.bs.Stats()
+	pol := s.bs.CurrentPolicy()
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, fnum(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
+			name, help, name, name, fnum(v))
+	}
+
+	gauge("mmsl_draining", "Whether the base station is draining (1) or accepting sessions (0).", b2f(st.Draining))
+	gauge("mmsl_sessions_live", "Unfinished sessions currently admitted (the MaxUE occupancy).", float64(st.LiveSessions))
+	gauge("mmsl_sessions_retained", "Finished-session snapshots held in the retention ring.", float64(st.RetainedSnapshots))
+	counter("mmsl_snapshots_evicted_total", "Finished-session snapshots dropped from the full retention ring.", float64(st.SnapshotsEvicted))
+
+	const endedName = "mmsl_sessions_ended_total"
+	fmt.Fprintf(buf, "# HELP %s Session incarnations ended, by terminal disposition.\n# TYPE %s counter\n", endedName, endedName)
+	for _, c := range []struct {
+		cause string
+		n     int64
+	}{
+		{"detached", st.EndedDetached},
+		{"superseded", st.EndedSuperseded},
+		{"idle_timeout", st.EndedIdle},
+		{"admin_evicted", st.EndedAdmin},
+		{"error", st.EndedFailed},
+	} {
+		fmt.Fprintf(buf, "%s{cause=%q} %d\n", endedName, c.cause, c.n)
+	}
+
+	counter("mmsl_rounds_total", "Training rounds served across all sessions.", float64(st.Rounds))
+	counter("mmsl_shared_rounds_total", "Rounds served by a proven-clone group's shared computation.", float64(st.SharedRounds))
+	counter("mmsl_checkpoints_total", "Train-state checkpoints written.", float64(st.CheckpointsTotal))
+	counter("mmsl_resumes_total", "Session resumes granted from a checkpoint.", float64(st.ResumesTotal))
+
+	const wireName = "mmsl_wire_bytes_total"
+	fmt.Fprintf(buf, "# HELP %s Framed wire bytes moved, by direction (in: from UEs).\n# TYPE %s counter\n", wireName, wireName)
+	fmt.Fprintf(buf, "%s{direction=\"in\"} %d\n", wireName, st.BytesInTotal)
+	fmt.Fprintf(buf, "%s{direction=\"out\"} %d\n", wireName, st.BytesOutTotal)
+
+	gauge("mmsl_compute_queue_depth", "Rounds inside the compute stage right now (0 without the pipelined path).", float64(st.QueueDepth))
+	gauge("mmsl_compute_queue_peak", "High-water mark of the compute queue since the previous scrape.", float64(s.bs.TakeBatchQueuePeak()))
+
+	s.writeLatency(buf)
+
+	gauge("mmsl_policy_max_ue", "Current policy: concurrent session cap.", float64(pol.MaxUE))
+	gauge("mmsl_policy_idle_timeout_seconds", "Current policy: per-operation I/O stall budget (0: disabled).", pol.IdleTimeout.Seconds())
+	gauge("mmsl_policy_batch_window_seconds", "Current policy: round-coalescing window (0: no coalescing).", pol.BatchWindow.Seconds())
+	gauge("mmsl_policy_batch_max", "Current policy: rounds coalesced per dispatch at most.", float64(pol.BatchMax))
+	gauge("mmsl_policy_checkpoint_every", "Current policy: checkpoint interval in training steps.", float64(pol.CheckpointEvery))
+}
+
+// writeLatency renders the round-latency histogram (lifetime,
+// cumulative le buckets) and the ring percentiles (recent rounds).
+func (s *Server) writeLatency(buf *bytes.Buffer) {
+	h := s.bs.RoundLatencyHistogram()
+	const name = "mmsl_round_latency_seconds"
+	fmt.Fprintf(buf, "# HELP %s Per-round serving latency over the server lifetime.\n# TYPE %s histogram\n", name, name)
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(buf, "%s_bucket{le=%q} %d\n", name, fnum(bound.Seconds()), cum)
+	}
+	fmt.Fprintf(buf, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(buf, "%s_sum %s\n", name, fnum(h.Sum.Seconds()))
+	fmt.Fprintf(buf, "%s_count %d\n", name, h.Count)
+
+	p50, p99, _ := s.bs.RoundLatency()
+	writeQuantile := func(name, help string, d time.Duration) {
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, fnum(d.Seconds()))
+	}
+	writeQuantile("mmsl_round_latency_p50_seconds", "Median round latency over the most recent rounds (the benchmark ring).", p50)
+	writeQuantile("mmsl_round_latency_p99_seconds", "99th-percentile round latency over the most recent rounds.", p99)
+}
+
+// fnum formats a sample value the way Prometheus parsers expect.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

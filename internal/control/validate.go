@@ -1,0 +1,197 @@
+package control
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format (0.0.4) payload
+// for the well-formedness properties a scraper depends on: legal metric
+// and label names, parseable sample values, HELP/TYPE lines preceding
+// their metric's samples (at most one each per name), no duplicate
+// series (same name and label set twice), and a trailing newline. It is
+// the CI gate for the hand-rolled exposition in metrics.go — not a full
+// parser, but strict about everything metrics.go could plausibly get
+// wrong.
+func ValidateExposition(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("exposition: empty payload")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("exposition: missing trailing newline")
+	}
+	v := &validator{
+		typed:   map[string]string{},
+		helped:  map[string]bool{},
+		series:  map[string]bool{},
+		sampled: map[string]bool{},
+	}
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("exposition line %d: %w (%q)", i+1, err, line)
+		}
+	}
+	return nil
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+type validator struct {
+	typed   map[string]string // metric name → declared type
+	helped  map[string]bool
+	series  map[string]bool // name + canonical label set already seen
+	sampled map[string]bool // metric names that have emitted a sample
+}
+
+func (v *validator) line(line string) error {
+	switch {
+	case line == "":
+		return nil
+	case strings.HasPrefix(line, "# HELP "):
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, _, _ := strings.Cut(rest, " ")
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("bad metric name %q in HELP", name)
+		}
+		if v.helped[name] {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		if v.sampled[name] {
+			return fmt.Errorf("HELP for %q after its samples", name)
+		}
+		v.helped[name] = true
+		return nil
+	case strings.HasPrefix(line, "# TYPE "):
+		rest := strings.TrimPrefix(line, "# TYPE ")
+		name, typ, ok := strings.Cut(rest, " ")
+		if !ok || !validTypes[typ] {
+			return fmt.Errorf("bad TYPE declaration")
+		}
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("bad metric name %q in TYPE", name)
+		}
+		if _, dup := v.typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if v.sampled[name] {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		v.typed[name] = typ
+		return nil
+	case strings.HasPrefix(line, "#"):
+		return nil // free-form comment
+	}
+	return v.sample(line)
+}
+
+// sample validates one `name[{labels}] value[ timestamp]` line.
+func (v *validator) sample(line string) error {
+	name := line
+	labels := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name = line[:i]
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	rest := line[len(name):]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set")
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+		if err := validateLabels(labels); err != nil {
+			return err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want `value [timestamp]` after the name, got %q", rest)
+	}
+	if _, err := parseSampleValue(fields[0]); err != nil {
+		return fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+
+	// A histogram's _bucket/_sum/_count series belong to the declared
+	// base name for TYPE bookkeeping.
+	base := name
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b := strings.TrimSuffix(name, suf); b != name && v.typed[b] == "histogram" {
+			base = b
+			break
+		}
+	}
+	if _, ok := v.typed[base]; !ok {
+		return fmt.Errorf("sample for %q without a TYPE declaration", name)
+	}
+	v.sampled[base] = true
+
+	key := name + "{" + labels + "}"
+	if v.series[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	v.series[key] = true
+	return nil
+}
+
+func validateLabels(labels string) error {
+	if labels == "" {
+		return fmt.Errorf("empty label set braces")
+	}
+	for _, pair := range splitLabelPairs(labels) {
+		k, val, ok := strings.Cut(pair, "=")
+		if !ok || !labelNameRe.MatchString(k) {
+			return fmt.Errorf("bad label pair %q", pair)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("label value %q not quoted", val)
+		}
+		if _, err := strconv.Unquote(val); err != nil {
+			return fmt.Errorf("label value %q not a valid quoted string", val)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	start, inQuotes := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && inQuotes:
+			i++
+		case s[i] == '"':
+			inQuotes = !inQuotes
+		case s[i] == ',' && !inQuotes:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/split"
+	"repro/internal/transport"
 )
 
 // Churn is a UE's connection-lifecycle behaviour over its session.
@@ -143,6 +144,12 @@ type Spec struct {
 	// turns a deadlock or an unevictable session into a test failure
 	// instead of a hung run.
 	WallLimit time.Duration
+
+	// OnServer, when set, observes the soak's BSServer right after it is
+	// built and before any UE joins — the mount point for the control
+	// plane (internal/control) without this package importing it. Tests
+	// also use it to scrape /metrics concurrently with the churn load.
+	OnServer func(*transport.BSServer) `json:"-"`
 }
 
 func (s Spec) withDefaults() Spec {

@@ -3,10 +3,13 @@ package fleet
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"testing"
 
+	"repro/internal/control"
 	"repro/internal/split"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // Profile generation must be byte-identical across calls: the entire
@@ -161,18 +164,52 @@ func compareFinal(t *testing.T, label string, want, got map[string]Outcome) {
 // TestChurnSoak64 is the CI churn soak (run race-enabled by the fleet
 // CI job): 64 heterogeneous UEs with aggressive churn, asserting the
 // session store ends empty — zero leaks, no wedged deadlines — and that
-// every churn path actually fired.
+// every churn path actually fired. A control-plane scraper hammers
+// /metrics, /sessions and /healthz throughout, so the race detector
+// covers every counter the exposition reads against the full churn
+// load, and each scrape must stay format-valid.
 func TestChurnSoak64(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fleet soak in -short")
 	}
+	stopScrape := make(chan struct{})
+	scrapeDone := make(chan struct{})
 	spec := Spec{
 		UEs: 64, Seed: 7, Steps: 5,
 		SceneClasses: 8, Frames: 120,
 		ChurnFraction: 0.6,
 		Checkpoint:    true,
+		OnServer: func(srv *transport.BSServer) {
+			ctl := control.New(srv, control.Options{})
+			go func() {
+				defer close(scrapeDone)
+				for {
+					select {
+					case <-stopScrape:
+						return
+					default:
+					}
+					for _, path := range []string{"/metrics", "/sessions", "/healthz", "/config"} {
+						rec := httptest.NewRecorder()
+						ctl.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+						if rec.Code != 200 {
+							t.Errorf("scrape %s: %d", path, rec.Code)
+							return
+						}
+						if path == "/metrics" {
+							if err := control.ValidateExposition(rec.Body.Bytes()); err != nil {
+								t.Errorf("mid-soak scrape invalid: %v", err)
+								return
+							}
+						}
+					}
+				}
+			}()
+		},
 	}
 	rep, err := Run(spec, t.Logf)
+	close(stopScrape)
+	<-scrapeDone
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -155,6 +155,9 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: server: %w", err)
 	}
+	if spec.OnServer != nil {
+		spec.OnServer(srv)
+	}
 
 	logf("fleet: %d UEs (%d churning), %d scene classes, %d steps/UE",
 		spec.UEs, rep.ChurnUEs, spec.SceneClasses, spec.Steps)

@@ -33,6 +33,23 @@ func (g *Gauge) Load() int64 { return g.cur.Load() }
 // Peak returns the largest value the gauge has held.
 func (g *Gauge) Peak() int64 { return g.peak.Load() }
 
+// ResetPeak returns the high-water mark and restarts it from the
+// current value, so periodic reporters (a /metrics scrape interval) can
+// publish per-window peaks instead of process-lifetime ones. The window
+// boundary is best-effort under concurrent writers: a spike racing the
+// reset lands in whichever window observes it, but is never lost below
+// the returned mark and the peak ≥ current invariant always holds.
+func (g *Gauge) ResetPeak() int64 {
+	old := g.peak.Load()
+	for {
+		p := g.peak.Load()
+		cur := g.cur.Load()
+		if p <= cur || g.peak.CompareAndSwap(p, cur) {
+			return old
+		}
+	}
+}
+
 func (g *Gauge) bumpPeak(v int64) {
 	for {
 		p := g.peak.Load()

@@ -24,6 +24,83 @@ func TestGaugeSetAddPeak(t *testing.T) {
 	}
 }
 
+func TestGaugeResetPeak(t *testing.T) {
+	var g Gauge
+	if got := g.ResetPeak(); got != 0 {
+		t.Fatalf("ResetPeak on zero gauge = %d, want 0", got)
+	}
+	g.Add(7)
+	g.Add(-4) // cur 3, peak 7
+	if got := g.ResetPeak(); got != 7 {
+		t.Fatalf("ResetPeak = %d, want 7", got)
+	}
+	// The new window starts at the current level, not zero: peak ≥ cur
+	// must keep holding for a gauge sitting above zero.
+	if g.Peak() != 3 || g.Load() != 3 {
+		t.Fatalf("after reset: load %d peak %d, want 3/3", g.Load(), g.Peak())
+	}
+	g.Add(1)
+	if g.Peak() != 4 {
+		t.Fatalf("peak after post-reset Add = %d, want 4", g.Peak())
+	}
+	// A second reset with no intervening spike reports the current mark.
+	if got := g.ResetPeak(); got != 4 {
+		t.Fatalf("second ResetPeak = %d, want 4", got)
+	}
+}
+
+// TestGaugeResetPeakConcurrent interleaves resets with writers and
+// checks the invariants that survive racy window boundaries: the peak
+// never drops below the current value, every returned mark is within
+// the writers' possible range, and after the writers stop a final reset
+// observes a mark ≥ the settled current value.
+func TestGaugeResetPeakConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 500
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	var resets sync.WaitGroup
+	resets.Add(1)
+	go func() {
+		defer resets.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := g.ResetPeak()
+			if p < 0 || p > workers {
+				t.Errorf("windowed peak %d outside [0, %d]", p, workers)
+				return
+			}
+			if cur, pk := g.Load(), g.Peak(); pk < 0 || (cur >= 0 && pk < 0) {
+				t.Errorf("invariant broken: load %d peak %d", cur, pk)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	resets.Wait()
+	if g.Load() != 0 {
+		t.Fatalf("balanced adds left load %d", g.Load())
+	}
+	if p := g.ResetPeak(); p < 0 || p > workers {
+		t.Fatalf("final windowed peak %d outside [0, %d]", p, workers)
+	}
+}
+
 // TestGaugePeakConcurrent drives the gauge from many goroutines and
 // checks the high-water mark is at least every observed value.
 func TestGaugePeakConcurrent(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,9 +77,15 @@ type roundTask struct {
 
 // computeHub owns the stage worker pools of one BSServer.
 type computeHub struct {
-	window time.Duration
-	max    int
-	store  *sessionStore // live-count hint for early dispatch
+	// pol resolves the server's current Policy; the dispatcher reads the
+	// coalescing window and batch cap through it at every decision point
+	// (arming the window timer, sizing the early-dispatch target), so a
+	// PUT /config swap takes effect at the next round boundary without
+	// touching rounds already pending. It never affects computed values:
+	// the window only decides *when* rounds coalesce, and invariant 8
+	// pins batched results bit-identical to solo for any grouping.
+	pol   func() Policy
+	store *sessionStore // live-count hint for early dispatch
 
 	decodeq  chan *roundTask
 	computeq chan *roundTask
@@ -105,11 +110,10 @@ type computeHub struct {
 // newComputeHub starts the stage workers: one decode and one encode
 // worker per two procs, one compute worker per proc, plus the
 // coalescing dispatcher.
-func newComputeHub(window time.Duration, max int, store *sessionStore) *computeHub {
+func newComputeHub(pol func() Policy, store *sessionStore) *computeHub {
 	procs := runtime.GOMAXPROCS(0)
 	h := &computeHub{
-		window:   window,
-		max:      max,
+		pol:      pol,
 		store:    store,
 		decodeq:  make(chan *roundTask, 64),
 		computeq: make(chan *roundTask, 64),
@@ -224,7 +228,7 @@ func (h *computeHub) encodeWorker() {
 // under the window.
 func (h *computeHub) dispatch() {
 	var pending []*roundTask
-	timer := time.NewTimer(h.window)
+	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
@@ -256,18 +260,23 @@ func (h *computeHub) dispatch() {
 		select {
 		case t := <-h.computeq:
 			pending = append(pending, t)
-			target := h.max
+			// The window and batch cap are policy-resolved per round, so
+			// a live reconfiguration binds from the next arrival on. A
+			// window lowered to 0 keeps the pipelined stage split but
+			// dispatches every round immediately (no coalescing).
+			p := h.pol()
+			target := p.BatchMax
 			if live := h.store.liveCount(); live < target {
 				target = live
 			}
 			if target < 1 {
 				target = 1
 			}
-			if len(pending) >= target {
+			if len(pending) >= target || p.BatchWindow <= 0 {
 				disarm()
 				flush()
 			} else if !armed {
-				timer.Reset(h.window)
+				timer.Reset(p.BatchWindow)
 				armed = true
 			}
 		case <-timer.C:
@@ -359,38 +368,4 @@ func tensorBitsEqual(a, b *tensor.Tensor) bool {
 		return false
 	}
 	return split.BitsEqual(a.Data(), b.Data())
-}
-
-// latencyRing records per-round serving latencies into a fixed-size
-// ring with lock-free writes — the measurement behind the saturation
-// benchmark's p50/p99 columns.
-type latencyRing struct {
-	n   atomic.Int64
-	buf [4096]atomic.Int64
-}
-
-func (r *latencyRing) record(d time.Duration) {
-	i := r.n.Add(1) - 1
-	r.buf[i&4095].Store(int64(d))
-}
-
-// percentiles returns the p50/p99 over the retained (most recent)
-// rounds and the total number of rounds recorded.
-func (r *latencyRing) percentiles() (p50, p99 time.Duration, n int64) {
-	n = r.n.Load()
-	k := n
-	if k > int64(len(r.buf)) {
-		k = int64(len(r.buf))
-	}
-	if k == 0 {
-		return 0, 0, 0
-	}
-	s := make([]int64, k)
-	for i := range s {
-		s[i] = r.buf[i].Load()
-	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	p50 = time.Duration(s[(k-1)*50/100])
-	p99 = time.Duration(s[(k-1)*99/100])
-	return p50, p99, n
 }

@@ -62,7 +62,8 @@ func TestBatcherMixedFingerprintNoStarvation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hub := newComputeHub(window, batchMax, store)
+	pol := func() Policy { return Policy{BatchWindow: window, BatchMax: batchMax} }
+	hub := newComputeHub(pol, store)
 	defer hub.stop()
 
 	// Clone pair: same seed, same fingerprint, both trained 0 steps.

@@ -86,7 +86,14 @@ func JoinSession(conn io.ReadWriter, h Hello) (*Hello, error) {
 	if reply.Hello.SessionID != h.SessionID {
 		return nil, fmt.Errorf("transport: ack for session %q, want %q", reply.Hello.SessionID, h.SessionID)
 	}
-	if reply.Hello.Codec != h.Codec {
+	if h.Codec == CodecServerDefault {
+		// The UE asked the BS to pick; the ack must carry a concrete
+		// grant, whatever the server's current default is.
+		if !compress.ID(reply.Hello.Codec).Valid() {
+			return nil, fmt.Errorf("transport: BS granted unknown codec id %d for server-default request",
+				reply.Hello.Codec)
+		}
+	} else if reply.Hello.Codec != h.Codec {
 		return nil, fmt.Errorf("transport: BS granted codec %v, requested %v",
 			compress.ID(reply.Hello.Codec), compress.ID(h.Codec))
 	}
@@ -100,11 +107,17 @@ func JoinSession(conn io.ReadWriter, h Hello) (*Hello, error) {
 // ServeUE joins a session on an established connection and serves the UE
 // half until the BS shuts the session down. The config and dataset must
 // be the ones the hello describes (SessionEnv derives them); setting
-// h.ConfigFP beforehand lets the BS verify that. For reconnect/resume
-// across connection failures, use UESession instead.
+// h.ConfigFP beforehand lets the BS verify that. A hello requesting
+// CodecServerDefault adopts the codec the ack grants (and must leave
+// ConfigFP zero — the fingerprint covers the codec). For
+// reconnect/resume across connection failures, use UESession instead.
 func ServeUE(conn io.ReadWriter, h Hello, cfg split.Config, d *dataset.Dataset) error {
-	if _, err := JoinSession(conn, h); err != nil {
+	ack, err := JoinSession(conn, h)
+	if err != nil {
 		return err
+	}
+	if h.Codec == CodecServerDefault {
+		cfg.Codec = compress.ID(ack.Codec)
 	}
 	ue, err := NewUEPeer(cfg, d, conn)
 	if err != nil {
@@ -226,7 +239,9 @@ func (s *UESession) Run(dial func() (io.ReadWriteCloser, error)) error {
 		sleep = time.Sleep
 	}
 	bo := s.Backoff.withDefaults()
-	if s.Hello.ConfigFP == 0 {
+	if s.Hello.ConfigFP == 0 && s.Hello.Codec != CodecServerDefault {
+		// A server-default codec request cannot carry a fingerprint: the
+		// fingerprint covers the codec, which only the ack decides.
 		s.Hello.ConfigFP = s.Cfg.Fingerprint()
 	}
 	if s.CheckpointDir != "" {
@@ -306,7 +321,15 @@ func (s *UESession) serveOnce(conn io.ReadWriteCloser, logf func(string, ...any)
 	if err != nil {
 		return err
 	}
-	ue, err := NewUEPeer(s.Cfg, s.Data, conn)
+	cfg := s.Cfg
+	if h.Codec == CodecServerDefault {
+		// Adopt the granted codec per incarnation: the server's default
+		// may change between reconnects, and the UE-half checkpoint is
+		// codec-independent, so each incarnation simply speaks whatever
+		// this join granted.
+		cfg.Codec = compress.ID(ack.Codec)
+	}
+	ue, err := NewUEPeer(cfg, s.Data, conn)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRingEmpty(t *testing.T) {
+	var r latencyRing
+	p50, p99, n := r.percentiles()
+	if p50 != 0 || p99 != 0 || n != 0 {
+		t.Fatalf("empty ring: p50 %v p99 %v n %d, want zeros", p50, p99, n)
+	}
+	h := r.snapshotHistogram()
+	if h.Count != 0 || h.Sum != 0 {
+		t.Fatalf("empty histogram: count %d sum %v, want zeros", h.Count, h.Sum)
+	}
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Fatalf("empty histogram bucket %d holds %d", i, c)
+		}
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		t.Fatalf("histogram has %d counts for %d bounds, want bounds+1", len(h.Counts), len(h.Bounds))
+	}
+}
+
+func TestLatencyRingSingleSample(t *testing.T) {
+	var r latencyRing
+	const d = 3 * time.Millisecond
+	r.record(d)
+	p50, p99, n := r.percentiles()
+	if n != 1 || p50 != d || p99 != d {
+		t.Fatalf("single sample: p50 %v p99 %v n %d, want %v/%v/1", p50, p99, n, d, d)
+	}
+	h := r.snapshotHistogram()
+	if h.Count != 1 || h.Sum != d {
+		t.Fatalf("single-sample histogram: count %d sum %v, want 1/%v", h.Count, h.Sum, d)
+	}
+	// 3ms must land in the first bucket whose bound admits it (5ms).
+	want := 0
+	for want < len(h.Bounds) && d > h.Bounds[want] {
+		want++
+	}
+	for i, c := range h.Counts {
+		if (i == want) != (c == 1) {
+			t.Fatalf("bucket %d count %d, sample should be only in bucket %d (≤ %v)",
+				i, c, want, h.Bounds[want])
+		}
+	}
+}
+
+// TestLatencyRingWraparound records more samples than the ring holds
+// and checks the percentile view describes only the retained suffix
+// while the histogram keeps the full lifetime count.
+func TestLatencyRingWraparound(t *testing.T) {
+	var r latencyRing
+	cap := int64(len(r.buf))
+	total := cap + cap/2
+	// First half: slow samples that wraparound must completely displace.
+	for i := int64(0); i < cap/2; i++ {
+		r.record(time.Second)
+	}
+	// Then a full ring of fast samples.
+	for i := int64(0); i < cap; i++ {
+		r.record(time.Millisecond)
+	}
+	p50, p99, n := r.percentiles()
+	if n != total {
+		t.Fatalf("recorded count %d, want %d", n, total)
+	}
+	if p50 != time.Millisecond || p99 != time.Millisecond {
+		t.Fatalf("after wraparound p50 %v p99 %v, want 1ms/1ms (slow samples displaced)", p50, p99)
+	}
+	h := r.snapshotHistogram()
+	if h.Count != total {
+		t.Fatalf("histogram count %d, want lifetime %d", h.Count, total)
+	}
+	wantSum := time.Duration(cap/2)*time.Second + time.Duration(cap)*time.Millisecond
+	if h.Sum != wantSum {
+		t.Fatalf("histogram sum %v, want %v", h.Sum, wantSum)
+	}
+	var got int64
+	for _, c := range h.Counts {
+		got += c
+	}
+	if got != h.Count {
+		t.Fatalf("histogram buckets sum to %d, Count says %d", got, h.Count)
+	}
+}
+
+// TestLatencyRingBoundsSorted pins the bucket invariants the exposition
+// depends on: ascending bounds and an explicit overflow bucket.
+func TestLatencyRingBoundsSorted(t *testing.T) {
+	for i := 1; i < len(latBounds); i++ {
+		if latBounds[i] <= latBounds[i-1] {
+			t.Fatalf("latBounds[%d] %v ≤ latBounds[%d] %v", i, latBounds[i], i-1, latBounds[i-1])
+		}
+	}
+	var r latencyRing
+	r.record(latBounds[len(latBounds)-1] + time.Second) // past every bound
+	h := r.snapshotHistogram()
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("overflow sample not in +Inf bucket: %v", h.Counts)
+	}
+}

@@ -120,6 +120,15 @@ const (
 	HelloFlagResumeRejected uint8 = 1 << 0
 )
 
+// CodecServerDefault is a sentinel hello codec asking the BS to pick:
+// the server rewrites it to its current policy's default codec before
+// provisioning, and the ack carries the concrete grant. It deliberately
+// lives outside the compress.ID space (Raw is 0, so 0 cannot mean
+// "unset") and is never valid on the wire after the handshake. A
+// sentinel hello must also leave ConfigFP zero — the UE cannot
+// fingerprint a config whose codec it does not yet know.
+const CodecServerDefault uint8 = 0xFF
+
 // maxHelloString bounds the variable-length handshake fields.
 const maxHelloString = 256
 

@@ -182,6 +182,11 @@ type BSServer struct {
 	hub   *computeHub // nil: legacy serial serving path
 	lat   latencyRing // per-round serving latency, both paths
 
+	// pol is the current runtime policy (see policy.go): the mutable
+	// subset of cfg, swapped atomically by SetPolicy and resolved at
+	// session join or round boundary, never cached across one.
+	pol atomic.Pointer[Policy]
+
 	draining atomic.Bool
 	wg       sync.WaitGroup
 }
@@ -203,12 +208,14 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 		sched: sched,
 		store: newSessionStore(cfg.Retain),
 	}
+	boot := cfg.policy()
+	s.pol.Store(&boot)
 	s.store.onEnd = cfg.OnSessionEnd
 	if cfg.BatchWindow > 0 {
 		if cfg.Sched != SchedAsync {
 			cfg.Logf("bs-server: batching needs async scheduling; serving %v serially", cfg.Sched)
 		} else {
-			s.hub = newComputeHub(cfg.BatchWindow, cfg.BatchMax, s.store)
+			s.hub = newComputeHub(s.CurrentPolicy, s.store)
 		}
 	}
 	return s, nil
@@ -301,6 +308,102 @@ func (s *BSServer) Sessions() []SessionSnapshot { return s.store.snapshots() }
 // ActiveSessions counts sessions that have joined but not yet finished.
 func (s *BSServer) ActiveSessions() int { return s.store.liveCount() }
 
+// SessionByID returns the freshest snapshot for a session id: the live
+// incarnation's if one is registered, else the most recently retired
+// one's still in the retention ring.
+func (s *BSServer) SessionByID(id string) (SessionSnapshot, bool) {
+	return s.store.snapshotByID(id)
+}
+
+// Evict forcibly terminates the live session registered under id — the
+// control plane's targeted kill. The session is stamped with
+// ErrAdminEvicted and its connection severed; its goroutine then
+// retires it through the normal finish path (OnSessionEnd fires with
+// the eviction as cause). Returns an error when no live session holds
+// the id.
+func (s *BSServer) Evict(id string) error {
+	sess := s.store.findLive(id)
+	if sess == nil {
+		return fmt.Errorf("transport: no live session %q", id)
+	}
+	s.cfg.Logf("bs-server: session %s: evicted by administrator", id)
+	sess.kill(ErrAdminEvicted)
+	return nil
+}
+
+// RoundLatencyHistogram snapshots the lifetime round-latency
+// distribution behind RoundLatency's ring percentiles.
+func (s *BSServer) RoundLatencyHistogram() LatencyHistogram {
+	return s.lat.snapshotHistogram()
+}
+
+// TakeBatchQueuePeak returns the coalescing queue's high-water mark
+// since the previous call and restarts the window — the per-scrape-
+// window backlog number the control plane exports. Returns 0 without
+// the batched path. Note the lifetime peak reported by BatchQueueDepth
+// is reset too: a process being scraped reports windowed peaks.
+func (s *BSServer) TakeBatchQueuePeak() int64 {
+	if s.hub == nil {
+		return 0
+	}
+	return s.hub.queue.ResetPeak()
+}
+
+// ServerStats is one consistent-enough read of the server's aggregate
+// counters for a metrics scrape. Gauges are instantaneous; the *Total
+// fields are monotonic over the process lifetime (retired sessions'
+// counters are folded into store accumulators before their snapshots
+// can be evicted from the retention ring).
+type ServerStats struct {
+	Draining bool
+
+	LiveSessions      int   // unfinished sessions (MaxUE occupancy)
+	RetainedSnapshots int   // finished-session snapshots held
+	SnapshotsEvicted  int64 // snapshots dropped from the full ring
+
+	// Sessions ended, by terminal disposition.
+	EndedDetached   int64
+	EndedSuperseded int64
+	EndedIdle       int64
+	EndedAdmin      int64
+	EndedFailed     int64
+
+	Rounds       int64 // training rounds served (latency ring count)
+	SharedRounds int64 // rounds served by proven-clone sharing
+	QueueDepth   int64 // rounds inside the compute stage right now
+
+	CheckpointsTotal int64 // train-state checkpoints written
+	ResumesTotal     int64 // resumes from checkpoint granted
+	BytesInTotal     int64 // wire bytes received from UEs
+	BytesOutTotal    int64 // wire bytes sent to UEs
+}
+
+// Stats collects the aggregate counters above.
+func (s *BSServer) Stats() ServerStats {
+	ss := s.store.stats()
+	out := ServerStats{
+		Draining:          s.draining.Load(),
+		LiveSessions:      ss.live,
+		RetainedSnapshots: ss.retained,
+		SnapshotsEvicted:  ss.evicted,
+		EndedDetached:     ss.ended.detached,
+		EndedSuperseded:   ss.ended.superseded,
+		EndedIdle:         ss.ended.idle,
+		EndedAdmin:        ss.ended.admin,
+		EndedFailed:       ss.ended.failed,
+		Rounds:            s.lat.n.Load(),
+		CheckpointsTotal:  ss.ckpts,
+		ResumesTotal:      ss.resumes,
+		BytesInTotal:      ss.bytesIn,
+		BytesOutTotal:     ss.bytesOut,
+	}
+	if s.hub != nil {
+		out.SharedRounds = s.hub.sharedRounds.Load()
+		out.QueueDepth = s.hub.queue.Load()
+	}
+	return out
+}
+
 // Handle runs one complete session incarnation — handshake, optional
 // resume, training, evaluation, shutdown — synchronously over an
 // established connection. Serve calls it per accepted conn; tests call
@@ -312,7 +415,9 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	// session's wire accounting; the idle wrapper below the counter
 	// frees the slot of a UE that wedges mid-frame. The hello reader's
 	// pooled buffer is handed back as soon as the hello is copied out.
-	cc := NewCountingConn(newIdleConn(conn, s.cfg.IdleTimeout))
+	// The idle timeout is policy-resolved here, at session join: each
+	// incarnation binds the timeout in force when it connected.
+	cc := NewCountingConn(newIdleConn(conn, s.CurrentPolicy().IdleTimeout))
 	hr := NewFrameReader(cc)
 	msg, err := hr.ReadMessage()
 	if err != nil {
@@ -344,7 +449,13 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	if ver < 1 {
 		ver = 1
 	}
-	if !compress.ID(h.Codec).Valid() {
+	if h.Codec == CodecServerDefault {
+		// The UE delegated the codec choice: grant the current policy's
+		// default, resolved here at join and fixed for the session's
+		// lifetime. The rewritten hello flows into provisioning, the
+		// fingerprint and the ack, so every later check sees the grant.
+		h.Codec = uint8(s.CurrentPolicy().DefaultCodec)
+	} else if !compress.ID(h.Codec).Valid() {
 		err := fmt.Errorf("transport: unknown codec id %d in hello", h.Codec)
 		s.refuse(cc, h, ver, err)
 		return err
@@ -360,7 +471,7 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		return err
 	}
 
-	sess, superseded, err := s.store.admit(h, ver, conn, s.cfg.MaxUE)
+	sess, superseded, err := s.store.admit(h, ver, conn, s.CurrentPolicy().MaxUE)
 	if err != nil {
 		s.refuse(cc, h, ver, err)
 		return err
@@ -589,7 +700,10 @@ func (s *BSServer) checkpointDue(sess *session, step int, last bool) bool {
 	if !s.checkpointEnabled(sess) {
 		return false
 	}
-	return step%s.cfg.CheckpointEvery == 0 || last || step == s.cfg.Steps
+	// The interval is policy-resolved at each step boundary, so a live
+	// reconfiguration changes only when future checkpoints land — never
+	// their content (invariant 7 holds for any checkpoint schedule).
+	return step%s.CurrentPolicy().CheckpointEvery == 0 || last || step == s.cfg.Steps
 }
 
 // checkpoint persists the BS half's train state at step and instructs

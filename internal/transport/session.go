@@ -250,6 +250,27 @@ func (s *session) snapshot() SessionSnapshot {
 // that was fenced off by a newer connection reclaiming its session id.
 var ErrSuperseded = errors.New("transport: session superseded by a newer epoch")
 
+// ErrAdminEvicted is the terminal cause recorded on a session killed via
+// the control plane (POST /sessions/{id}/evict or BSServer.Evict).
+var ErrAdminEvicted = errors.New("transport: session evicted by administrator")
+
+// kill stamps cause as the session's terminal error and severs its
+// connection. The session goroutine then fails out of its blocking I/O
+// and retires through the normal finish path; because retireLocked
+// keeps the first error set, the recorded cause stays ErrAdminEvicted
+// rather than the incidental I/O error the severed connection produces.
+func (s *session) kill(cause error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = cause
+	}
+	closer := s.closer
+	s.mu.Unlock()
+	if closer != nil {
+		closer.Close()
+	}
+}
+
 // sessionStore owns every session record. Locking order: store mutex,
 // then session mutex — never the reverse.
 type sessionStore struct {
@@ -259,6 +280,15 @@ type sessionStore struct {
 	order   []string          // live sessions in join order
 	retired []SessionSnapshot // finished sessions, oldest first, len ≤ retain
 	evicted int64             // snapshots dropped from the full ring
+
+	// Monotonic lifetime totals, accumulated as incarnations retire so
+	// they survive the retention ring's evictions. Live sessions'
+	// contributions are added at read time (stats), never here.
+	ended       endCounts
+	totCkpts    int64 // checkpoints written by retired incarnations
+	totResumes  int64 // resumes performed by retired incarnations
+	totBytesIn  int64 // wire bytes received by retired incarnations
+	totBytesOut int64 // wire bytes sent by retired incarnations
 
 	// onEnd, when set, observes every retiring incarnation. It fires
 	// after the store mutex is released (a hook that re-entered the
@@ -358,7 +388,116 @@ func (st *sessionStore) retireLocked(sess *session, to SessionState, cause error
 		st.retired = append([]SessionSnapshot(nil), st.retired[over:]...)
 		st.evicted += int64(over)
 	}
+	st.ended.classify(snap.State, snap.cause)
+	if snap.Metrics != nil {
+		st.totCkpts += snap.Metrics.Checkpoints.Load()
+		st.totResumes += snap.Metrics.Resumes.Load()
+	}
+	st.totBytesIn += snap.BytesIn
+	st.totBytesOut += snap.BytesOut
 	return snap, true
+}
+
+// endCounts tallies retired incarnations by terminal disposition. The
+// classification uses the *effective* cause — the error the snapshot was
+// retired with, after retireLocked's keep-first-error merge — so an
+// admin eviction counts as admin even though the session goroutine dies
+// on the incidental I/O error of its severed connection.
+type endCounts struct {
+	detached   int64 // clean finish (shutdown sent)
+	superseded int64 // fenced off by a newer epoch of the same id
+	idle       int64 // failed on the per-operation idle timeout
+	admin      int64 // evicted via the control plane
+	failed     int64 // every other error
+}
+
+func (c *endCounts) classify(state SessionState, cause error) {
+	switch {
+	case errors.Is(cause, ErrAdminEvicted):
+		c.admin++
+	case errors.Is(cause, ErrSuperseded) || state == SessionSuperseded:
+		c.superseded++
+	case errors.Is(cause, ErrIdleTimeout):
+		c.idle++
+	case cause != nil || state == SessionFailed:
+		c.failed++
+	default:
+		c.detached++
+	}
+}
+
+// findLive returns the live session registered under id, or nil.
+func (st *sessionStore) findLive(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.live[id]
+}
+
+// snapshotByID returns the freshest snapshot for id: the live session's
+// if one is registered, else the most recently retired incarnation's.
+func (st *sessionStore) snapshotByID(id string) (SessionSnapshot, bool) {
+	st.mu.Lock()
+	if sess := st.live[id]; sess != nil {
+		st.mu.Unlock()
+		return sess.snapshot(), true
+	}
+	for i := len(st.retired) - 1; i >= 0; i-- {
+		if st.retired[i].ID == id {
+			snap := st.retired[i]
+			st.mu.Unlock()
+			return snap, true
+		}
+	}
+	st.mu.Unlock()
+	return SessionSnapshot{}, false
+}
+
+// storeStats is the store's contribution to a metrics scrape: occupancy
+// gauges plus lifetime totals (retired accumulators + live sessions'
+// current counters, summed at read time so the totals stay monotonic
+// across ring evictions).
+type storeStats struct {
+	live     int
+	retained int
+	evicted  int64
+	ended    endCounts
+	ckpts    int64
+	resumes  int64
+	bytesIn  int64
+	bytesOut int64
+}
+
+func (st *sessionStore) stats() storeStats {
+	st.mu.Lock()
+	s := storeStats{
+		live:     len(st.live),
+		retained: len(st.retired),
+		evicted:  st.evicted,
+		ended:    st.ended,
+		ckpts:    st.totCkpts,
+		resumes:  st.totResumes,
+		bytesIn:  st.totBytesIn,
+		bytesOut: st.totBytesOut,
+	}
+	liveSessions := make([]*session, 0, len(st.live))
+	for _, sess := range st.live {
+		liveSessions = append(liveSessions, sess)
+	}
+	st.mu.Unlock()
+	// Live counters are read outside the store lock (locking order:
+	// store, then session — and the atomic ones need no lock at all).
+	for _, sess := range liveSessions {
+		s.ckpts += sess.met.Checkpoints.Load()
+		s.resumes += sess.met.Resumes.Load()
+		sess.mu.Lock()
+		if sess.conn != nil {
+			cs := sess.conn.Stats()
+			s.bytesIn += cs.BytesIn
+			s.bytesOut += cs.BytesOut
+		}
+		sess.mu.Unlock()
+	}
+	return s
 }
 
 // snapshots returns the retained finished sessions (oldest first)
