@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -64,6 +66,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "multi-UE mode: fail a session whose connection stalls this long mid-operation (0 = never)")
 	ckptDir := flag.String("checkpoint-dir", "", "multi-UE mode: directory for session train-state checkpoints (empty = checkpoint/resume disabled)")
 	ckptEvery := flag.Int("checkpoint-every", 50, "multi-UE mode: checkpoint interval in training steps")
+	storeKind := flag.String("store", "", "multi-UE mode: durable store backend: mem, dir (per-session files) or journal (single crash-consistent append log); empty = dir when -checkpoint-dir is set, else mem with checkpointing off")
+	journalCompact := flag.Int64("journal-compact-bytes", 64<<20, "multi-UE mode: journal size that arms compaction (with -store journal)")
 	retain := flag.Int("retain", 128, "multi-UE mode: finished-session snapshots kept for reporting")
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	batchWindow := flag.Duration("batch-window", 0, "multi-UE mode: pipelined serving with cross-session compute batching; rounds arriving within this window coalesce (0 = serial serving; results are bit-identical either way)")
@@ -94,7 +98,7 @@ func main() {
 			TargetRMSEdB: *target, IdleTimeout: *idleTimeout,
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Retain: *retain,
 			BatchWindow: *batchWindow, BatchMax: *batchMax,
-		}, *sched)
+		}, *sched, *storeKind, *journalCompact)
 	case *connect != "":
 		serveAdmin(*adminAddr, nil, nil)
 		runSingleUE(*connect, *frames, *seed, *pool, codec, *steps, *evalEvery, *valAnchors, *target)
@@ -121,23 +125,68 @@ func serveAdmin(addr string, srv *transport.BSServer, onDrain func()) {
 	}()
 }
 
+// openStore builds the durable backend the -store flag names. The empty
+// kind defers to the server's default (a dir store over -checkpoint-dir
+// when set, else an in-memory mirror with checkpointing off). Both disk
+// backends live under -checkpoint-dir: the journal as a single
+// store.journal file, the dir backend as per-session files.
+func openStore(kind, ckptDir string, retain int, compactBytes int64) store.Store {
+	switch kind {
+	case "":
+		return nil
+	case "mem":
+		return store.NewMem(retain)
+	case "dir":
+		if ckptDir == "" {
+			log.Fatal("mmsl-bs: -store dir requires -checkpoint-dir")
+		}
+		ds, err := store.OpenDir(ckptDir, retain)
+		if err != nil {
+			log.Fatalf("mmsl-bs: open dir store: %v", err)
+		}
+		return ds
+	case "journal":
+		if ckptDir == "" {
+			log.Fatal("mmsl-bs: -store journal requires -checkpoint-dir")
+		}
+		j, err := store.OpenJournal(filepath.Join(ckptDir, "store.journal"), store.JournalOptions{
+			Retain:       retain,
+			CompactBytes: compactBytes,
+		})
+		if err != nil {
+			log.Fatalf("mmsl-bs: open journal store: %v", err)
+		}
+		if st := j.Stats(); st.Recoveries > 0 {
+			log.Printf("mmsl-bs: journal recovery: replayed %d records, truncated %d torn bytes",
+				st.RecoveredRecords, st.TruncatedBytes)
+		}
+		return j
+	}
+	log.Fatalf("mmsl-bs: unknown -store %q (want mem, dir or journal)", kind)
+	return nil
+}
+
 // serveMultiUE runs the concurrent base station until the listener dies
 // or a termination signal triggers the graceful drain.
-func serveMultiUE(addr, adminAddr string, cfg transport.ServerConfig, sched string) {
+func serveMultiUE(addr, adminAddr string, cfg transport.ServerConfig, sched, storeKind string, journalCompact int64) {
 	policy, err := transport.ParseSchedPolicy(sched)
 	if err != nil {
 		log.Fatalf("mmsl-bs: %v", err)
 	}
 	cfg.Sched = policy
 	cfg.Logf = log.Printf
-	if cfg.CheckpointDir != "" {
-		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
-			log.Fatalf("mmsl-bs: checkpoint dir: %v", err)
-		}
-	}
+	cfg.Store = openStore(storeKind, cfg.CheckpointDir, cfg.Retain, journalCompact)
 	srv, err := transport.NewBSServer(cfg)
 	if err != nil {
 		log.Fatalf("mmsl-bs: %v", err)
+	}
+	if storeKind != "" {
+		// The server does not close an explicitly provided store.
+		defer func() {
+			if err := cfg.Store.Close(); err != nil {
+				log.Printf("mmsl-bs: store close: %v", err)
+			}
+		}()
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -99,8 +99,23 @@ func (s *Server) withBS(h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"status": "ok"}
 	if s.bs != nil {
-		resp["draining"] = s.bs.Draining()
-		resp["live_sessions"] = s.bs.ActiveSessions()
+		st := s.bs.Stats()
+		resp["draining"] = st.Draining
+		resp["live_sessions"] = st.LiveSessions
+		// A degraded store demotes overall health: the process serves,
+		// but nothing it trains from here on can be resumed.
+		if st.StoreDegraded {
+			resp["status"] = "degraded"
+		}
+		resp["store"] = map[string]any{
+			"kind":             st.StoreKind,
+			"degraded":         st.StoreDegraded,
+			"journal_bytes":    st.StoreJournalBytes,
+			"write_errors":     st.StoreWriteErrors,
+			"restore_errors":   st.RestoreErrors,
+			"recoveries":       st.StoreRecoveries,
+			"adopted_sessions": st.AdoptedSessions,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -136,10 +138,83 @@ func TestMetricsEndpoint(t *testing.T) {
 		`mmsl_wire_bytes_total{direction="in"}`,
 		"mmsl_policy_max_ue 2",
 		"mmsl_draining 0",
+		`mmsl_store_info{kind="mem"} 1`,
+		"mmsl_store_degraded 0",
+		"mmsl_store_records_total",
+		"mmsl_store_compactions_total 0",
+		"mmsl_store_recoveries_total 0",
+		"mmsl_store_write_errors_total 0",
+		"mmsl_checkpoint_restore_errors_total 0",
+		"mmsl_store_adopted_sessions_total 0",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestStoreHealthEndpoints: a journal-backed server surfaces its store
+// on /metrics (kind, journal growth, record counts) and /healthz (the
+// store detail map).
+func TestStoreHealthEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	j, err := store.OpenJournal(filepath.Join(dir, "store.journal"), store.JournalOptions{Retain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	srv := testServer(t, transport.ServerConfig{
+		MaxUE: 1, Steps: 6, EvalEvery: 3, ValAnchors: 8,
+		Store: j, CheckpointEvery: 3,
+	})
+	runSession(t, srv, 0)
+	c := New(srv, Options{})
+
+	rec := do(t, c, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		`mmsl_store_info{kind="journal"} 1`,
+		"mmsl_store_degraded 0",
+		"mmsl_store_live_checkpoints 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(body, "mmsl_store_journal_bytes 0") {
+		t.Error("journal bytes gauge stuck at zero after a checkpointed session")
+	}
+
+	rec = do(t, c, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", rec.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Store  struct {
+			Kind            string `json:"kind"`
+			Degraded        bool   `json:"degraded"`
+			JournalBytes    int64  `json:"journal_bytes"`
+			WriteErrors     int64  `json:"write_errors"`
+			RestoreErrors   int64  `json:"restore_errors"`
+			Recoveries      int64  `json:"recoveries"`
+			AdoptedSessions int64  `json:"adopted_sessions"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Store.Kind != "journal" || health.Store.Degraded {
+		t.Fatalf("healthz: %+v", health)
+	}
+	if health.Store.JournalBytes == 0 {
+		t.Fatal("healthz journal_bytes zero after a checkpointed session")
 	}
 }
 

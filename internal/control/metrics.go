@@ -72,6 +72,22 @@ func (s *Server) writeMetrics(buf *bytes.Buffer) {
 	gauge("mmsl_compute_queue_depth", "Rounds inside the compute stage right now (0 without the pipelined path).", float64(st.QueueDepth))
 	gauge("mmsl_compute_queue_peak", "High-water mark of the compute queue since the previous scrape.", float64(s.bs.TakeBatchQueuePeak()))
 
+	// Durable-store health (internal/store; DESIGN.md §11).
+	const kindName = "mmsl_store_info"
+	fmt.Fprintf(buf, "# HELP %s Durable store backend in use (value is always 1).\n# TYPE %s gauge\n", kindName, kindName)
+	fmt.Fprintf(buf, "%s{kind=%q} 1\n", kindName, st.StoreKind)
+	gauge("mmsl_store_degraded", "Whether a store write exhausted its retries (1): serving continues, checkpointing disabled.", b2f(st.StoreDegraded))
+	gauge("mmsl_store_journal_bytes", "Size of the store's journal (or retire-log) file.", float64(st.StoreJournalBytes))
+	gauge("mmsl_store_live_checkpoints", "Checkpoint blobs currently retrievable from the store.", float64(st.StoreLiveCheckpoints))
+	counter("mmsl_store_records_total", "Store records appended, including those replayed by recovery at open.", float64(st.StoreRecords))
+	counter("mmsl_store_compactions_total", "Journal compactions performed.", float64(st.StoreCompactions))
+	counter("mmsl_store_recoveries_total", "Store opens that found and truncated a torn journal tail.", float64(st.StoreRecoveries))
+	counter("mmsl_store_recovered_records_total", "Records successfully replayed by journal recovery at open.", float64(st.StoreRecoveredRecords))
+	counter("mmsl_store_truncated_bytes_total", "Torn journal bytes dropped by recovery at open.", float64(st.StoreTruncatedBytes))
+	counter("mmsl_store_write_errors_total", "Store writes (checkpoint or retire) that exhausted their retries.", float64(st.StoreWriteErrors))
+	counter("mmsl_checkpoint_restore_errors_total", "Resume-token restores that failed (missing checkpoint, corrupt blob, step mismatch).", float64(st.RestoreErrors))
+	counter("mmsl_store_adopted_sessions_total", "Retired sessions adopted from the store at boot.", float64(st.AdoptedSessions))
+
 	s.writeLatency(buf)
 
 	gauge("mmsl_policy_max_ue", "Current policy: concurrent session cap.", float64(pol.MaxUE))

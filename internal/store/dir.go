@@ -1,0 +1,169 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Dir is the per-session-file backend: checkpoint blobs live as flat
+// files in one directory, in the exact layout the server wrote before
+// the store split (`<sanitized-id>@<step>.bs.ckpt`), so a checkpoint
+// directory written by an older build adopts without migration. Files
+// are written fsync-before-rename with a parent-directory sync. Retire
+// records and aggregates — which have no per-session file today — go
+// through an embedded Journal at dir/retired.log, restricted to retire
+// and aggregate records, so retired sessions re-materialize at boot
+// with their exact (unsanitized) ids.
+type Dir struct {
+	fs  FS
+	dir string
+
+	mu  sync.Mutex
+	log *Journal
+}
+
+// OpenDir opens (creating if needed) a Dir backend rooted at dir,
+// retaining the newest retain retire records (≤0: 128).
+func OpenDir(dir string, retain int) (*Dir, error) {
+	return OpenDirFS(OS, dir, retain)
+}
+
+// OpenDirFS is OpenDir through an explicit FS.
+func OpenDirFS(fsys FS, dir string, retain int) (*Dir, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: checkpoint dir: %w", err)
+	}
+	log, err := OpenJournal(filepath.Join(dir, "retired.log"), JournalOptions{
+		Retain: retain,
+		// The retire log holds no blobs; compact it well before the main
+		// journal default would.
+		CompactBytes: 1 << 20,
+		FS:           fsys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.retireOnly = true
+	return &Dir{fs: fsys, dir: dir, log: log}, nil
+}
+
+// Kind implements Store.
+func (d *Dir) Kind() string { return "dir" }
+
+// CheckpointPath names a session's BS-half checkpoint file at a step —
+// the on-disk contract shared with pre-store checkpoint directories.
+func CheckpointPath(dir, id string, step int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s@%06d.bs.ckpt", SanitizeID(id), step))
+}
+
+// SanitizeID maps a UE-chosen session id onto a stable filesystem-safe
+// name, suffixed with a hash of the raw id so distinct ids that
+// sanitise alike stay distinct.
+func SanitizeID(id string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, id)
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return fmt.Sprintf("%s-%08x", clean, h.Sum32())
+}
+
+// PutCheckpoint implements Store.
+func (d *Dir) PutCheckpoint(id string, step int, blob []byte) error {
+	return WriteFileAtomicFS(d.fs, CheckpointPath(d.dir, id, step), func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	})
+}
+
+// GetCheckpoint implements Store.
+func (d *Dir) GetCheckpoint(id string, step int) ([]byte, error) {
+	f, err := d.fs.OpenFile(CheckpointPath(d.dir, id, step), os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: checkpoint %s@%d: %w", id, step, ErrNotFound)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// DeleteCheckpoint implements Store.
+func (d *Dir) DeleteCheckpoint(id string, step int) error {
+	err := d.fs.Remove(CheckpointPath(d.dir, id, step))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// CheckpointSteps implements Store. It scans the directory for the id's
+// sanitized prefix, so checkpoints written by a previous process — or a
+// previous build — are found too.
+func (d *Dir) CheckpointSteps(id string) ([]int, error) {
+	entries, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := SanitizeID(id) + "@"
+	const suffix = ".bs.ckpt"
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		step, err := strconv.Atoi(name[len(prefix) : len(name)-len(suffix)])
+		if err != nil {
+			continue
+		}
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// RetireSession implements Store.
+func (d *Dir) RetireSession(rec SessionRecord) error { return d.log.RetireSession(rec) }
+
+// RetiredSessions implements Store.
+func (d *Dir) RetiredSessions() ([]SessionRecord, error) { return d.log.RetiredSessions() }
+
+// Aggregates implements Store.
+func (d *Dir) Aggregates() Aggregates { return d.log.Aggregates() }
+
+// Stats implements Store.
+func (d *Dir) Stats() Stats {
+	st := d.log.Stats()
+	st.Kind = "dir"
+	st.LiveCheckpoints = 0
+	if entries, err := d.fs.ReadDir(d.dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".bs.ckpt") {
+				st.LiveCheckpoints++
+			}
+		}
+	}
+	return st
+}
+
+// Flush implements Store.
+func (d *Dir) Flush() error { return d.log.Flush() }
+
+// Close implements Store.
+func (d *Dir) Close() error { return d.log.Close() }

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReplay throws arbitrary bytes at the journal recovery
+// path. Whatever the input, OpenJournal must not panic; when it
+// accepts the file, a second open of the recovered file must be clean
+// (no further recovery — replay-and-truncate is a fixpoint).
+func FuzzJournalReplay(f *testing.F) {
+	// Seed corpus: a real journal plus structured mutations of it.
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.journal")
+	j, err := OpenJournal(path, JournalOptions{Retain: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.RetireSession(testRecord(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := j.PutCheckpoint("ue-0", 5, bytes.Repeat([]byte{0xAB}, 100)); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.DeleteCheckpoint("ue-0", 5); err != nil {
+		f.Fatal(err)
+	}
+	j.Close()
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:journalHdrLen])
+	f.Add(valid[:len(valid)-3]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40 // CRC mismatch mid-file
+	f.Add(flipped)
+	huge := append([]byte(nil), valid...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0) // absurd bodyLen
+	f.Add(huge)
+	f.Add([]byte("GIF89a definitely not a journal"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.journal")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(p, JournalOptions{Retain: 4})
+		if err != nil {
+			return // rejected loudly — fine
+		}
+		// Accepted: the in-memory state must be coherent enough to use...
+		j.RetiredSessions()
+		j.Aggregates()
+		if err := j.RetireSession(testRecord(7)); err != nil {
+			t.Fatalf("append to recovered journal: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("close recovered journal: %v", err)
+		}
+		// ...and recovery must be a fixpoint.
+		j2, err := OpenJournal(p, JournalOptions{Retain: 4})
+		if err != nil {
+			t.Fatalf("recovered journal rejected on reopen: %v", err)
+		}
+		if st := j2.Stats(); st.Recoveries != 0 {
+			t.Fatalf("recovered journal needed recovery again: %+v", st)
+		}
+		j2.Close()
+	})
+}

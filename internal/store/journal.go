@@ -1,0 +1,611 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The journaled backend: one append-only file holding every kind of
+// state as length-prefixed, CRC-checksummed records.
+//
+//	file   = magic "MMSLJRN1" | u32 version | record...
+//	record = u32 bodyLen | u32 crc32c(body) | body
+//	body   = u8 recType | payload
+//
+// Record types:
+//
+//	recRetire     session retire record (encodeSession)
+//	recAggregates consolidated aggregate base (written by compaction)
+//	recCheckpoint u16 idLen | id | u32 step | blob
+//	recPrune      u16 idLen | id | u32 step  (checkpoint tombstone)
+//
+// Every append is fsynced before it is acknowledged, so an acknowledged
+// write survives a SIGKILL. Recovery replays the file and truncates at
+// the first torn or corrupt record — a crash mid-append loses at most
+// the unacknowledged tail, never an acknowledged record. Compaction
+// rewrites the live state (current aggregate base, retained retire
+// ring, undeleted checkpoints) into a temp sibling and swaps it in with
+// the same fsync-rename-dirsync dance as WriteFileAtomic.
+
+var journalMagic = [8]byte{'M', 'M', 'S', 'L', 'J', 'R', 'N', '1'}
+
+const (
+	journalVersion = 1
+	journalHdrLen  = 8 + 4
+
+	recRetire     byte = 1
+	recAggregates byte = 2
+	recCheckpoint byte = 3
+	recPrune      byte = 4
+
+	// maxRecordBody caps a single record body; anything larger in a
+	// length prefix is treated as corruption, so a torn length field
+	// cannot make recovery attempt a gigabyte allocation.
+	maxRecordBody = 1 << 28
+
+	recHdrLen = 4 + 4 // bodyLen + crc
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// JournalOptions tunes OpenJournal.
+type JournalOptions struct {
+	Retain       int   // retire-ring bound (≤0: 128)
+	CompactBytes int64 // file size that arms compaction (≤0: 64 MiB)
+	FS           FS    // filesystem seam (nil: OS)
+}
+
+// Journal is the single-file crash-consistent backend. Open with
+// OpenJournal; the zero value is not usable.
+type Journal struct {
+	fs           FS
+	path         string
+	compactBytes int64
+
+	mu       sync.Mutex
+	f        File
+	size     int64 // current file length (append offset)
+	ckptLive int64 // total frame bytes of retrievable checkpoint records
+	ckpts    map[string]map[int]blobRegion
+	ring     *retireRing
+	st       Stats
+	closed   bool
+
+	// retireOnly suppresses checkpoint-triggered compaction accounting
+	// asymmetries when the journal serves as Dir's retire log (no
+	// checkpoint records ever appended).
+	retireOnly bool
+}
+
+// blobRegion locates one checkpoint blob inside the journal file.
+type blobRegion struct {
+	off  int64 // blob start
+	size int   // blob length
+}
+
+// OpenJournal opens (creating if absent) the journal at path and replays
+// it. A torn tail — from a crash mid-append — is truncated away; the
+// error return is reserved for I/O failures and foreign files (bad
+// magic), never for recoverable corruption.
+func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS
+	}
+	compact := opts.CompactBytes
+	if compact <= 0 {
+		compact = 64 << 20
+	}
+	j := &Journal{
+		fs:           fsys,
+		path:         path,
+		compactBytes: compact,
+		ckpts:        make(map[string]map[int]blobRegion),
+		ring:         newRetireRing(opts.Retain),
+		st:           Stats{Kind: "journal"},
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := fsys.MkdirAll(dir); err != nil {
+			return nil, fmt.Errorf("store: journal dir: %w", err)
+		}
+	}
+	// A crash mid-compaction can leave a stale temp sibling; it is, by
+	// construction, not the authoritative file.
+	fsys.Remove(path + ".compact")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	j.f = f
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover replays the journal into the in-memory index, truncating the
+// file at the first torn or corrupt record.
+func (j *Journal) recover() error {
+	fi, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat journal: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return j.writeHeader()
+	}
+	hdr := make([]byte, journalHdrLen)
+	if _, err := j.f.ReadAt(hdr, 0); err != nil {
+		// Shorter than a header: a crash before the header sync landed.
+		// Nothing could have been acknowledged — start fresh.
+		return j.truncateTo(0, size, true)
+	}
+	if [8]byte(hdr[:8]) != journalMagic {
+		return fmt.Errorf("%w: %s is not a journal (bad magic)", ErrCorrupt, j.path)
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != journalVersion {
+		return fmt.Errorf("%w: journal version %d, want %d", ErrCorrupt, v, journalVersion)
+	}
+	valid := int64(journalHdrLen)
+	off := valid
+	frame := make([]byte, recHdrLen)
+	for off+recHdrLen <= size {
+		if _, err := j.f.ReadAt(frame, off); err != nil {
+			return fmt.Errorf("store: read journal at %d: %w", off, err)
+		}
+		bodyLen := int64(binary.BigEndian.Uint32(frame))
+		wantCRC := binary.BigEndian.Uint32(frame[4:])
+		if bodyLen == 0 || bodyLen > maxRecordBody || off+recHdrLen+bodyLen > size {
+			break // torn length or truncated body
+		}
+		body := make([]byte, bodyLen)
+		if _, err := j.f.ReadAt(body, off+recHdrLen); err != nil {
+			return fmt.Errorf("store: read journal at %d: %w", off, err)
+		}
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			break // torn or bit-rotted body
+		}
+		if err := j.apply(body, off+recHdrLen); err != nil {
+			break // structurally valid frame, undecodable body
+		}
+		off += recHdrLen + bodyLen
+		valid = off
+		j.st.Records++
+		j.st.RecoveredRecords++
+	}
+	if valid < size {
+		return j.truncateTo(valid, size, true)
+	}
+	j.size = size
+	j.st.JournalBytes = size
+	return nil
+}
+
+// truncateTo cuts the file back to valid bytes (rewriting the header
+// when everything was lost) and records the recovery.
+func (j *Journal) truncateTo(valid, size int64, recovery bool) error {
+	if recovery {
+		j.st.Recoveries++
+		j.st.TruncatedBytes += size - valid
+	}
+	if valid == 0 {
+		if err := j.f.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncate journal: %w", err)
+		}
+		return j.writeHeader()
+	}
+	if err := j.f.Truncate(valid); err != nil {
+		return fmt.Errorf("store: truncate journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+	j.size = valid
+	j.st.JournalBytes = valid
+	return nil
+}
+
+func (j *Journal) writeHeader() error {
+	hdr := make([]byte, journalHdrLen)
+	copy(hdr, journalMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:], journalVersion)
+	if _, err := j.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("store: write journal header: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal header: %w", err)
+	}
+	j.size = journalHdrLen
+	j.st.JournalBytes = j.size
+	if dir := filepath.Dir(j.path); dir != "" {
+		j.fs.SyncDir(dir)
+	}
+	return nil
+}
+
+// apply indexes one replayed (or just-appended) record body. bodyOff is
+// the body's file offset, locating checkpoint blobs for later reads.
+func (j *Journal) apply(body []byte, bodyOff int64) error {
+	switch body[0] {
+	case recRetire:
+		rec, err := decodeSession(body[1:])
+		if err != nil {
+			return err
+		}
+		j.ring.push(rec)
+	case recAggregates:
+		base, err := decodeAggregates(body[1:])
+		if err != nil {
+			return err
+		}
+		j.ring.base = base
+	case recCheckpoint:
+		r := recReader{b: body[1:]}
+		id := r.string16()
+		step := int(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		blobOff := 1 + 2 + len(id) + 4
+		j.indexCheckpoint(id, step, blobRegion{
+			off:  bodyOff + int64(blobOff),
+			size: len(body) - blobOff,
+		})
+	case recPrune:
+		r := recReader{b: body[1:]}
+		id := r.string16()
+		step := int(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		j.dropCheckpoint(id, step)
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, body[0])
+	}
+	return nil
+}
+
+func (j *Journal) indexCheckpoint(id string, step int, reg blobRegion) {
+	m := j.ckpts[id]
+	if m == nil {
+		m = make(map[int]blobRegion)
+		j.ckpts[id] = m
+	}
+	if old, ok := m[step]; ok {
+		j.ckptLive -= frameLen(id, old.size)
+	}
+	m[step] = reg
+	j.ckptLive += frameLen(id, reg.size)
+}
+
+func (j *Journal) dropCheckpoint(id string, step int) {
+	if m := j.ckpts[id]; m != nil {
+		if reg, ok := m[step]; ok {
+			j.ckptLive -= frameLen(id, reg.size)
+			delete(m, step)
+			if len(m) == 0 {
+				delete(j.ckpts, id)
+			}
+		}
+	}
+}
+
+// frameLen is the full on-file footprint of a checkpoint record.
+func frameLen(id string, blob int) int64 {
+	return int64(recHdrLen + 1 + 2 + len(id) + 4 + blob)
+}
+
+// append durably adds one record. On any failure the file is cut back
+// to its pre-append length (best effort — the next append overwrites a
+// straggling partial frame regardless, and recovery drops it on reopen).
+func (j *Journal) append(typ byte, payload []byte) (bodyOff int64, err error) {
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, typ)
+	body = append(body, payload...)
+	frame := make([]byte, 0, recHdrLen+len(body))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(body, crcTable))
+	frame = append(frame, body...)
+	if _, err := j.f.WriteAt(frame, j.size); err != nil {
+		j.f.Truncate(j.size)
+		return 0, fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Truncate(j.size)
+		return 0, fmt.Errorf("store: journal sync: %w", err)
+	}
+	bodyOff = j.size + recHdrLen
+	j.size += int64(len(frame))
+	j.st.JournalBytes = j.size
+	j.st.Records++
+	return bodyOff, nil
+}
+
+// Kind implements Store.
+func (j *Journal) Kind() string { return "journal" }
+
+// PutCheckpoint implements Store.
+func (j *Journal) PutCheckpoint(id string, step int, blob []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return os.ErrClosed
+	}
+	payload := appendString16(nil, id)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(step))
+	payload = append(payload, blob...)
+	bodyOff, err := j.append(recCheckpoint, payload)
+	if err != nil {
+		return err
+	}
+	blobOff := 1 + 2 + len(id) + 4
+	j.indexCheckpoint(id, step, blobRegion{off: bodyOff + int64(blobOff), size: len(blob)})
+	return j.maybeCompact()
+}
+
+// GetCheckpoint implements Store.
+func (j *Journal) GetCheckpoint(id string, step int) ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, os.ErrClosed
+	}
+	reg, ok := j.ckpts[id][step]
+	if !ok {
+		return nil, fmt.Errorf("store: checkpoint %s@%d: %w", id, step, ErrNotFound)
+	}
+	blob := make([]byte, reg.size)
+	if _, err := j.f.ReadAt(blob, reg.off); err != nil {
+		return nil, fmt.Errorf("store: read checkpoint %s@%d: %w", id, step, err)
+	}
+	return blob, nil
+}
+
+// DeleteCheckpoint implements Store.
+func (j *Journal) DeleteCheckpoint(id string, step int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return os.ErrClosed
+	}
+	if _, ok := j.ckpts[id][step]; !ok {
+		return nil
+	}
+	payload := appendString16(nil, id)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(step))
+	if _, err := j.append(recPrune, payload); err != nil {
+		return err
+	}
+	j.dropCheckpoint(id, step)
+	return j.maybeCompact()
+}
+
+// CheckpointSteps implements Store.
+func (j *Journal) CheckpointSteps(id string) ([]int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	steps := make([]int, 0, len(j.ckpts[id]))
+	for step := range j.ckpts[id] {
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// RetireSession implements Store.
+func (j *Journal) RetireSession(rec SessionRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return os.ErrClosed
+	}
+	if _, err := j.append(recRetire, encodeSession(rec)); err != nil {
+		return err
+	}
+	j.ring.push(rec)
+	return j.maybeCompact()
+}
+
+// RetiredSessions implements Store.
+func (j *Journal) RetiredSessions() ([]SessionRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ring.list(), nil
+}
+
+// Aggregates implements Store.
+func (j *Journal) Aggregates() Aggregates {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ring.aggregates()
+}
+
+// Stats implements Store.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.st
+	var live int64
+	for _, m := range j.ckpts {
+		live += int64(len(m))
+	}
+	st.LiveCheckpoints = live
+	return st
+}
+
+// Flush implements Store (appends are already synced; this is a no-op
+// kept for the interface's durability barrier).
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close implements Store.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// maybeCompact compacts when the file has outgrown CompactBytes and at
+// least half of it is dead weight (pruned checkpoints, tombstones,
+// retire records fallen off the ring). Live data alone crossing the
+// threshold never triggers: compaction would not shrink it. Called with
+// j.mu held. A compaction failure leaves the old journal authoritative
+// and is deliberately swallowed: the triggering append already
+// succeeded durably, and the next append gets another chance.
+func (j *Journal) maybeCompact() error {
+	if j.size < j.compactBytes {
+		return nil
+	}
+	liveish := j.ckptLive + int64(journalHdrLen)
+	if !j.retireOnly && j.size-liveish <= j.size/2 {
+		return nil
+	}
+	j.compactLocked()
+	return nil
+}
+
+// Compact forces a compaction now (ops and tests; the automatic trigger
+// is maybeCompact).
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return os.ErrClosed
+	}
+	return j.compactLocked()
+}
+
+// compactLocked rewrites the live state into path+".compact" and swaps
+// it in. On any failure the old file stays authoritative.
+func (j *Journal) compactLocked() error {
+	tmpPath := j.path + ".compact"
+	tmp, err := j.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		j.fs.Remove(tmpPath)
+		return err
+	}
+
+	hdr := make([]byte, journalHdrLen)
+	copy(hdr, journalMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:], journalVersion)
+	off := int64(0)
+	write := func(b []byte) error {
+		if _, err := tmp.WriteAt(b, off); err != nil {
+			return err
+		}
+		off += int64(len(b))
+		return nil
+	}
+	writeRec := func(typ byte, payload []byte) (bodyOff int64, err error) {
+		body := make([]byte, 0, 1+len(payload))
+		body = append(body, typ)
+		body = append(body, payload...)
+		frame := make([]byte, 0, recHdrLen+len(body))
+		frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+		frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(body, crcTable))
+		frame = append(frame, body...)
+		bodyOff = off + recHdrLen
+		return bodyOff, write(frame)
+	}
+
+	if err := write(hdr); err != nil {
+		return fail(err)
+	}
+	records := int64(0)
+	// Aggregate base first: replaces the folded-away retire records.
+	if _, err := writeRec(recAggregates, encodeAggregates(j.ring.base)); err != nil {
+		return fail(err)
+	}
+	records++
+	for _, rec := range j.ring.recs {
+		if _, err := writeRec(recRetire, encodeSession(rec)); err != nil {
+			return fail(err)
+		}
+		records++
+	}
+	// Checkpoints in a deterministic order, blobs copied through memory.
+	ids := make([]string, 0, len(j.ckpts))
+	for id := range j.ckpts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	newRegions := make(map[string]map[int]blobRegion, len(ids))
+	var newLive int64
+	for _, id := range ids {
+		steps := make([]int, 0, len(j.ckpts[id]))
+		for step := range j.ckpts[id] {
+			steps = append(steps, step)
+		}
+		sort.Ints(steps)
+		m := make(map[int]blobRegion, len(steps))
+		for _, step := range steps {
+			reg := j.ckpts[id][step]
+			blob := make([]byte, reg.size)
+			if _, err := j.f.ReadAt(blob, reg.off); err != nil {
+				return fail(err)
+			}
+			payload := appendString16(nil, id)
+			payload = binary.BigEndian.AppendUint32(payload, uint32(step))
+			payload = append(payload, blob...)
+			bodyOff, err := writeRec(recCheckpoint, payload)
+			if err != nil {
+				return fail(err)
+			}
+			m[step] = blobRegion{off: bodyOff + int64(1+2+len(id)+4), size: len(blob)}
+			newLive += frameLen(id, len(blob))
+			records++
+		}
+		newRegions[id] = m
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		j.fs.Remove(tmpPath)
+		return err
+	}
+	if err := j.fs.Rename(tmpPath, j.path); err != nil {
+		j.fs.Remove(tmpPath)
+		return err
+	}
+	if dir := filepath.Dir(j.path); dir != "" {
+		j.fs.SyncDir(dir)
+	}
+	// Swap the open handle to the new file.
+	nf, err := j.fs.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename landed but the reopen failed: the store cannot
+		// continue against the old (now unlinked) handle safely for
+		// reads of compacted offsets, so surface the error.
+		return err
+	}
+	j.f.Close()
+	j.f = nf
+	j.size = off
+	j.ckpts = newRegions
+	j.ckptLive = newLive
+	j.st.JournalBytes = off
+	j.st.Records += records
+	j.st.Compactions++
+	return nil
+}

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildJournal writes a small journal with a known record sequence and
+// returns its path plus the per-record "acknowledged prefix" table:
+// ends[i] is the file size after record i became durable.
+func buildJournal(t *testing.T, dir string) (path string, ends []int64) {
+	t.Helper()
+	path = filepath.Join(dir, "store.journal")
+	j, err := OpenJournal(path, JournalOptions{Retain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := func() {
+		ends = append(ends, j.Stats().JournalBytes)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.RetireSession(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		note()
+	}
+	if err := j.PutCheckpoint("ue-0", 5, bytes.Repeat([]byte{0xAB}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	note()
+	if err := j.PutCheckpoint("ue-0", 10, bytes.Repeat([]byte{0xCD}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	note()
+	if err := j.DeleteCheckpoint("ue-0", 5); err != nil {
+		t.Fatal(err)
+	}
+	note()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, ends
+}
+
+// TestCrashJournalTruncationSweep is the SIGKILL-equivalent sweep: the
+// journal is truncated at EVERY byte offset — every record boundary and
+// every mid-record position — and each truncation must recover to
+// exactly the records that were fully durable before the cut, then stay
+// writable.
+func TestCrashJournalTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	path, ends := buildJournal(t, dir)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(whole)) != ends[len(ends)-1] {
+		t.Fatalf("file is %d bytes, last ack at %d", len(whole), ends[len(ends)-1])
+	}
+
+	// recovered(cut) = how many records were fully durable at cut bytes.
+	recovered := func(cut int64) int {
+		n := 0
+		for _, e := range ends {
+			if e <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := 0; cut <= len(whole); cut++ {
+		cutPath := filepath.Join(dir, "cut.journal")
+		if err := os.WriteFile(cutPath, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(cutPath, JournalOptions{Retain: 8})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		st := j.Stats()
+		if want := int64(recovered(int64(cut))); st.RecoveredRecords != want {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, st.RecoveredRecords, want)
+		}
+		// A cut exactly at an acknowledged boundary (empty file, bare
+		// header, or any record end) is a valid journal — no torn tail,
+		// no recovery. Every other offset must count one.
+		boundary := cut == 0 || cut == journalHdrLen
+		for _, e := range ends {
+			boundary = boundary || int64(cut) == e
+		}
+		if boundary {
+			if st.Recoveries != 0 {
+				t.Fatalf("cut=%d: boundary cut reported %d recoveries", cut, st.Recoveries)
+			}
+		} else if st.Recoveries != 1 || st.TruncatedBytes == 0 {
+			t.Fatalf("cut=%d: recoveries = %d truncated = %d, want a recovery", cut, st.Recoveries, st.TruncatedBytes)
+		}
+		// Survivor state matches the acknowledged prefix: after all 6
+		// records, ue-0 holds only step 10.
+		if recovered(int64(cut)) == len(ends) {
+			blob, err := j.GetCheckpoint("ue-0", 10)
+			if err != nil || !bytes.Equal(blob, bytes.Repeat([]byte{0xCD}, 200)) {
+				t.Fatalf("cut=%d: checkpoint lost: %v", cut, err)
+			}
+			if _, err := j.GetCheckpoint("ue-0", 5); !IsNotFound(err) {
+				t.Fatalf("cut=%d: pruned checkpoint resurrected", cut)
+			}
+		}
+		// The recovered journal accepts appends and they persist.
+		if err := j.RetireSession(testRecord(99)); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(cutPath, JournalOptions{Retain: 8})
+		if err != nil {
+			t.Fatalf("cut=%d: second open: %v", cut, err)
+		}
+		recs, _ := j2.RetiredSessions()
+		if len(recs) == 0 || recs[len(recs)-1].ID != "ue-99" {
+			t.Fatalf("cut=%d: post-recovery append did not survive reopen", cut)
+		}
+		if st2 := j2.Stats(); st2.Recoveries != 0 {
+			t.Fatalf("cut=%d: clean reopen reported a recovery", cut)
+		}
+		j2.Close()
+		os.Remove(cutPath)
+	}
+}
+
+// TestJournalCompaction: dead weight (pruned checkpoints, ring
+// overflow) is rewritten away, live state survives byte-identically,
+// and the compacted file reopens clean.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.journal")
+	j, err := OpenJournal(path, JournalOptions{Retain: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := bytes.Repeat([]byte{0x42}, 300)
+	if err := j.PutCheckpoint("ue-keep", 20, keep); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ { // churn: checkpoints written and pruned
+		if err := j.PutCheckpoint("ue-churn", i, bytes.Repeat([]byte{byte(i)}, 500)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.DeleteCheckpoint("ue-churn", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ { // spills the retain=4 ring
+		if err := j.RetireSession(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := j.Stats()
+	wantAgg := j.Aggregates()
+	wantRecs, _ := j.RetiredSessions()
+
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := j.Stats()
+	if after.Compactions != 1 {
+		t.Fatalf("compactions = %d", after.Compactions)
+	}
+	if after.JournalBytes >= before.JournalBytes {
+		t.Fatalf("compaction did not shrink: %d -> %d bytes", before.JournalBytes, after.JournalBytes)
+	}
+	// Live state intact through the handle swap...
+	if blob, err := j.GetCheckpoint("ue-keep", 20); err != nil || !bytes.Equal(blob, keep) {
+		t.Fatalf("live checkpoint after compaction: %v", err)
+	}
+	if agg := j.Aggregates(); agg != wantAgg {
+		t.Fatalf("aggregates after compaction = %+v, want %+v", agg, wantAgg)
+	}
+	// ...still appendable, and everything survives a reopen.
+	if err := j.PutCheckpoint("ue-keep", 30, keep); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := OpenJournal(path, JournalOptions{Retain: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st := j2.Stats(); st.Recoveries != 0 {
+		t.Fatal("compacted file needed recovery on reopen")
+	}
+	if blob, err := j2.GetCheckpoint("ue-keep", 20); err != nil || !bytes.Equal(blob, keep) {
+		t.Fatalf("checkpoint lost across compaction+reopen: %v", err)
+	}
+	if blob, err := j2.GetCheckpoint("ue-keep", 30); err != nil || !bytes.Equal(blob, keep) {
+		t.Fatalf("post-compaction append lost: %v", err)
+	}
+	recs, _ := j2.RetiredSessions()
+	if len(recs) != len(wantRecs) {
+		t.Fatalf("retire ring after compaction: %d records, want %d", len(recs), len(wantRecs))
+	}
+	if agg := j2.Aggregates(); agg != wantAgg {
+		t.Fatalf("aggregates after reopen = %+v, want %+v", agg, wantAgg)
+	}
+}
+
+// TestJournalAutoCompaction: crossing CompactBytes with mostly dead
+// weight triggers compaction without an explicit call; a file whose
+// bytes are mostly live does not thrash.
+func TestJournalAutoCompaction(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "s.journal"), JournalOptions{
+		Retain: 4, CompactBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	blob := bytes.Repeat([]byte{7}, 1024)
+	for i := 0; i < 64; i++ {
+		if err := j.PutCheckpoint("ue-0", i, blob); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.DeleteCheckpoint("ue-0", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("churn past CompactBytes never compacted")
+	}
+	if st.JournalBytes > 32<<10 {
+		t.Fatalf("journal grew to %d bytes despite compaction", st.JournalBytes)
+	}
+}
+
+// TestJournalRejectsForeignFile: a file that is not a journal fails
+// loudly instead of being silently truncated to nothing.
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.journal")
+	if err := os.WriteFile(path, []byte("GIF89a definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, JournalOptions{}); err == nil {
+		t.Fatal("foreign file opened as a journal")
+	}
+}
+
+// TestJournalLargeBlobRoundTrip guards the region index math on blobs
+// spanning many write sizes.
+func TestJournalLargeBlobRoundTrip(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "s.journal"), JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i, size := range []int{0, 1, 4095, 1 << 16} {
+		blob := bytes.Repeat([]byte{byte(i + 1)}, size)
+		id := fmt.Sprintf("ue-%d", i)
+		if err := j.PutCheckpoint(id, i, blob); err != nil {
+			t.Fatal(err)
+		}
+		got, err := j.GetCheckpoint(id, i)
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("blob size %d: %v", size, err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/store"
 )
 
 // UE-side helpers for joining a BSServer. The handshake inverts the
@@ -379,7 +380,7 @@ func (s *UESession) saveCheckpoint(ue *UEPeer, step uint32) error {
 	if s.CheckpointDir == "" {
 		return nil
 	}
-	return writeFileAtomic(s.ckptFile(), func(w io.Writer) error {
+	return store.WriteFileAtomic(s.ckptFile(), func(w io.Writer) error {
 		_, err := w.Write(buf.Bytes())
 		return err
 	})

@@ -1,13 +1,10 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +12,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/store"
 )
 
 // BSServer is the multi-UE base station: one listener, N concurrent
@@ -97,8 +95,27 @@ type ServerConfig struct {
 	// persist their BS-half train state here every CheckpointEvery
 	// steps (and instruct the UE to persist its half), and a
 	// reconnecting UE presenting a resume token restores from the
-	// matching checkpoint. Empty disables checkpointing.
+	// matching checkpoint. Empty disables checkpointing (unless Store
+	// is set, which enables it regardless).
 	CheckpointDir string
+
+	// Store, when set, is the durable backend for checkpoints, retired
+	// sessions and lifetime aggregates (see internal/store); sessions
+	// found in it at construction are adopted — re-materialized into
+	// the retention ring, their resume tokens honoured by a server that
+	// never served them live. Nil picks a default: a Dir store over
+	// CheckpointDir when that is set (the pre-store on-disk layout,
+	// unchanged), else an in-memory mirror with checkpointing disabled.
+	// An explicitly provided Store is not closed by the server.
+	Store store.Store
+
+	// StoreRetries is how many times a failed store write is retried
+	// (≤0: 3) with doubling backoff starting at StoreRetryBackoff
+	// (≤0: 10ms) before the server degrades: serving continues,
+	// checkpointing is disabled for the rest of the process, and the
+	// condition is surfaced via Stats and the control plane.
+	StoreRetries      int
+	StoreRetryBackoff time.Duration
 
 	// CheckpointEvery is the checkpoint interval in training steps
 	// (≤0: 50). Only consulted when CheckpointDir is set.
@@ -160,6 +177,12 @@ func (c *ServerConfig) fillDefaults() {
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
 	}
+	if c.StoreRetries <= 0 {
+		c.StoreRetries = 3
+	}
+	if c.StoreRetryBackoff <= 0 {
+		c.StoreRetryBackoff = 10 * time.Millisecond
+	}
 	if c.Provision == nil {
 		c.Provision = SessionEnv
 	}
@@ -167,6 +190,10 @@ func (c *ServerConfig) fillDefaults() {
 		c.Logf = func(string, ...any) {}
 	}
 }
+
+// errStoreDegraded marks store writes skipped because an earlier write
+// already exhausted its retries and degraded the server.
+var errStoreDegraded = fmt.Errorf("transport: store degraded, write skipped")
 
 // ckptKeep is how many checkpoint files are kept per session: the
 // newest, plus its predecessor to cover a UE that died after the BS
@@ -187,8 +214,24 @@ type BSServer struct {
 	// session join or round boundary, never cached across one.
 	pol atomic.Pointer[Policy]
 
+	// bstore is the durable backend (never nil after NewBSServer);
+	// ownStore marks a server-constructed default that Close releases.
+	// ckptEnabled is fixed at construction; storeDegraded flips once,
+	// on the first store write that exhausts its retries, and disables
+	// checkpointing for the rest of the process while serving
+	// continues.
+	bstore         store.Store
+	ownStore       bool
+	ckptEnabled    bool
+	adopted        int64
+	storeDegraded  atomic.Bool
+	storeWriteErrs atomic.Int64
+	restoreErrs    atomic.Int64
+
 	draining atomic.Bool
 	wg       sync.WaitGroup
+
+	closeOnce sync.Once
 }
 
 // NewBSServer builds a server; zero-valued config fields take defaults.
@@ -211,6 +254,52 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 	boot := cfg.policy()
 	s.pol.Store(&boot)
 	s.store.onEnd = cfg.OnSessionEnd
+
+	// Durable backend: an explicit Store wins (and enables
+	// checkpointing — the caller chose durability); else CheckpointDir
+	// picks the per-file layout that older builds wrote; else an
+	// in-memory mirror that keeps the store path exercised but leaves
+	// checkpointing off, preserving the no-checkpoint-dir contract
+	// (resume tokens refused).
+	switch {
+	case cfg.Store != nil:
+		s.bstore = cfg.Store
+		s.ckptEnabled = true
+	case cfg.CheckpointDir != "":
+		ds, err := store.OpenDir(cfg.CheckpointDir, cfg.Retain)
+		if err != nil {
+			return nil, fmt.Errorf("transport: open checkpoint store: %w", err)
+		}
+		s.bstore = ds
+		s.ownStore = true
+		s.ckptEnabled = true
+	default:
+		s.bstore = store.NewMem(cfg.Retain)
+		s.ownStore = true
+	}
+
+	// Cold-start adoption: retired sessions a predecessor left in the
+	// store re-materialize into the retention ring, and the lifetime
+	// accumulators resume from its aggregates — so this server honours
+	// resume tokens for sessions it never served live, and a scrape
+	// continues the counters where the crashed process stopped.
+	if recs, err := s.bstore.RetiredSessions(); err == nil && len(recs) > 0 {
+		snaps := make([]SessionSnapshot, len(recs))
+		for i, rec := range recs {
+			snaps[i] = snapshotFromRecord(rec)
+		}
+		agg := s.bstore.Aggregates()
+		s.store.adopt(snaps, countsFromAggregates(agg),
+			agg.Checkpoints, agg.Resumes, agg.BytesIn, agg.BytesOut)
+		s.adopted = int64(len(recs))
+		cfg.Logf("bs-server: adopted %d retired sessions from %s store", len(recs), s.bstore.Kind())
+	}
+	s.store.persist = func(snap SessionSnapshot) {
+		s.storeWrite(fmt.Sprintf("retire session %q", snap.ID), func() error {
+			return s.bstore.RetireSession(recordFromSnapshot(snap))
+		})
+	}
+
 	if cfg.BatchWindow > 0 {
 		if cfg.Sched != SchedAsync {
 			cfg.Logf("bs-server: batching needs async scheduling; serving %v serially", cfg.Sched)
@@ -221,13 +310,63 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 	return s, nil
 }
 
-// Close stops the pipelined serving path's stage workers. Call after
-// Wait; a server built without BatchWindow has nothing to stop. Safe to
-// call more than once.
+// Store exposes the server's durable backend (never nil) — the handle a
+// successor process adopts, and what tests inspect.
+func (s *BSServer) Store() store.Store { return s.bstore }
+
+// StoreDegraded reports whether a store write has exhausted its retries:
+// serving continues but checkpointing is disabled.
+func (s *BSServer) StoreDegraded() bool { return s.storeDegraded.Load() }
+
+// storeWrite runs one durable write with the configured capped
+// retry/backoff. Exhausting the retries degrades the server — serving
+// continues, checkpointing stops, the condition is surfaced in Stats —
+// rather than failing sessions: a BS with a sick disk still trains.
+func (s *BSServer) storeWrite(what string, op func() error) error {
+	if s.storeDegraded.Load() {
+		return errStoreDegraded
+	}
+	var err error
+	backoff := s.cfg.StoreRetryBackoff
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= s.cfg.StoreRetries {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	s.storeWriteErrs.Add(1)
+	if s.storeDegraded.CompareAndSwap(false, true) {
+		s.cfg.Logf("bs-server: %s store degraded (%s failed after %d attempts: %v) — serving continues, checkpointing disabled",
+			s.bstore.Kind(), what, s.cfg.StoreRetries+1, err)
+	}
+	return err
+}
+
+// Close stops the pipelined serving path's stage workers and releases
+// the server-owned store (an explicitly configured Store is flushed but
+// left open — the caller owns it, and may hand it to a successor). Call
+// after Wait. Safe to call more than once.
 func (s *BSServer) Close() {
 	if s.hub != nil {
 		s.hub.stop()
 	}
+	s.closeOnce.Do(func() {
+		if s.bstore == nil {
+			return
+		}
+		if err := s.bstore.Flush(); err != nil {
+			s.cfg.Logf("bs-server: store flush: %v", err)
+		}
+		if s.ownStore {
+			if err := s.bstore.Close(); err != nil {
+				s.cfg.Logf("bs-server: store close: %v", err)
+			}
+		}
+	})
 }
 
 // RoundLatency reports the p50/p99 of the most recent serving rounds
@@ -376,6 +515,20 @@ type ServerStats struct {
 	ResumesTotal     int64 // resumes from checkpoint granted
 	BytesInTotal     int64 // wire bytes received from UEs
 	BytesOutTotal    int64 // wire bytes sent to UEs
+
+	// Durable-store health (see internal/store and DESIGN.md §11).
+	StoreKind             string
+	StoreDegraded         bool  // a write exhausted its retries; checkpointing disabled
+	StoreJournalBytes     int64 // journal (or retire-log) file size
+	StoreRecords          int64 // records appended, including replayed at open
+	StoreLiveCheckpoints  int64 // checkpoint blobs currently retrievable
+	StoreCompactions      int64 // journal compactions performed
+	StoreRecoveries       int64 // opens that truncated a torn tail
+	StoreRecoveredRecords int64 // records successfully replayed at open
+	StoreTruncatedBytes   int64 // torn bytes dropped by recovery
+	StoreWriteErrors      int64 // store writes that exhausted their retries
+	RestoreErrors         int64 // resume-token restores that failed
+	AdoptedSessions       int64 // retired sessions adopted from the store at boot
 }
 
 // Stats collects the aggregate counters above.
@@ -401,6 +554,19 @@ func (s *BSServer) Stats() ServerStats {
 		out.SharedRounds = s.hub.sharedRounds.Load()
 		out.QueueDepth = s.hub.queue.Load()
 	}
+	st := s.bstore.Stats()
+	out.StoreKind = st.Kind
+	out.StoreDegraded = s.storeDegraded.Load()
+	out.StoreJournalBytes = st.JournalBytes
+	out.StoreRecords = st.Records
+	out.StoreLiveCheckpoints = st.LiveCheckpoints
+	out.StoreCompactions = st.Compactions
+	out.StoreRecoveries = st.Recoveries
+	out.StoreRecoveredRecords = st.RecoveredRecords
+	out.StoreTruncatedBytes = st.TruncatedBytes
+	out.StoreWriteErrors = s.storeWriteErrs.Load()
+	out.RestoreErrors = s.restoreErrs.Load()
+	out.AdoptedSessions = s.adopted
 	return out
 }
 
@@ -465,8 +631,8 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 		s.refuse(cc, h, ver, err)
 		return err
 	}
-	if h.ResumeStep > 0 && s.cfg.CheckpointDir == "" {
-		err := fmt.Errorf("transport: session %q requests resume but server has no checkpoint dir", h.SessionID)
+	if h.ResumeStep > 0 && !s.ckptEnabled {
+		err := fmt.Errorf("transport: session %q requests resume but server has no checkpoint store", h.SessionID)
 		s.refuseResume(cc, h, ver, err)
 		return err
 	}
@@ -668,32 +834,30 @@ func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target 
 // checkpoint directory is O(sessions²) directory scanning.
 func (s *BSServer) pruneCheckpoints(sess *session, final int) {
 	steps, resumed := sess.ckptHistory()
-	if !resumed {
-		for _, step := range steps {
-			if step != final {
-				os.Remove(ckptPath(s.cfg.CheckpointDir, sess.id, step))
-			}
+	if resumed {
+		// Predecessors may have left checkpoints outside this
+		// incarnation's ring; ask the store for the full set.
+		if all, err := s.bstore.CheckpointSteps(sess.id); err == nil {
+			steps = all
 		}
-		return
 	}
-	keep := ckptPath(s.cfg.CheckpointDir, sess.id, final)
-	matches, err := filepath.Glob(filepath.Join(s.cfg.CheckpointDir, sanitizeID(sess.id)+"@*.bs.ckpt"))
-	if err != nil {
-		return
-	}
-	for _, m := range matches {
-		if m != keep {
-			os.Remove(m)
+	for _, step := range steps {
+		if step == final {
+			continue
+		}
+		if err := s.bstore.DeleteCheckpoint(sess.id, step); err != nil && sess.logPruneErrOnce() {
+			s.cfg.Logf("bs-server: session %q: pruning checkpoint at step %d: %v (suppressing further prune errors for this session)",
+				sess.id, step, err)
 		}
 	}
 }
 
 // checkpointEnabled reports whether this incarnation checkpoints: the
-// server needs a directory and the peer must speak protocol ≥ 3 (older
-// UEs cannot be told to save their half, so a one-sided checkpoint
-// could never be resumed).
+// server needs a durable store that has not degraded, and the peer must
+// speak protocol ≥ 3 (older UEs cannot be told to save their half, so a
+// one-sided checkpoint could never be resumed).
 func (s *BSServer) checkpointEnabled(sess *session) bool {
-	return s.cfg.CheckpointDir != "" && sess.ver >= 3
+	return s.ckptEnabled && !s.storeDegraded.Load() && sess.ver >= 3
 }
 
 func (s *BSServer) checkpointDue(sess *session, step int, last bool) bool {
@@ -707,43 +871,29 @@ func (s *BSServer) checkpointDue(sess *session, step int, last bool) bool {
 }
 
 // checkpoint persists the BS half's train state at step and instructs
-// the UE to persist its half. File errors are surfaced: a server that
-// silently stops checkpointing would strand every future resume.
+// the UE to persist its half. Serialization and connection errors are
+// surfaced — they are session-fatal — but a store write that exhausts
+// its retries degrades the server instead (serving continues,
+// checkpointing stops) and is NOT fatal: the UE is simply never told a
+// checkpoint exists, so its resume token keeps naming the last one that
+// actually became durable.
 func (s *BSServer) checkpoint(sess *session, peer *BSPeer, step int) error {
-	path := ckptPath(s.cfg.CheckpointDir, sess.id, step)
-	if err := writeFileAtomic(path, func(w io.Writer) error {
-		return peer.SaveState(w, step)
-	}); err != nil {
+	var buf bytes.Buffer
+	if err := peer.SaveState(&buf, step); err != nil {
 		return err
+	}
+	if err := s.storeWrite(fmt.Sprintf("checkpoint %q@%d", sess.id, step), func() error {
+		return s.bstore.PutCheckpoint(sess.id, step, buf.Bytes())
+	}); err != nil {
+		return nil // degraded, not session-fatal
 	}
 	for _, old := range sess.recordCheckpoint(step, ckptKeep) {
-		os.Remove(ckptPath(s.cfg.CheckpointDir, sess.id, old))
+		if err := s.bstore.DeleteCheckpoint(sess.id, old); err != nil && sess.logPruneErrOnce() {
+			s.cfg.Logf("bs-server: session %q: pruning checkpoint at step %d: %v (suppressing further prune errors for this session)",
+				sess.id, old, err)
+		}
 	}
 	return peer.writeControl(&Message{Type: MsgCheckpoint, Step: uint32(step)})
-}
-
-// writeFileAtomic writes a file via a temp sibling + rename, so a crash
-// mid-write can never leave a torn checkpoint under the final name.
-func writeFileAtomic(path string, write func(io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
 }
 
 // restore loads the BS-half checkpoint the resume token names into the
@@ -751,16 +901,18 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 // match the session's current one — resuming across a drifted
 // configuration is rejected at join time.
 func (s *BSServer) restore(sess *session, peer *BSPeer, step int) error {
-	f, err := os.Open(ckptPath(s.cfg.CheckpointDir, sess.id, step))
+	blob, err := s.bstore.GetCheckpoint(sess.id, step)
 	if err != nil {
+		s.restoreErrs.Add(1)
 		return fmt.Errorf("transport: session %q has no checkpoint at step %d", sess.id, step)
 	}
-	defer f.Close()
-	got, err := peer.RestoreState(f)
+	got, err := peer.RestoreState(bytes.NewReader(blob))
 	if err != nil {
+		s.restoreErrs.Add(1)
 		return fmt.Errorf("transport: session %q resume from step %d: %w", sess.id, step, err)
 	}
 	if got != step {
+		s.restoreErrs.Add(1)
 		return fmt.Errorf("transport: session %q checkpoint holds step %d, token says %d", sess.id, got, step)
 	}
 	sess.markResumed(step)
@@ -777,25 +929,16 @@ func (s *session) lastCheckpoint() int {
 	return s.ckptSteps[len(s.ckptSteps)-1]
 }
 
-// ckptPath names a session's BS-half checkpoint file at a step.
+// ckptPath names a session's BS-half checkpoint file at a step (the Dir
+// backend's on-disk contract; see store.CheckpointPath).
 func ckptPath(dir, id string, step int) string {
-	return filepath.Join(dir, fmt.Sprintf("%s@%06d.bs.ckpt", sanitizeID(id), step))
+	return store.CheckpointPath(dir, id, step)
 }
 
 // sanitizeID maps a UE-chosen session id onto a stable filesystem-safe
-// name, suffixed with a hash of the raw id so distinct ids that
-// sanitise alike stay distinct.
+// name (see store.SanitizeID).
 func sanitizeID(id string) string {
-	clean := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
-			return r
-		}
-		return '_'
-	}, id)
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return fmt.Sprintf("%s-%08x", clean, h.Sum32())
+	return store.SanitizeID(id)
 }
 
 // spreadAnchors subsamples up to n anchors evenly across the whole

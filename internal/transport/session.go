@@ -127,7 +127,11 @@ type session struct {
 	err       error
 	met       *metrics.SessionMetrics
 	conn      *CountingConn // nil until provisioned
-	ckptSteps []int         // steps with an on-disk checkpoint, oldest first
+	ckptSteps []int         // steps with a stored checkpoint, oldest first
+
+	// pruneLogged caps checkpoint-prune error logging at one line per
+	// session, so a wedged store cannot flood the log at fleet scale.
+	pruneLogged bool
 }
 
 // setState applies a non-terminal lifecycle transition; it is a no-op
@@ -158,6 +162,18 @@ func (s *session) terminalCause() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// logPruneErrOnce reports whether this is the session's first prune
+// error; callers log only then.
+func (s *session) logPruneErrOnce() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pruneLogged {
+		return false
+	}
+	s.pruneLogged = true
+	return true
 }
 
 // ckptHistory returns the checkpoint steps this incarnation recorded
@@ -295,6 +311,12 @@ type sessionStore struct {
 	// store — counting live sessions, say — would otherwise deadlock),
 	// with the terminal snapshot and the session's recorded cause.
 	onEnd func(SessionSnapshot, error)
+
+	// persist, when set, mirrors every retiring incarnation into the
+	// durable store (see store_bridge.go). Like onEnd it fires outside
+	// the store mutex, on the retiring goroutine, before onEnd — so an
+	// OnSessionEnd hook observes a snapshot that is already durable.
+	persist func(SessionSnapshot)
 }
 
 func newSessionStore(retain int) *sessionStore {
@@ -338,8 +360,13 @@ func (st *sessionStore) admit(h Hello, ver uint8, closer io.Closer, maxUE int) (
 	st.live[h.SessionID] = sess
 	st.order = append(st.order, h.SessionID)
 	st.mu.Unlock()
-	if retired && st.onEnd != nil {
-		st.onEnd(snap, snap.cause)
+	if retired {
+		if st.persist != nil {
+			st.persist(snap)
+		}
+		if st.onEnd != nil {
+			st.onEnd(snap, snap.cause)
+		}
 	}
 	return sess, superseded, nil
 }
@@ -352,8 +379,13 @@ func (st *sessionStore) finish(sess *session, to SessionState, cause error) {
 	st.mu.Lock()
 	snap, retired := st.retireLocked(sess, to, cause)
 	st.mu.Unlock()
-	if retired && st.onEnd != nil {
-		st.onEnd(snap, snap.cause)
+	if retired {
+		if st.persist != nil {
+			st.persist(snap)
+		}
+		if st.onEnd != nil {
+			st.onEnd(snap, snap.cause)
+		}
 	}
 }
 
@@ -424,6 +456,27 @@ func (c *endCounts) classify(state SessionState, cause error) {
 	default:
 		c.detached++
 	}
+}
+
+// adopt seeds the store from a durable predecessor at boot: retired
+// snapshots re-materialized from store records enter the retention ring
+// (oldest first), and the monotonic accumulators start from the
+// adopted lifetime totals — so a scrape of the fresh process continues
+// the counters where the crashed one stopped, with no double counting
+// (subsequent retirements add to both the in-memory accumulators and
+// the durable aggregates symmetrically).
+func (st *sessionStore) adopt(snaps []SessionSnapshot, ended endCounts, ckpts, resumes, bytesIn, bytesOut int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.retired = append(st.retired, snaps...)
+	if over := len(st.retired) - st.retain; over > 0 {
+		st.retired = append([]SessionSnapshot(nil), st.retired[over:]...)
+	}
+	st.ended = ended
+	st.totCkpts = ckpts
+	st.totResumes = resumes
+	st.totBytesIn = bytesIn
+	st.totBytesOut = bytesOut
 }
 
 // findLive returns the live session registered under id, or nil.
