@@ -30,6 +30,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -72,6 +73,7 @@ func main() {
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8); results are identical for any value)")
 	batchWindow := flag.Duration("batch-window", 0, "multi-UE mode: pipelined serving with cross-session compute batching; rounds arriving within this window coalesce (0 = serial serving; results are bit-identical either way)")
 	batchMax := flag.Int("batch-max", 16, "multi-UE mode: max rounds coalesced into one compute dispatch")
+	replicaID := flag.String("replica-id", "", "multi-UE mode: stable replica identity in a coordinated fleet (the mmsl_replica_info{id} label and mmsl-coord member name; empty = bs-0)")
 	adminAddr := flag.String("admin", "", "serve the control plane on this address: /metrics, session admin, live /config, /debug/pprof/ (e.g. localhost:6060; empty = off)")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -admin (the old standalone pprof listener is folded into the admin mux)")
 	flag.Parse()
@@ -94,7 +96,8 @@ func main() {
 		log.Fatal("mmsl-bs: -listen and -connect are mutually exclusive")
 	case *listen != "":
 		serveMultiUE(*listen, *adminAddr, transport.ServerConfig{
-			MaxUE: *maxUE, Steps: *steps, EvalEvery: *evalEvery, ValAnchors: *valAnchors,
+			ReplicaID: *replicaID,
+			MaxUE:     *maxUE, Steps: *steps, EvalEvery: *evalEvery, ValAnchors: *valAnchors,
 			TargetRMSEdB: *target, IdleTimeout: *idleTimeout,
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Retain: *retain,
 			BatchWindow: *batchWindow, BatchMax: *batchMax,
@@ -229,8 +232,14 @@ func flushSessionMetrics(srv *transport.BSServer) {
 	}
 	fmt.Println("\nsession      epoch  state       steps  resumed  ckpts  val RMSE   wire in/out")
 	for _, s := range snaps {
+		// A migrated-out incarnation retires through the failure path
+		// (its conn is severed), but it is a handover, not an error.
+		state := s.State.String()
+		if errors.Is(s.Cause(), transport.ErrMigrated) {
+			state = "migrated"
+		}
 		fmt.Printf("%-11s  %5d  %-10s  %5d  %7d  %5d  %5.2f dB  %d/%d B\n",
-			s.ID, s.Epoch, s.State, s.Steps, s.ResumedFrom, s.Metrics.Checkpoints.Load(),
+			s.ID, s.Epoch, state, s.Steps, s.ResumedFrom, s.Metrics.Checkpoints.Load(),
 			s.LastRMSE, s.BytesIn, s.BytesOut)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/coord"
 	"repro/internal/fleet"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -24,27 +25,38 @@ import (
 // fingerprints), lifecycle counters and peak RSS. `-fleet-soak` scales
 // the same run to 10k concurrent sessions.
 
-func runFleetBench(ues, steps int, churn float64, seed int64, adminAddr string, jsonOut bool, out, check string) error {
+func runFleetBench(ues, steps int, churn float64, seed int64, replicas int, adminAddr string, jsonOut bool, out, check string) error {
 	spec := fleet.Spec{
 		UEs: ues, Seed: seed, Steps: steps,
 		ChurnFraction: churn,
 		Checkpoint:    true,
+		Replicas:      replicas,
 		WallLimit:     30 * time.Minute,
 	}
 	// -admin mounts the control plane on the soak's in-process server for
 	// the run's duration, so a scraper (or a curious operator) can watch
-	// /metrics and /sessions while the churn load is live.
+	// /metrics and /sessions while the churn load is live. In a replica
+	// fleet the coordinator's control plane serves instead: its /metrics
+	// federates every replica under a replica label.
 	var admin *http.Server
 	if adminAddr != "" {
-		spec.OnServer = func(srv *transport.BSServer) {
-			ctl := control.New(srv, control.Options{Logf: log.Printf, Pprof: true})
-			admin = &http.Server{Addr: adminAddr, Handler: ctl.Handler()}
+		serveAdmin := func(h http.Handler) {
+			admin = &http.Server{Addr: adminAddr, Handler: h}
 			fmt.Printf("fleet soak: control plane on http://%s/\n", adminAddr)
 			go func() {
 				if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 					log.Printf("bench: control plane: %v", err)
 				}
 			}()
+		}
+		if replicas > 1 {
+			spec.OnCoordinator = func(co *coord.Coordinator) {
+				serveAdmin(control.NewCoord(co, control.Options{Logf: log.Printf, Pprof: true}).Handler())
+			}
+		} else {
+			spec.OnServer = func(srv *transport.BSServer) {
+				serveAdmin(control.New(srv, control.Options{Logf: log.Printf, Pprof: true}).Handler())
+			}
 		}
 	}
 	rep, err := fleet.Run(spec, func(format string, args ...any) {
@@ -96,6 +108,14 @@ func printFleetReport(rep *fleet.Report) {
 	fmt.Printf("  %-22s %12d (peak)\n", "batch queue depth", rep.QueuePeak)
 	fmt.Printf("  %-22s %12.1f\n", "peak RSS MB", rep.PeakRSSMB)
 	fmt.Printf("  %-22s %12.1f\n", "elapsed sec", rep.ElapsedSec)
+	if h := rep.Handover; h != nil {
+		fmt.Printf("fleet handover drill: %d replicas\n", h.Replicas)
+		fmt.Printf("  %-22s %12d\n", "handovers", h.Migrations)
+		fmt.Printf("  %-22s %12d\n", "failed attempts", h.Failed)
+		fmt.Printf("  %-22s %12d\n", "migrated incarnations", h.MigratedEnds)
+		fmt.Printf("  %-22s %12.2f\n", "handover p50 ms", h.P50Ms)
+		fmt.Printf("  %-22s %12.2f\n", "handover p99 ms", h.P99Ms)
+	}
 }
 
 // checkFleetReport is the fleet regression gate: the run just measured
@@ -123,8 +143,28 @@ func checkFleetReport(rep *fleet.Report, baselinePath string) error {
 	if rep.SharedRatio > 0.05 {
 		failures = append(failures, fmt.Sprintf("shared ratio %.4f under mixed fingerprints, want ≈0", rep.SharedRatio))
 	}
+	// Replica-fleet runs additionally gate on the handover drill: live
+	// migration must actually have happened and produced latency numbers.
+	// Failed attempts are reported, not gated — under churn the chosen
+	// session can legitimately end before its checkpoint boundary.
+	if rep.Handover != nil {
+		h := rep.Handover
+		if h.Migrations == 0 {
+			failures = append(failures, "handover drill completed no migration")
+		}
+		if h.MigratedEnds < int(h.Migrations) {
+			failures = append(failures, fmt.Sprintf("%d migrated incarnations for %d handovers", h.MigratedEnds, h.Migrations))
+		}
+		if h.Migrations > 0 && (h.P50Ms <= 0 || h.P99Ms < h.P50Ms) {
+			failures = append(failures, fmt.Sprintf("degenerate handover latency: p50 %.3fms p99 %.3fms", h.P50Ms, h.P99Ms))
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: fleet regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if h := rep.Handover; h != nil {
+		fmt.Printf("bench: handover gate passed (%d replicas, %d handovers, p50 %.2fms p99 %.2fms, 0 driver errors)\n",
+			h.Replicas, h.Migrations, h.P50Ms, h.P99Ms)
 	}
 	fmt.Printf("bench: fleet gate passed (%d UEs, %d rounds, 0 leaks, shared %.4f)\n",
 		rep.UEs, rep.Rounds, rep.SharedRatio)

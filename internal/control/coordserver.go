@@ -1,0 +1,220 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/coord"
+)
+
+// CoordServer is the control plane over a coordinator: the fleet-level
+// sibling of Server. Its /metrics federates every local replica's full
+// exposition — one family header, per-replica samples distinguished by
+// a replica label — plus the coordinator's own routing and handover
+// counters, so one scrape sees the whole fleet. Admin endpoints drive
+// placement (GET /replicas, PUT /config over the placement policy) and
+// handover (POST /sessions/{id}/migrate?to=..., POST /rebalance).
+type CoordServer struct {
+	co   *coord.Coordinator
+	opts Options
+	mux  *http.ServeMux
+}
+
+// NewCoord builds the control plane for co.
+func NewCoord(co *coord.Coordinator, opts Options) *CoordServer {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &CoordServer{co: co, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /replicas", s.handleReplicas)
+	s.mux.HandleFunc("POST /sessions/{id}/migrate", s.handleMigrate)
+	s.mux.HandleFunc("POST /rebalance", s.handleRebalance)
+	s.mux.HandleFunc("GET /config", s.handleGetConfig)
+	s.mux.HandleFunc("PUT /config", s.handlePutConfig)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the coordinator control plane's HTTP handler.
+func (s *CoordServer) Handler() http.Handler { return s.mux }
+
+func (s *CoordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.co.Stats()
+	draining := 0
+	for _, rep := range s.co.Replicas() {
+		if rep.Draining() {
+			draining++
+		}
+	}
+	status := "ok"
+	if draining == st.Replicas {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            status,
+		"replicas":          st.Replicas,
+		"replicas_draining": draining,
+		"routes":            st.Routes,
+		"handovers":         st.Migrations,
+		"handover_failures": st.MigrationFails,
+	})
+}
+
+func (s *CoordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.writeMetrics(&buf)
+	w.Header().Set("Content-Type", expositionContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeMetrics renders the federated scrape: every in-process replica's
+// exposition under a replica label, then the coordinator's own series.
+// Remote replicas (non-LocalReplica handles) scrape their own /metrics;
+// federation here covers what this process can read without I/O.
+func (s *CoordServer) writeMetrics(buf *bytes.Buffer) {
+	c := newCollector()
+	for _, rep := range s.co.Replicas() {
+		if lr, ok := rep.(*coord.LocalReplica); ok {
+			collectBS(c, lr.BS(), lbl("replica", rep.ID()))
+		}
+	}
+	collectCoord(c, s.co)
+	c.render(buf)
+}
+
+// collectCoord collects the coordinator's own families.
+func collectCoord(c *collector, co *coord.Coordinator) {
+	st := co.Stats()
+	c.family("mmsl_coord_replicas", "gauge",
+		"Replicas registered with the coordinator.").addInt(int64(st.Replicas))
+	c.family("mmsl_coord_routes", "gauge",
+		"Session ids with a sticky route to a replica.").addInt(int64(st.Routes))
+	c.family("mmsl_coord_connections_routed_total", "counter",
+		"UE connections spliced onto a replica.").addInt(st.Routed)
+	c.family("mmsl_coord_connections_refused_total", "counter",
+		"UE connections rejected before reaching a replica.").addInt(st.Refused)
+	c.family("mmsl_coord_handovers_total", "counter",
+		"Live session handovers completed between replicas.").addInt(st.Migrations)
+	c.family("mmsl_coord_handover_failures_total", "counter",
+		"Handover attempts that failed (route kept on the source).").addInt(st.MigrationFails)
+	relayed := c.family("mmsl_coord_relayed_bytes_total", "counter",
+		"Bytes relayed through the coordinator, by direction (in: from UEs).")
+	relayed.addInt(st.RelayedBytesUp, lbl("direction", "in"))
+	relayed.addInt(st.RelayedBytesDown, lbl("direction", "out"))
+
+	p50, p99, n := co.HandoverLatency()
+	c.family("mmsl_coord_handover_latency_p50_seconds", "gauge",
+		"Median handover latency over the recent handover window.").add(p50.Seconds())
+	c.family("mmsl_coord_handover_latency_p99_seconds", "gauge",
+		"99th-percentile handover latency over the recent handover window.").add(p99.Seconds())
+	c.family("mmsl_coord_handover_samples", "gauge",
+		"Handover latency samples in the window.").addInt(int64(n))
+}
+
+// replicaJSON is the admin-facing projection of a fleet member.
+type replicaJSON struct {
+	ID       string `json:"id"`
+	Live     int    `json:"live_sessions"`
+	Draining bool   `json:"draining"`
+}
+
+func (s *CoordServer) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	reps := s.co.Replicas()
+	out := make([]replicaJSON, 0, len(reps))
+	for _, rep := range reps {
+		out = append(out, replicaJSON{ID: rep.ID(), Live: rep.Live(), Draining: rep.Draining()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *CoordServer) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	dst := r.URL.Query().Get("to")
+	if dst == "" {
+		http.Error(w, "missing ?to=<replica-id>", http.StatusBadRequest)
+		return
+	}
+	if err := s.co.Migrate(id, dst); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.opts.Logf("control: session %q handed over to %s", id, dst)
+	writeJSON(w, http.StatusOK, map[string]string{"migrated": id, "to": dst})
+}
+
+func (s *CoordServer) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	id, dst, err := s.co.Rebalance()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if id == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"balanced": true})
+		return
+	}
+	s.opts.Logf("control: rebalanced session %q onto %s", id, dst)
+	writeJSON(w, http.StatusOK, map[string]string{"migrated": id, "to": dst})
+}
+
+// coordConfigJSON is the wire form of coord.Policy. PUT bodies use
+// pointer fields so a partial document patches only the named fields.
+type coordConfigJSON struct {
+	Strategy       *string `json:"strategy,omitempty"`
+	MigrateTimeout *string `json:"migrate_timeout,omitempty"`
+}
+
+func coordConfigFromPolicy(p coord.Policy) coordConfigJSON {
+	mt := p.MigrateTimeout.String()
+	return coordConfigJSON{Strategy: &p.Strategy, MigrateTimeout: &mt}
+}
+
+func (c coordConfigJSON) apply(p *coord.Policy) error {
+	if c.Strategy != nil {
+		p.Strategy = *c.Strategy
+	}
+	if c.MigrateTimeout != nil {
+		d, err := time.ParseDuration(*c.MigrateTimeout)
+		if err != nil {
+			return fmt.Errorf("migrate_timeout: %w", err)
+		}
+		p.MigrateTimeout = d
+	}
+	return nil
+}
+
+func (s *CoordServer) handleGetConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, coordConfigFromPolicy(s.co.CurrentPolicy()))
+}
+
+func (s *CoordServer) handlePutConfig(w http.ResponseWriter, r *http.Request) {
+	var body coordConfigJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad config document: %v", err), http.StatusBadRequest)
+		return
+	}
+	p := s.co.CurrentPolicy()
+	if err := body.apply(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.co.SetPolicy(p); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.opts.Logf("control: coordinator config updated: %+v", p)
+	writeJSON(w, http.StatusOK, coordConfigFromPolicy(s.co.CurrentPolicy()))
+}

@@ -1,0 +1,93 @@
+package control
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Metric-family collector. The exposition used to be written straight
+// to the buffer, which works for one server but not for federation: a
+// coordinator scraping N replicas must render each family's HELP/TYPE
+// header exactly once and then every replica's samples under it, or
+// ValidateExposition (and real Prometheus parsers) reject the scrape.
+// So collection and rendering are split: collectors append labelled
+// samples into named families, and render writes each family as one
+// header plus its samples in insertion order.
+
+type family struct {
+	name, typ, help string
+	samples         []sample
+}
+
+type sample struct {
+	suffix string // "" or a histogram sub-series suffix (_bucket, _sum, _count)
+	labels string // rendered fragments joined with "," (no braces)
+	value  string
+}
+
+type collector struct {
+	order  []*family
+	byName map[string]*family
+}
+
+func newCollector() *collector {
+	return &collector{byName: make(map[string]*family)}
+}
+
+// family returns the named family, creating it on first use. The type
+// and help of later calls must agree with the first — federated
+// collection touches the same family once per replica.
+func (c *collector) family(name, typ, help string) *family {
+	if f, ok := c.byName[name]; ok {
+		return f
+	}
+	f := &family{name: name, typ: typ, help: help}
+	c.byName[name] = f
+	c.order = append(c.order, f)
+	return f
+}
+
+// add appends one sample with the given label fragments (see lbl).
+func (f *family) add(v float64, frags ...string) {
+	f.raw("", fnum(v), frags...)
+}
+
+// addInt appends one integer-valued sample.
+func (f *family) addInt(v int64, frags ...string) {
+	f.raw("", fmt.Sprintf("%d", v), frags...)
+}
+
+// raw appends a pre-rendered sample, optionally on a sub-series of the
+// family (histogram _bucket/_sum/_count).
+func (f *family) raw(suffix, value string, frags ...string) {
+	kept := frags[:0:0]
+	for _, fr := range frags {
+		if fr != "" {
+			kept = append(kept, fr)
+		}
+	}
+	f.samples = append(f.samples, sample{suffix: suffix, labels: strings.Join(kept, ","), value: value})
+}
+
+// lbl renders one label fragment.
+func lbl(k, v string) string { return fmt.Sprintf("%s=%q", k, v) }
+
+// render writes the collected families in the Prometheus text format.
+func (c *collector) render(buf *bytes.Buffer) {
+	for _, f := range c.order {
+		fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.samples {
+			buf.WriteString(f.name)
+			buf.WriteString(s.suffix)
+			if s.labels != "" {
+				buf.WriteByte('{')
+				buf.WriteString(s.labels)
+				buf.WriteByte('}')
+			}
+			buf.WriteByte(' ')
+			buf.WriteString(s.value)
+			buf.WriteByte('\n')
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Session handover over HTTP: the two replica-side halves a coordinator
+// composes into a migration when the replicas are remote processes.
+// POST /sessions/{id}/migrate checkpoints and retires the live session,
+// returning its portable state; POST /sessions/adopt installs that
+// state on the destination so the UE's reconnect-with-resume lands.
+// The blob is the store's checkpoint encoding, base64 in JSON.
+
+// migrationJSON is the wire form of transport.MigrationState.
+type migrationJSON struct {
+	ID       string `json:"id"`
+	Epoch    uint32 `json:"epoch"`
+	Step     uint32 `json:"step"`
+	ConfigFP uint64 `json:"config_fp"`
+	Codec    uint8  `json:"codec"`
+	Blob     []byte `json:"blob,omitempty"`
+}
+
+func toMigrationJSON(st *transport.MigrationState) migrationJSON {
+	return migrationJSON{
+		ID: st.ID, Epoch: st.Epoch, Step: st.Step,
+		ConfigFP: st.ConfigFP, Codec: st.Codec, Blob: st.Blob,
+	}
+}
+
+func (m migrationJSON) toState() *transport.MigrationState {
+	return &transport.MigrationState{
+		ID: m.ID, Epoch: m.Epoch, Step: m.Step,
+		ConfigFP: m.ConfigFP, Codec: m.Codec, Blob: m.Blob,
+	}
+}
+
+func (s *Server) handleMigrateOut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	timeout := 30 * time.Second
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad timeout %q", q), http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	st, err := s.bs.MigrateOut(id, timeout)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.opts.Logf("control: migrated session %q out at step %d", id, st.Step)
+	writeJSON(w, http.StatusOK, toMigrationJSON(st))
+}
+
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var body migrationJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad migration document: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.bs.AdoptSessionState(body.toState()); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.opts.Logf("control: adopted session %q at step %d", body.ID, body.Step)
+	writeJSON(w, http.StatusOK, map[string]any{"adopted": body.ID, "step": body.Step})
+}

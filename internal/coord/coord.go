@@ -1,0 +1,457 @@
+// Package coord fronts a fleet of BS replicas with a routing
+// coordinator: one accept loop that reads each UE's session hello,
+// places the session on a replica (sticky per session id, config-
+// fingerprint affinity for fresh joins), and then splices the two
+// connections byte-for-byte. The coordinator also orchestrates live
+// session handover between replicas: it asks the source to retire the
+// session at a checkpoint boundary (transport.MigrationState), installs
+// the state on the destination, and flips the route — the UE experiences
+// an ordinary reconnect-with-resume, so a handed-over session is
+// bit-identical to one served end-to-end on a single BS (invariant 9,
+// riding entirely on the invariant-7 resume machinery).
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ErrAllDraining means no replica accepts new sessions.
+var ErrAllDraining = errors.New("coord: all replicas draining")
+
+// handoverWindow bounds the handover latency ring.
+const handoverWindow = 1024
+
+// Options configures a Coordinator.
+type Options struct {
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+
+	// Policy is the initial placement policy; the zero value means
+	// DefaultPolicy.
+	Policy Policy
+}
+
+// route pins a session id to a replica. Routes are sticky across
+// reconnects — the replica holds the session's checkpoints, so a resume
+// hello routed anywhere else would be refused — and survive session end
+// for the same reason (a retired session's checkpoint outlives it until
+// pruned). While a handover is in flight, migrating holds a barrier
+// channel; reconnecting UEs for the session park on it until the route
+// settles, so the resume lands wherever the checkpoint ends up.
+type route struct {
+	replica   Replica
+	migrating chan struct{}
+}
+
+// Coordinator routes UE connections onto a replica fleet.
+type Coordinator struct {
+	replicas []Replica
+	logf     func(string, ...any)
+
+	mu     sync.Mutex
+	policy Policy
+	routes map[string]*route
+
+	routed      atomic.Int64
+	refused     atomic.Int64
+	migrations  atomic.Int64
+	migrateFail atomic.Int64
+	relayedUp   atomic.Int64 // UE→BS bytes
+	relayedDown atomic.Int64 // BS→UE bytes
+
+	latMu   sync.Mutex
+	lat     [handoverWindow]time.Duration
+	latLen  int
+	latNext int
+
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	listener net.Listener
+}
+
+// New builds a coordinator over the given replicas. Replica ids must be
+// unique; at least one replica is required.
+func New(replicas []Replica, opts Options) (*Coordinator, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("coord: at least one replica required")
+	}
+	seen := make(map[string]bool, len(replicas))
+	for _, r := range replicas {
+		if seen[r.ID()] {
+			return nil, fmt.Errorf("coord: duplicate replica id %q", r.ID())
+		}
+		seen[r.ID()] = true
+	}
+	pol := opts.Policy
+	if pol == (Policy{}) {
+		pol = DefaultPolicy()
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Coordinator{
+		replicas: replicas,
+		logf:     logf,
+		policy:   pol,
+		routes:   make(map[string]*route),
+	}, nil
+}
+
+// Replicas returns the fleet in registration order.
+func (c *Coordinator) Replicas() []Replica {
+	out := make([]Replica, len(c.replicas))
+	copy(out, c.replicas)
+	return out
+}
+
+// ReplicaByID finds a replica by id, or nil.
+func (c *Coordinator) ReplicaByID(id string) Replica {
+	for _, r := range c.replicas {
+		if r.ID() == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// CurrentPolicy returns the active placement policy.
+func (c *Coordinator) CurrentPolicy() Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
+
+// SetPolicy atomically installs a new placement policy after
+// validation. In-flight placements finish under the snapshot they
+// already took.
+func (c *Coordinator) SetPolicy(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.policy = p
+	c.mu.Unlock()
+	return nil
+}
+
+// RouteOf reports which replica a session id is currently routed to
+// ("" if the coordinator has never placed it).
+func (c *Coordinator) RouteOf(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rt, ok := c.routes[id]; ok {
+		return rt.replica.ID()
+	}
+	return ""
+}
+
+// Serve accepts UE connections until the listener closes.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.listener = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if c.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := c.HandleConn(conn); err != nil && !transport.IsClosedConn(err) {
+				c.logf("coord: connection: %v", err)
+			}
+		}()
+	}
+}
+
+// Close stops the accept loop and waits for in-flight connections.
+func (c *Coordinator) Close() {
+	c.closed.Store(true)
+	if c.listener != nil {
+		c.listener.Close()
+	}
+	c.wg.Wait()
+}
+
+// HandleConn serves one UE connection: read the hello, place the
+// session, splice. The hello's raw wire bytes are relayed verbatim so
+// the replica sees exactly what the UE sent (CRC and all future fields
+// included); every later frame in either direction is copied untouched.
+func (c *Coordinator) HandleConn(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+
+	m, raw, err := transport.ReadRawMessage(conn)
+	if err != nil {
+		c.refused.Add(1)
+		return fmt.Errorf("coord: read hello: %w", err)
+	}
+	ver := uint8(transport.ProtocolVersion)
+	if m.Type != transport.MsgSessionHello || m.Hello == nil {
+		c.refused.Add(1)
+		err := fmt.Errorf("coord: expected session hello, got %v", m.Type)
+		c.refuse(conn, ver, "", err)
+		return err
+	}
+	h := *m.Hello
+	ver = min(h.Version, transport.ProtocolVersion)
+
+	rep, err := c.route(h)
+	if err != nil {
+		c.refused.Add(1)
+		c.refuse(conn, ver, h.SessionID, err)
+		return fmt.Errorf("coord: place session %q: %w", h.SessionID, err)
+	}
+
+	up, err := rep.Dial()
+	if err != nil {
+		c.refused.Add(1)
+		c.refuse(conn, ver, h.SessionID, errors.New("replica unavailable"))
+		return fmt.Errorf("coord: dial replica %s: %w", rep.ID(), err)
+	}
+	defer up.Close()
+	if _, err := up.Write(raw); err != nil {
+		return fmt.Errorf("coord: relay hello to %s: %w", rep.ID(), err)
+	}
+	c.routed.Add(1)
+
+	// Splice. Whichever side finishes first closes both ends so the
+	// other copy unblocks: replica shutdown reaches the UE as EOF after
+	// the final frames, a dropped UE reaches the replica as a severed
+	// conn (its idle/detach handling takes it from there).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n, _ := io.Copy(up, conn)
+		c.relayedUp.Add(n)
+		up.Close()
+		conn.Close()
+	}()
+	n, _ := io.Copy(conn, up)
+	c.relayedDown.Add(n)
+	conn.Close()
+	up.Close()
+	wg.Wait()
+	return nil
+}
+
+// route resolves the replica for a hello: sticky for known session ids
+// (parking behind any in-flight handover of that session), policy
+// placement for new ones. A fresh join whose sticky replica is draining
+// is re-placed — its old incarnations will drain off that replica
+// anyway, and refusing it would strand the UE in a refusal loop.
+func (c *Coordinator) route(h transport.Hello) (Replica, error) {
+	var deadline time.Time
+	for {
+		c.mu.Lock()
+		pol := c.policy
+		rt := c.routes[h.SessionID]
+		if rt != nil && rt.migrating != nil {
+			barrier := rt.migrating
+			c.mu.Unlock()
+			if deadline.IsZero() {
+				deadline = time.Now().Add(pol.MigrateTimeout)
+			}
+			wait := time.NewTimer(time.Until(deadline))
+			select {
+			case <-barrier:
+				wait.Stop()
+				continue
+			case <-wait.C:
+				return nil, fmt.Errorf("session %q handover still in flight", h.SessionID)
+			}
+		}
+		if rt != nil {
+			rep := rt.replica
+			resuming := h.ResumeStep > 0 || h.Epoch > 0
+			if resuming || !rep.Draining() {
+				c.mu.Unlock()
+				return rep, nil
+			}
+		}
+		rep := pol.place(c.replicas, h.ConfigFP)
+		if rep == nil {
+			c.mu.Unlock()
+			return nil, ErrAllDraining
+		}
+		c.routes[h.SessionID] = &route{replica: rep}
+		c.mu.Unlock()
+		return rep, nil
+	}
+}
+
+// refuse writes a rejection ack in the UE's own dialect, mirroring the
+// server's refusal shape so clients need no coordinator-specific path.
+func (c *Coordinator) refuse(w io.Writer, ver uint8, sessionID string, cause error) {
+	reason := cause.Error()
+	if len(reason) > 256 {
+		reason = reason[:256]
+	}
+	ack := transport.Hello{Version: ver, SessionID: sessionID, Err: reason}
+	_ = transport.WriteMessageVersion(w, &transport.Message{Type: transport.MsgSessionAck, Hello: &ack}, ver)
+}
+
+// Migrate hands the named session over from its current replica to
+// dstID. The route is barriered for the duration so a reconnecting UE
+// waits for the state to land rather than racing it; on any failure the
+// route stays with the source, which still holds the checkpoint, so the
+// UE resumes exactly where it would have without the attempt.
+func (c *Coordinator) Migrate(id, dstID string) error {
+	dst := c.ReplicaByID(dstID)
+	if dst == nil {
+		return fmt.Errorf("coord: unknown replica %q", dstID)
+	}
+
+	c.mu.Lock()
+	pol := c.policy
+	rt := c.routes[id]
+	if rt == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: no route for session %q", id)
+	}
+	if rt.migrating != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: session %q handover already in flight", id)
+	}
+	src := rt.replica
+	if src.ID() == dst.ID() {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: session %q already on replica %q", id, dstID)
+	}
+	barrier := make(chan struct{})
+	rt.migrating = barrier
+	c.mu.Unlock()
+
+	settle := func(to Replica) {
+		c.mu.Lock()
+		rt.replica = to
+		rt.migrating = nil
+		c.mu.Unlock()
+		close(barrier)
+	}
+
+	start := time.Now()
+	st, err := src.MigrateOut(id, pol.MigrateTimeout)
+	if err != nil {
+		settle(src)
+		c.migrateFail.Add(1)
+		return fmt.Errorf("coord: migrate %q out of %s: %w", id, src.ID(), err)
+	}
+	if err := dst.Adopt(st); err != nil {
+		settle(src)
+		c.migrateFail.Add(1)
+		return fmt.Errorf("coord: adopt %q on %s: %w", id, dst.ID(), err)
+	}
+	settle(dst)
+	c.migrations.Add(1)
+	c.recordHandover(time.Since(start))
+	c.logf("coord: session %q handed over %s→%s at step %d", id, src.ID(), dst.ID(), st.Step)
+	return nil
+}
+
+// Rebalance migrates one live session from the most-loaded replica to
+// the least-loaded one when their occupancy differs by at least two
+// (moving at a difference of one would just flip the imbalance).
+// Returns the moved session and destination id, or "" when the fleet is
+// already balanced or no session is movable.
+func (c *Coordinator) Rebalance() (sessionID, dstID string, err error) {
+	var src, dst Replica
+	for _, r := range c.replicas {
+		if r.Draining() {
+			continue
+		}
+		if dst == nil || r.Live() < dst.Live() {
+			dst = r
+		}
+		if src == nil || r.Live() > src.Live() {
+			src = r
+		}
+	}
+	if src == nil || dst == nil || src.ID() == dst.ID() || src.Live()-dst.Live() < 2 {
+		return "", "", nil
+	}
+	var lastErr error
+	for _, id := range src.LiveSessions() {
+		if c.RouteOf(id) != src.ID() {
+			continue // placed elsewhere or not via this coordinator
+		}
+		if err := c.Migrate(id, dst.ID()); err != nil {
+			lastErr = err
+			continue // e.g. ended mid-selection; try the next candidate
+		}
+		return id, dst.ID(), nil
+	}
+	return "", "", lastErr
+}
+
+// recordHandover adds one handover latency sample to the ring.
+func (c *Coordinator) recordHandover(d time.Duration) {
+	c.latMu.Lock()
+	c.lat[c.latNext] = d
+	c.latNext = (c.latNext + 1) % handoverWindow
+	if c.latLen < handoverWindow {
+		c.latLen++
+	}
+	c.latMu.Unlock()
+}
+
+// HandoverLatency returns p50/p99 over the recent handover window and
+// the number of samples in it.
+func (c *Coordinator) HandoverLatency() (p50, p99 time.Duration, n int) {
+	c.latMu.Lock()
+	samples := append([]time.Duration(nil), c.lat[:c.latLen]...)
+	c.latMu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return idx(0.50), idx(0.99), len(samples)
+}
+
+// Stats is a point-in-time snapshot of coordinator counters.
+type Stats struct {
+	Replicas         int
+	Routes           int
+	Routed           int64 // connections spliced onto a replica
+	Refused          int64 // connections rejected before splicing
+	Migrations       int64 // completed handovers
+	MigrationFails   int64
+	RelayedBytesUp   int64 // UE→BS
+	RelayedBytesDown int64 // BS→UE
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	routes := len(c.routes)
+	c.mu.Unlock()
+	return Stats{
+		Replicas:         len(c.replicas),
+		Routes:           routes,
+		Routed:           c.routed.Load(),
+		Refused:          c.refused.Load(),
+		Migrations:       c.migrations.Load(),
+		MigrationFails:   c.migrateFail.Load(),
+		RelayedBytesUp:   c.relayedUp.Load(),
+		RelayedBytesDown: c.relayedDown.Load(),
+	}
+}

@@ -1,0 +1,83 @@
+package coord
+
+import (
+	"fmt"
+	"time"
+)
+
+// Placement strategies.
+const (
+	// PlaceAffinity prefers a non-draining replica already serving the
+	// hello's config fingerprint, so clone-configured sessions land
+	// where the server's clone batching can fold their steps together;
+	// ties (and fingerprints nobody serves yet) fall back to least
+	// loaded.
+	PlaceAffinity = "affinity"
+
+	// PlaceLeastLoaded ignores fingerprints and always picks the
+	// non-draining replica with the fewest live sessions.
+	PlaceLeastLoaded = "least-loaded"
+)
+
+// Policy is the coordinator's reconfigurable placement policy. Like the
+// server's transport.Policy it is swapped atomically as a value — a PUT
+// /config builds a modified copy and installs it, and every placement
+// decision reads one coherent snapshot.
+type Policy struct {
+	// Strategy selects the placement heuristic (PlaceAffinity or
+	// PlaceLeastLoaded).
+	Strategy string
+
+	// MigrateTimeout bounds how long a handover waits for the source
+	// session to reach a checkpoint boundary, and how long a
+	// reconnecting UE waits behind an in-flight handover of its
+	// session before being placed.
+	MigrateTimeout time.Duration
+}
+
+// DefaultPolicy returns the policy a coordinator starts with.
+func DefaultPolicy() Policy {
+	return Policy{Strategy: PlaceAffinity, MigrateTimeout: 30 * time.Second}
+}
+
+// Validate rejects unusable policies before they are installed.
+func (p Policy) Validate() error {
+	switch p.Strategy {
+	case PlaceAffinity, PlaceLeastLoaded:
+	default:
+		return fmt.Errorf("coord: unknown placement strategy %q", p.Strategy)
+	}
+	if p.MigrateTimeout <= 0 {
+		return fmt.Errorf("coord: migrate timeout must be positive, got %v", p.MigrateTimeout)
+	}
+	return nil
+}
+
+// place picks the replica for a fresh (non-sticky) placement under the
+// policy, or nil when every replica is draining.
+func (p Policy) place(replicas []Replica, configFP uint64) Replica {
+	var best Replica
+	bestLoad := 0
+	consider := func(r Replica) {
+		if r.Draining() {
+			return
+		}
+		if load := r.Live(); best == nil || load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	if p.Strategy == PlaceAffinity && configFP != 0 {
+		for _, r := range replicas {
+			if !r.Draining() && r.ServesConfigFP(configFP) {
+				consider(r)
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	for _, r := range replicas {
+		consider(r)
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package coord
+
+import (
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Replica is the coordinator's handle on one BS server of the fleet.
+// The coordinator only ever routes and orchestrates through this
+// interface, so a replica can live in-process (LocalReplica, the fleet
+// simulator and single-binary deployments) or behind the wire (an
+// adapter dialling the replica's TCP port and admin API) without the
+// placement or handover logic noticing.
+type Replica interface {
+	// ID is the stable replica identity (the mmsl_replica_info{id} label).
+	ID() string
+
+	// Dial opens a fresh connection that the replica serves with its
+	// normal per-connection handler; the coordinator splices the UE's
+	// connection onto it after routing the hello.
+	Dial() (io.ReadWriteCloser, error)
+
+	// Live is the replica's unfinished-session count — the load signal
+	// placement balances on.
+	Live() int
+
+	// Draining reports whether the replica is refusing new joins.
+	Draining() bool
+
+	// ServesConfigFP reports whether the replica currently holds a live
+	// session with the given config fingerprint — the affinity signal
+	// that packs clone-fingerprint sessions onto one replica where the
+	// server's clone batching multiplies them.
+	ServesConfigFP(fp uint64) bool
+
+	// LiveSessions lists the ids of unfinished sessions, for rebalance
+	// candidate selection.
+	LiveSessions() []string
+
+	// MigrateOut checkpoints and retires the named live session,
+	// returning its portable state (see transport.MigrationState).
+	MigrateOut(id string, timeout time.Duration) (*transport.MigrationState, error)
+
+	// Adopt installs migrated session state so a resume hello for that
+	// session succeeds here.
+	Adopt(st *transport.MigrationState) error
+}
+
+// LocalReplica adapts an in-process transport.BSServer to the Replica
+// interface. Dial hands the server one end of a net.Pipe through the
+// same Handle entry point a TCP accept loop would use, so a replica
+// behind a coordinator runs byte-identical protocol code to one serving
+// a listener directly.
+type LocalReplica struct {
+	bs *transport.BSServer
+}
+
+// NewLocalReplica wraps an in-process BS server.
+func NewLocalReplica(bs *transport.BSServer) *LocalReplica { return &LocalReplica{bs: bs} }
+
+// BS exposes the wrapped server (the control plane mounts per-replica
+// admin endpoints on it).
+func (r *LocalReplica) BS() *transport.BSServer { return r.bs }
+
+func (r *LocalReplica) ID() string { return r.bs.ReplicaID() }
+
+func (r *LocalReplica) Dial() (io.ReadWriteCloser, error) {
+	ueEnd, bsEnd := net.Pipe()
+	go func() { _ = r.bs.Handle(bsEnd) }()
+	return ueEnd, nil
+}
+
+func (r *LocalReplica) Live() int      { return r.bs.ActiveSessions() }
+func (r *LocalReplica) Draining() bool { return r.bs.Draining() }
+
+func (r *LocalReplica) ServesConfigFP(fp uint64) bool {
+	for _, sn := range r.bs.Sessions() {
+		if liveState(sn.State) && sn.Hello.ConfigFP == fp {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *LocalReplica) LiveSessions() []string {
+	var ids []string
+	for _, sn := range r.bs.Sessions() {
+		if liveState(sn.State) {
+			ids = append(ids, sn.ID)
+		}
+	}
+	return ids
+}
+
+func (r *LocalReplica) MigrateOut(id string, timeout time.Duration) (*transport.MigrationState, error) {
+	return r.bs.MigrateOut(id, timeout)
+}
+
+func (r *LocalReplica) Adopt(st *transport.MigrationState) error {
+	return r.bs.AdoptSessionState(st)
+}
+
+// liveState reports whether a snapshot state is non-terminal.
+func liveState(st transport.SessionState) bool {
+	switch st {
+	case transport.SessionDetached, transport.SessionFailed, transport.SessionSuperseded:
+		return false
+	}
+	return true
+}

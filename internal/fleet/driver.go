@@ -31,14 +31,18 @@ var errStopServing = errors.New("fleet: UE stopped serving (churn trigger)")
 type driver struct {
 	env      *Env
 	p        Profile
-	srv      *transport.BSServer
+	handle   func(io.ReadWriteCloser) error
 	handlers *sync.WaitGroup
 
 	think func(t transport.MsgType, step uint32) error
 }
 
-func newDriver(env *Env, p Profile, srv *transport.BSServer, handlers *sync.WaitGroup) *driver {
-	dr := &driver{env: env, p: p, srv: srv, handlers: handlers}
+// newDriver builds one UE driver. handle serves the BS end of each
+// incarnation's pipe — BSServer.Handle against a single server, the
+// coordinator's HandleConn in a replica fleet; the driver cannot tell
+// the difference, which is the point.
+func newDriver(env *Env, p Profile, handle func(io.ReadWriteCloser) error, handlers *sync.WaitGroup) *driver {
+	dr := &driver{env: env, p: p, handle: handle, handlers: handlers}
 	dr.think = dr.newThink()
 	return dr
 }
@@ -86,7 +90,7 @@ func (dr *driver) dial() (io.ReadWriteCloser, <-chan struct{}) {
 	go func() {
 		defer dr.handlers.Done()
 		defer close(done)
-		_ = dr.srv.Handle(bsConn) // outcomes are counted via OnSessionEnd
+		_ = dr.handle(bsConn) // outcomes are counted via OnSessionEnd
 	}()
 	return ueConn, done
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/coord"
 	"repro/internal/split"
 	"repro/internal/transport"
 )
@@ -140,16 +141,36 @@ type Spec struct {
 	Checkpoint  bool          // enable checkpoint/resume (flapping UEs resume)
 	Retain      int           // finished-snapshot retention ring (≤0: 128)
 
+	// Replicas > 1 shards the soak across that many BS replicas behind a
+	// coordinator (internal/coord): sessions are placed by affinity/load,
+	// and a handover drill live-migrates sessions between replicas for
+	// the whole soak. Each replica gets its own in-memory checkpoint
+	// store (migration needs checkpoints), so resume is implicitly on.
+	// ≤1 keeps the single-server path byte-identical to before.
+	Replicas int
+
+	// RebalanceEvery is the handover drill cadence in a replica fleet
+	// (≤0: 5ms). Each tick attempts a load-based rebalance and falls
+	// back to a forced round-robin handover of one migration-eligible
+	// session, so handover traffic is sustained even on a balanced
+	// fleet.
+	RebalanceEvery time.Duration
+
 	// WallLimit aborts a wedged soak (≤0: 10min) — the deadline that
 	// turns a deadlock or an unevictable session into a test failure
 	// instead of a hung run.
 	WallLimit time.Duration
 
-	// OnServer, when set, observes the soak's BSServer right after it is
-	// built and before any UE joins — the mount point for the control
-	// plane (internal/control) without this package importing it. Tests
-	// also use it to scrape /metrics concurrently with the churn load.
+	// OnServer, when set, observes each of the soak's BSServers right
+	// after it is built and before any UE joins — the mount point for
+	// the control plane (internal/control) without this package
+	// importing it. Tests also use it to scrape /metrics concurrently
+	// with the churn load. In a replica fleet it runs once per replica.
 	OnServer func(*transport.BSServer) `json:"-"`
+
+	// OnCoordinator observes the replica fleet's coordinator the same
+	// way (only called when Replicas > 1).
+	OnCoordinator func(*coord.Coordinator) `json:"-"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -184,6 +205,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Retain <= 0 {
 		s.Retain = 128
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 1
+	}
+	if s.RebalanceEvery <= 0 {
+		s.RebalanceEvery = 5 * time.Millisecond
 	}
 	if s.WallLimit <= 0 {
 		s.WallLimit = 10 * time.Minute

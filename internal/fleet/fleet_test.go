@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/control"
 	"repro/internal/split"
@@ -235,5 +236,53 @@ func TestChurnSoak64(t *testing.T) {
 	// Mixed fingerprints: cross-session sharing must find ~nothing.
 	if rep.SharedRatio > 0.05 {
 		t.Errorf("shared ratio %.3f under mixed fingerprints, want ≈0", rep.SharedRatio)
+	}
+}
+
+// TestReplicaFleetHandover is the sharded soak: UEs behind a
+// coordinator over 4 replicas with the handover drill live-migrating
+// sessions throughout. Healthy means zero driver errors and zero leaked
+// sessions fleet-wide, with the drill having actually moved sessions —
+// every migrated UE reconnecting and resuming on its new replica.
+func TestReplicaFleetHandover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak in -short")
+	}
+	spec := Spec{
+		UEs: 16, Seed: 11, Steps: 40,
+		SceneClasses: 4, Frames: 120,
+		ChurnFraction:  0.3,
+		Replicas:       4,
+		RebalanceEvery: 2 * time.Millisecond,
+	}
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHealthy(t, rep, 16)
+	if rep.Handover == nil {
+		t.Fatal("replica fleet produced no handover report")
+	}
+	h := rep.Handover
+	if h.Replicas != 4 {
+		t.Errorf("handover report names %d replicas, want 4", h.Replicas)
+	}
+	if h.Migrations == 0 {
+		t.Fatal("handover drill completed no migration")
+	}
+	if h.MigratedEnds < int(h.Migrations) {
+		t.Errorf("%d migrated incarnations for %d handovers", h.MigratedEnds, h.Migrations)
+	}
+	if h.P50Ms <= 0 || h.P99Ms < h.P50Ms {
+		t.Errorf("degenerate handover latency: p50 %.3fms p99 %.3fms", h.P50Ms, h.P99Ms)
+	}
+	// A handed-over UE reconnects with a resume token — except one
+	// migrated before its first checkpoint, which fresh-joins the
+	// destination — so resumes track migrations closely but not exactly.
+	if rep.Resumes == 0 {
+		t.Error("no migrated UE resumed on its destination replica")
+	}
+	if rep.Completed == 0 {
+		t.Error("no session completed")
 	}
 }

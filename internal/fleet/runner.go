@@ -3,11 +3,15 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"os"
 	"sync"
 	"time"
 
+	"repro/internal/coord"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -21,6 +25,22 @@ type Outcome struct {
 	LastLoss uint64 `json:"last_loss_bits"`
 	LastRMSE uint64 `json:"last_rmse_bits"`
 	Resumes  int    `json:"resumes"`
+}
+
+// HandoverReport measures the replica fleet's live-migration drill. It
+// lands as the `handover` section under `fleet` in BENCH.json.
+type HandoverReport struct {
+	Replicas   int   `json:"replicas"`
+	Migrations int64 `json:"migrations"` // completed handovers
+	Failed     int64 `json:"failed"`     // attempts lost to races (session ended mid-selection)
+
+	// MigratedEnds counts session incarnations retired with the
+	// migrated disposition across all replicas — the server-side echo
+	// of Migrations.
+	MigratedEnds int `json:"migrated_incarnations"`
+
+	P50Ms float64 `json:"latency_p50_ms"`
+	P99Ms float64 `json:"latency_p99_ms"`
 }
 
 // Report is what a fleet soak measures. It lands as the `fleet` section
@@ -65,6 +85,10 @@ type Report struct {
 	QueuePeak         int64   `json:"batch_queue_peak"`
 	PeakRSSMB         float64 `json:"peak_rss_mb"`
 
+	// Handover is present when the soak ran a replica fleet
+	// (Spec.Replicas > 1).
+	Handover *HandoverReport `json:"handover,omitempty"`
+
 	// Final maps session id → its last incarnation's outcome: the
 	// per-UE ground truth the determinism suite compares across runs
 	// and worker counts. Excluded from BENCH.json.
@@ -72,8 +96,9 @@ type Report struct {
 }
 
 // Run executes one fleet soak: it materialises the spec's environment,
-// starts an in-process BSServer, drives every profile's state machine
-// to its end, and reports. logf (optional) receives coarse progress.
+// starts the in-process BS fleet (one server, or Replicas servers
+// behind a coordinator), drives every profile's state machine to its
+// end, and reports. logf (optional) receives coarse progress.
 func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -85,7 +110,7 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	spec = env.Spec
 
 	ckptDir := ""
-	if spec.Checkpoint {
+	if spec.Checkpoint && spec.Replicas == 1 {
 		ckptDir, err = os.MkdirTemp("", "mmsl-fleet-ckpt-*")
 		if err != nil {
 			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
@@ -105,6 +130,7 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 		}
 	}
 
+	migratedEnds := 0
 	var mu sync.Mutex
 	onEnd := func(snap transport.SessionSnapshot, cause error) {
 		mu.Lock()
@@ -115,9 +141,14 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 		case transport.SessionSuperseded:
 			rep.Supersedes++
 		case transport.SessionFailed:
-			if errors.Is(cause, transport.ErrIdleTimeout) {
+			switch {
+			case errors.Is(cause, transport.ErrIdleTimeout):
 				rep.Evictions++
-			} else {
+			case errors.Is(cause, transport.ErrMigrated):
+				// A handover, not a failure: the UE resumes on the
+				// destination replica, whose terminal snapshot follows.
+				migratedEnds++
+			default:
 				rep.Drops++
 			}
 		}
@@ -137,35 +168,68 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 		rep.Final[snap.ID] = out
 	}
 
-	srv, err := transport.NewBSServer(transport.ServerConfig{
-		MaxUE:           spec.UEs,
-		Sched:           transport.SchedAsync,
-		Steps:           spec.Steps,
-		EvalEvery:       1 << 30, // one final eval per session
-		ValAnchors:      8,
-		Provision:       env.Provision(),
-		IdleTimeout:     spec.IdleTimeout,
-		BatchWindow:     spec.BatchWindow,
-		BatchMax:        spec.BatchMax,
-		Retain:          spec.Retain,
-		CheckpointDir:   ckptDir,
-		CheckpointEvery: 1,
-		OnSessionEnd:    onEnd,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fleet: server: %w", err)
-	}
-	if spec.OnServer != nil {
-		spec.OnServer(srv)
-	}
-
-	logf("fleet: %d UEs (%d churning), %d scene classes, %d steps/UE",
-		spec.UEs, rep.ChurnUEs, spec.SceneClasses, spec.Steps)
-
 	var handlers, drivers sync.WaitGroup
+	servers := make([]*transport.BSServer, spec.Replicas)
+	for i := range servers {
+		cfg := transport.ServerConfig{
+			ReplicaID:       fmt.Sprintf("bs-%d", i),
+			MaxUE:           spec.UEs,
+			Sched:           transport.SchedAsync,
+			Steps:           spec.Steps,
+			EvalEvery:       1 << 30, // one final eval per session
+			ValAnchors:      8,
+			Provision:       env.Provision(),
+			IdleTimeout:     spec.IdleTimeout,
+			BatchWindow:     spec.BatchWindow,
+			BatchMax:        spec.BatchMax,
+			Retain:          spec.Retain,
+			CheckpointDir:   ckptDir,
+			CheckpointEvery: 1,
+			OnSessionEnd:    onEnd,
+		}
+		if spec.Replicas > 1 {
+			// Handover rides on checkpoints, so every replica gets its
+			// own in-memory store; the blobs never touch disk.
+			cfg.Store = store.NewMem(spec.Retain)
+		}
+		srv, err := transport.NewBSServer(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: server %d: %w", i, err)
+		}
+		servers[i] = srv
+		if spec.OnServer != nil {
+			spec.OnServer(srv)
+		}
+	}
+
+	// handle serves the BS end of one UE incarnation's pipe.
+	handle := servers[0].Handle
+	var co *coord.Coordinator
+	if spec.Replicas > 1 {
+		replicas := make([]coord.Replica, len(servers))
+		for i, srv := range servers {
+			replicas[i] = &trackedReplica{
+				LocalReplica: coord.NewLocalReplica(srv),
+				bs:           srv,
+				wg:           &handlers,
+			}
+		}
+		co, err = coord.New(replicas, coord.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: coordinator: %w", err)
+		}
+		if spec.OnCoordinator != nil {
+			spec.OnCoordinator(co)
+		}
+		handle = co.HandleConn
+	}
+
+	logf("fleet: %d UEs (%d churning), %d scene classes, %d steps/UE, %d replicas",
+		spec.UEs, rep.ChurnUEs, spec.SceneClasses, spec.Steps, spec.Replicas)
+
 	start := time.Now()
 	for i := range env.Profiles {
-		dr := newDriver(env, env.Profiles[i], srv, &handlers)
+		dr := newDriver(env, env.Profiles[i], handle, &handlers)
 		drivers.Add(1)
 		go func() {
 			defer drivers.Done()
@@ -181,6 +245,16 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 		}()
 	}
 
+	stopDrill := make(chan struct{})
+	var drillDone sync.WaitGroup
+	if co != nil {
+		drillDone.Add(1)
+		go func() {
+			defer drillDone.Done()
+			handoverDrill(co, env, spec.RebalanceEvery, stopDrill)
+		}()
+	}
+
 	settled := make(chan struct{})
 	go func() {
 		drivers.Wait()
@@ -190,31 +264,183 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	select {
 	case <-settled:
 	case <-time.After(spec.WallLimit):
+		close(stopDrill)
+		live := 0
+		for _, srv := range servers {
+			live += srv.ActiveSessions()
+		}
 		return nil, fmt.Errorf("fleet: soak wedged: %d/%d sessions still live after %v",
-			srv.ActiveSessions(), spec.UEs, spec.WallLimit)
+			live, spec.UEs, spec.WallLimit)
 	}
+	close(stopDrill)
+	drillDone.Wait()
 	rep.ElapsedSec = time.Since(start).Seconds()
 
-	p50, p99, rounds := srv.RoundLatency()
-	rep.Rounds = rounds
-	rep.P50Ms = float64(p50) / float64(time.Millisecond)
-	rep.P99Ms = float64(p99) / float64(time.Millisecond)
+	for _, srv := range servers {
+		rep.SharedRounds += srv.SharedRounds()
+		rep.LeakedSessions += srv.ActiveSessions()
+		rep.RetainedSnapshots += srv.RetainedSessions()
+		rep.EvictedSnapshots += srv.EvictedSnapshots()
+		if _, peak := srv.BatchQueueDepth(); peak > rep.QueuePeak {
+			rep.QueuePeak = peak
+		}
+	}
+	if spec.Replicas == 1 {
+		p50, p99, rounds := servers[0].RoundLatency()
+		rep.Rounds = rounds
+		rep.P50Ms = float64(p50) / float64(time.Millisecond)
+		rep.P99Ms = float64(p99) / float64(time.Millisecond)
+	} else {
+		// Per-replica rings cannot be merged exactly; fold the lifetime
+		// histograms instead and read the percentiles off the buckets.
+		var merged transport.LatencyHistogram
+		for _, srv := range servers {
+			h := srv.RoundLatencyHistogram()
+			if merged.Counts == nil {
+				merged = h
+			} else {
+				for i := range h.Counts {
+					merged.Counts[i] += h.Counts[i]
+				}
+				merged.Sum += h.Sum
+				merged.Count += h.Count
+			}
+		}
+		rep.Rounds = merged.Count
+		rep.P50Ms = float64(histQuantile(merged, 0.50)) / float64(time.Millisecond)
+		rep.P99Ms = float64(histQuantile(merged, 0.99)) / float64(time.Millisecond)
+	}
 	if rep.ElapsedSec > 0 {
-		rep.StepsPerSec = float64(rounds) / rep.ElapsedSec
+		rep.StepsPerSec = float64(rep.Rounds) / rep.ElapsedSec
 	}
-	rep.SharedRounds = srv.SharedRounds()
-	if rounds > 0 {
-		rep.SharedRatio = float64(rep.SharedRounds) / float64(rounds)
+	if rep.Rounds > 0 {
+		rep.SharedRatio = float64(rep.SharedRounds) / float64(rep.Rounds)
 	}
-	rep.LeakedSessions = srv.ActiveSessions()
-	rep.RetainedSnapshots = srv.RetainedSessions()
-	rep.EvictedSnapshots = srv.EvictedSnapshots()
-	_, rep.QueuePeak = srv.BatchQueueDepth()
-	srv.Close()
+	if co != nil {
+		st := co.Stats()
+		p50, p99, _ := co.HandoverLatency()
+		rep.Handover = &HandoverReport{
+			Replicas:     spec.Replicas,
+			Migrations:   st.Migrations,
+			Failed:       st.MigrationFails,
+			MigratedEnds: migratedEnds,
+			P50Ms:        float64(p50) / float64(time.Millisecond),
+			P99Ms:        float64(p99) / float64(time.Millisecond),
+		}
+	}
+	for _, srv := range servers {
+		srv.Close()
+	}
 	rep.PeakRSSMB = peakRSSMB()
 
 	logf("fleet: %d rounds in %.1fs (%.0f steps/s), shared %.3f, completed %d, drops %d, evictions %d, supersedes %d, resumes %d",
-		rounds, rep.ElapsedSec, rep.StepsPerSec, rep.SharedRatio,
+		rep.Rounds, rep.ElapsedSec, rep.StepsPerSec, rep.SharedRatio,
 		rep.Completed, rep.Drops, rep.Evictions, rep.Supersedes, rep.Resumes)
+	if rep.Handover != nil {
+		logf("fleet: handover drill: %d migrations (%d failed attempts), p50 %.2fms p99 %.2fms",
+			rep.Handover.Migrations, rep.Handover.Failed, rep.Handover.P50Ms, rep.Handover.P99Ms)
+	}
 	return rep, nil
+}
+
+// trackedReplica is a LocalReplica whose Dial registers the Handle
+// goroutine on the soak's handlers WaitGroup, so "every handler
+// finished" covers the replica side of every spliced connection and the
+// leak check never races a retiring session.
+type trackedReplica struct {
+	*coord.LocalReplica
+	bs *transport.BSServer
+	wg *sync.WaitGroup
+}
+
+func (r *trackedReplica) Dial() (io.ReadWriteCloser, error) {
+	ueEnd, bsEnd := net.Pipe()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		_ = r.bs.Handle(bsEnd)
+	}()
+	return ueEnd, nil
+}
+
+// handoverDrill keeps live migration happening for the whole soak: each
+// tick it walks the replicas round-robin for a live migration-eligible
+// session and hands it to the least-loaded other replica — a rebalance
+// when the fleet is skewed, a forced handover when it is not, so
+// handover traffic is sustained either way. Eligible means steady or
+// flapping image-bearing UEs: the reconnect-capable drivers. (The
+// coordinator's Rebalance would also pick RF-only or wedged sessions,
+// whose soak drivers by design never redial — migrating those just ends
+// them, which measures nothing.) Failed attempts are expected under
+// churn — the chosen session can end between selection and the
+// checkpoint boundary — and are counted by the coordinator, not fatal.
+func handoverDrill(co *coord.Coordinator, env *Env, every time.Duration, stop <-chan struct{}) {
+	eligible := make(map[string]bool, len(env.Profiles))
+	for _, p := range env.Profiles {
+		if (p.Churn == ChurnSteady || p.Churn == ChurnFlapping) && env.Config(p).Modality.UsesImages() {
+			eligible[p.SessionID] = true
+		}
+	}
+	replicas := co.Replicas()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		for k := 0; k < len(replicas); k++ {
+			src := replicas[(i+k)%len(replicas)]
+			var cand string
+			for _, id := range src.LiveSessions() {
+				if eligible[id] && co.RouteOf(id) == src.ID() {
+					cand = id
+					break
+				}
+			}
+			if cand == "" {
+				continue
+			}
+			var dst coord.Replica
+			for _, r := range replicas {
+				if r.ID() == src.ID() || r.Draining() {
+					continue
+				}
+				if dst == nil || r.Live() < dst.Live() {
+					dst = r
+				}
+			}
+			if dst == nil {
+				return
+			}
+			_ = co.Migrate(cand, dst.ID()) // races are counted by the coordinator
+			break
+		}
+	}
+}
+
+// histQuantile reads a quantile off a merged lifetime histogram: the
+// upper bound of the bucket where the cumulative count crosses q.
+func histQuantile(h transport.LatencyHistogram, q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.Counts {
+		cum += n
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	// Overflow bucket: report the mean of what we know exceeds the
+	// largest bound.
+	return h.Sum / time.Duration(h.Count)
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import "io"
+
+// TryLock on platforms without flock(2) takes no lock: the
+// single-writer guard is advisory and unix-only. The returned handle is
+// inert so open/close paths stay uniform.
+func (osFS) TryLock(path string) (io.Closer, error) { return noLock{}, nil }
+
+type noLock struct{}
+
+func (noLock) Close() error { return nil }

@@ -1,0 +1,75 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalSingleWriterGuard: a second opener of a live journal must
+// fail fast with ErrLocked, and the lock must die with Close so a
+// successor process (modelled as a later open) adopts normally.
+func TestJournalSingleWriterGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, err := OpenJournal(path, JournalOptions{Retain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, JournalOptions{Retain: 8}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second opener: got %v, want ErrLocked", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, JournalOptions{Retain: 8})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	j2.Close()
+}
+
+// TestDirSingleWriterGuard: the dir backend inherits the guard through
+// its embedded retire log — two servers adopting the same checkpoint
+// directory is exactly the interleaved-writes hazard the lock exists
+// to stop.
+func TestDirSingleWriterGuard(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, 8); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second opener: got %v, want ErrLocked", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDir(dir, 8)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	d2.Close()
+}
+
+// TestGuardSkippedOnNonLockingFS: an FS without the TryLock capability
+// (the fault injector) opens unguarded — and does not block a later
+// locking opener, the crash-simulation pattern the fault suite uses.
+func TestGuardSkippedOnNonLockingFS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	ff := NewFaultFS(OS, 1<<30)
+	j, err := OpenJournal(path, JournalOptions{Retain: 8, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// The unguarded handle is still "open"; a locking opener of the same
+	// path must succeed — FaultFS models a crashed process whose state
+	// the replacement adopts.
+	j2, err := OpenJournal(path, JournalOptions{Retain: 8})
+	if err != nil {
+		t.Fatalf("locking opener after unguarded open: %v", err)
+	}
+	j2.Close()
+}

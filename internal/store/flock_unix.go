@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+)
+
+// TryLock implements LockerFS over the real filesystem with flock(2):
+// exclusive and non-blocking, so a second opener fails fast with
+// ErrLocked instead of queueing behind a live server. flock binds the
+// lock to the open file description — two opens in one process conflict
+// just like two processes do, which is exactly what the second-opener
+// guard wants.
+func (osFS) TryLock(path string) (io.Closer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			return nil, ErrLocked
+		}
+		return nil, err
+	}
+	return &flockHandle{f: f}, nil
+}
+
+type flockHandle struct{ f *os.File }
+
+func (h *flockHandle) Close() error {
+	err := syscall.Flock(int(h.f.Fd()), syscall.LOCK_UN)
+	if cerr := h.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

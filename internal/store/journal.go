@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -69,8 +70,9 @@ type Journal struct {
 
 	mu       sync.Mutex
 	f        File
-	size     int64 // current file length (append offset)
-	ckptLive int64 // total frame bytes of retrievable checkpoint records
+	lock     io.Closer // single-writer guard (nil on non-locking FS)
+	size     int64     // current file length (append offset)
+	ckptLive int64     // total frame bytes of retrievable checkpoint records
 	ckpts    map[string]map[int]blobRegion
 	ring     *retireRing
 	st       Stats
@@ -114,16 +116,25 @@ func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
 			return nil, fmt.Errorf("store: journal dir: %w", err)
 		}
 	}
+	// Single-writer guard: fail fast if another live process already
+	// owns this journal (flock.go). Taken before anything is touched.
+	lock, err := tryLock(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	j.lock = lock
 	// A crash mid-compaction can leave a stale temp sibling; it is, by
 	// construction, not the authoritative file.
 	fsys.Remove(path + ".compact")
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		closeLock(lock)
 		return nil, fmt.Errorf("store: open journal: %w", err)
 	}
 	j.f = f
 	if err := j.recover(); err != nil {
 		f.Close()
+		closeLock(lock)
 		return nil, err
 	}
 	return j, nil
@@ -458,7 +469,9 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	return j.f.Close()
+	err := j.f.Close()
+	closeLock(j.lock)
+	return err
 }
 
 // maybeCompact compacts when the file has outgrown CompactBytes and at

@@ -104,6 +104,7 @@ const (
 	CauseIdle                       // failed on the per-operation idle timeout
 	CauseAdmin                      // evicted via the control plane
 	CauseFailed                     // every other error
+	CauseMigrated                   // handed over to another replica
 )
 
 // String names the cause.
@@ -119,6 +120,8 @@ func (c EndCause) String() string {
 		return "admin_evicted"
 	case CauseFailed:
 		return "error"
+	case CauseMigrated:
+		return "migrated"
 	}
 	return fmt.Sprintf("EndCause(%d)", uint8(c))
 }
@@ -162,6 +165,7 @@ type Aggregates struct {
 	Idle        int64
 	Admin       int64
 	Failed      int64
+	Migrated    int64
 	Checkpoints int64
 	Resumes     int64
 	BytesIn     int64
@@ -179,6 +183,8 @@ func (a *Aggregates) add(rec SessionRecord) {
 		a.Idle++
 	case CauseAdmin:
 		a.Admin++
+	case CauseMigrated:
+		a.Migrated++
 	default:
 		a.Failed++
 	}
@@ -196,6 +202,7 @@ func (a Aggregates) plus(b Aggregates) Aggregates {
 		Idle:        a.Idle + b.Idle,
 		Admin:       a.Admin + b.Admin,
 		Failed:      a.Failed + b.Failed,
+		Migrated:    a.Migrated + b.Migrated,
 		Checkpoints: a.Checkpoints + b.Checkpoints,
 		Resumes:     a.Resumes + b.Resumes,
 		BytesIn:     a.BytesIn + b.BytesIn,
@@ -311,7 +318,7 @@ func decodeSession(b []byte) (SessionRecord, error) {
 func encodeAggregates(a Aggregates) []byte {
 	var b []byte
 	for _, v := range []int64{
-		a.Detached, a.Superseded, a.Idle, a.Admin, a.Failed,
+		a.Detached, a.Superseded, a.Idle, a.Admin, a.Failed, a.Migrated,
 		a.Checkpoints, a.Resumes, a.BytesIn, a.BytesOut,
 	} {
 		b = binary.BigEndian.AppendUint64(b, uint64(v))
@@ -320,16 +327,25 @@ func encodeAggregates(a Aggregates) []byte {
 }
 
 // decodeAggregates parses a record body written by encodeAggregates.
+// The 9-field layout written before the Migrated cause existed is still
+// accepted (Migrated reads as 0), so old journals replay cleanly.
 func decodeAggregates(b []byte) (Aggregates, error) {
-	if len(b) != 9*8 {
+	if len(b) != 9*8 && len(b) != 10*8 {
 		return Aggregates{}, fmt.Errorf("%w: aggregate record", ErrCorrupt)
 	}
 	r := recReader{b: b}
 	var a Aggregates
-	for _, dst := range []*int64{
-		&a.Detached, &a.Superseded, &a.Idle, &a.Admin, &a.Failed,
+	fields := []*int64{
+		&a.Detached, &a.Superseded, &a.Idle, &a.Admin, &a.Failed, &a.Migrated,
 		&a.Checkpoints, &a.Resumes, &a.BytesIn, &a.BytesOut,
-	} {
+	}
+	if len(b) == 9*8 {
+		fields = []*int64{
+			&a.Detached, &a.Superseded, &a.Idle, &a.Admin, &a.Failed,
+			&a.Checkpoints, &a.Resumes, &a.BytesIn, &a.BytesOut,
+		}
+	}
+	for _, dst := range fields {
 		*dst = int64(r.u64())
 	}
 	return a, r.err

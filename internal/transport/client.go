@@ -212,6 +212,15 @@ func (s *UESession) LastCheckpointStep() uint32 {
 	return s.ckptStep
 }
 
+// CheckpointBytes returns a copy of the latest UE-half checkpoint (nil
+// before the first one) — the handle the bit-identity invariants
+// compare across resumed, migrated and uninterrupted runs.
+func (s *UESession) CheckpointBytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.ckpt...)
+}
+
 // Peer returns the most recent UE peer (nil before the first join) —
 // the handle tests use to inspect final model state.
 func (s *UESession) Peer() *UEPeer {

@@ -128,6 +128,28 @@ func (fr *FrameReader) ReadMessage() (*Message, error) {
 	return fr.Decode(hdr, payload)
 }
 
+// ReadRawMessage reads one frame from r and returns the decoded message
+// together with a private copy of the frame's raw wire bytes (header,
+// payload and CRC trailer), suitable for byte-exact relay onto another
+// stream. It allocates per call — built for handshake peeking (the
+// coordinator routing on a hello before splicing the connection), not
+// for the serving hot path.
+func ReadRawMessage(r io.Reader) (*Message, []byte, error) {
+	fr := NewFrameReader(r)
+	defer fr.Release()
+	hdr, payload, err := fr.ReadFrame()
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := append([]byte(nil), fr.buf...)
+	m := &Message{Type: hdr.Type, Step: hdr.Step}
+	var sc decodeScratch
+	if err := decodePayload(m, payload, hdr.Version, &sc); err != nil {
+		return nil, nil, err
+	}
+	return m, raw, nil
+}
+
 // FrameWriter writes protocol frames to a stream through a reusable
 // per-connection buffer, one Write call per frame. It is not safe for
 // concurrent use; a session has exactly one writer.

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -75,6 +76,12 @@ type Provision func(h Hello) (split.Config, *dataset.Dataset, *dataset.Split, er
 
 // ServerConfig tunes a BSServer.
 type ServerConfig struct {
+	// ReplicaID is this server's stable identity in a coordinator-fronted
+	// fleet, exported as the mmsl_replica_info{id} metric so federated
+	// scrapes never collide (empty: "bs-0"). Standalone deployments can
+	// ignore it.
+	ReplicaID string
+
 	MaxUE        int                              // concurrent session cap (≤0: 8)
 	Sched        SchedPolicy                      // step interleaving policy
 	Steps        int                              // max training steps per session (≤0: 200)
@@ -156,6 +163,9 @@ type ServerConfig struct {
 }
 
 func (c *ServerConfig) fillDefaults() {
+	if c.ReplicaID == "" {
+		c.ReplicaID = "bs-0"
+	}
 	if c.MaxUE <= 0 {
 		c.MaxUE = 8
 	}
@@ -227,6 +237,7 @@ type BSServer struct {
 	storeDegraded  atomic.Bool
 	storeWriteErrs atomic.Int64
 	restoreErrs    atomic.Int64
+	migratedIn     atomic.Int64 // sessions adopted via AdoptSessionState
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
@@ -313,6 +324,9 @@ func NewBSServer(cfg ServerConfig) (*BSServer, error) {
 // Store exposes the server's durable backend (never nil) — the handle a
 // successor process adopts, and what tests inspect.
 func (s *BSServer) Store() store.Store { return s.bstore }
+
+// ReplicaID is this server's stable fleet identity (never empty).
+func (s *BSServer) ReplicaID() string { return s.cfg.ReplicaID }
 
 // StoreDegraded reports whether a store write has exhausted its retries:
 // serving continues but checkpointing is disabled.
@@ -416,7 +430,8 @@ func (s *BSServer) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			if err := s.Handle(conn); err != nil && !IsClosedConn(err) {
+			// A handover is an intentional ending, not a session error.
+			if err := s.Handle(conn); err != nil && !IsClosedConn(err) && !errors.Is(err, ErrMigrated) {
 				s.cfg.Logf("bs-server: session error: %v", err)
 			}
 		}()
@@ -505,7 +520,10 @@ type ServerStats struct {
 	EndedSuperseded int64
 	EndedIdle       int64
 	EndedAdmin      int64
+	EndedMigrated   int64
 	EndedFailed     int64
+
+	MigratedIn int64 // sessions adopted from another replica via handover
 
 	Rounds       int64 // training rounds served (latency ring count)
 	SharedRounds int64 // rounds served by proven-clone sharing
@@ -543,7 +561,9 @@ func (s *BSServer) Stats() ServerStats {
 		EndedSuperseded:   ss.ended.superseded,
 		EndedIdle:         ss.ended.idle,
 		EndedAdmin:        ss.ended.admin,
+		EndedMigrated:     ss.ended.migrated,
 		EndedFailed:       ss.ended.failed,
+		MigratedIn:        s.migratedIn.Load(),
 		Rounds:            s.lat.n.Load(),
 		CheckpointsTotal:  ss.ckpts,
 		ResumesTotal:      ss.resumes,
@@ -758,6 +778,12 @@ func (s *BSServer) train(sess *session, peer *BSPeer, sp *dataset.Split, target 
 		if s.draining.Load() {
 			drained = true
 			break
+		}
+		// A parked handover is served here, at the same boundary a drain
+		// binds: the last completed step is checkpointed on both halves
+		// and the incarnation retired with ErrMigrated (migrate.go).
+		if m := sess.takeMigration(); m != nil {
+			return s.migrate(sess, peer, m, done)
 		}
 		s.sched.begin(slot)
 		t0 := time.Now()

@@ -132,6 +132,11 @@ type session struct {
 	// pruneLogged caps checkpoint-prune error logging at one line per
 	// session, so a wedged store cannot flood the log at fleet scale.
 	pruneLogged bool
+
+	// mig is the pending handover request, if any (migrate.go). The
+	// training loop claims it at a step boundary; retireLocked fails it
+	// if the session reaches a terminal state first.
+	mig *migration
 }
 
 // setState applies a non-terminal lifecycle transition; it is a no-op
@@ -402,7 +407,15 @@ func (st *sessionStore) retireLocked(sess *session, to SessionState, cause error
 	if sess.err == nil && cause != nil {
 		sess.err = cause
 	}
+	// A handover request the training loop never got to serve fails now:
+	// its waiter must not outlive the session it targeted.
+	mig := sess.mig
+	sess.mig = nil
 	sess.mu.Unlock()
+	if mig != nil {
+		mig.err = fmt.Errorf("transport: session %q ended (%v) before it could migrate", sess.id, to)
+		close(mig.done)
+	}
 
 	if st.live[sess.id] == sess {
 		delete(st.live, sess.id)
@@ -440,6 +453,7 @@ type endCounts struct {
 	superseded int64 // fenced off by a newer epoch of the same id
 	idle       int64 // failed on the per-operation idle timeout
 	admin      int64 // evicted via the control plane
+	migrated   int64 // handed over to another replica
 	failed     int64 // every other error
 }
 
@@ -451,6 +465,8 @@ func (c *endCounts) classify(state SessionState, cause error) {
 		c.superseded++
 	case errors.Is(cause, ErrIdleTimeout):
 		c.idle++
+	case errors.Is(cause, ErrMigrated):
+		c.migrated++
 	case cause != nil || state == SessionFailed:
 		c.failed++
 	default:

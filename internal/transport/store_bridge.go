@@ -55,6 +55,8 @@ func causeOf(state SessionState, cause error) store.EndCause {
 		return store.CauseSuperseded
 	case errors.Is(cause, ErrIdleTimeout):
 		return store.CauseIdle
+	case errors.Is(cause, ErrMigrated):
+		return store.CauseMigrated
 	case cause != nil || state == SessionFailed:
 		return store.CauseFailed
 	}
@@ -103,6 +105,9 @@ func snapshotFromRecord(rec store.SessionRecord) SessionSnapshot {
 	case store.CauseAdmin:
 		snap.State = SessionFailed
 		snap.cause = ErrAdminEvicted
+	case store.CauseMigrated:
+		snap.State = SessionFailed
+		snap.cause = ErrMigrated
 	default:
 		snap.State = SessionFailed
 		if rec.Err != "" {
@@ -123,6 +128,7 @@ func countsFromAggregates(a store.Aggregates) endCounts {
 		superseded: a.Superseded,
 		idle:       a.Idle,
 		admin:      a.Admin,
+		migrated:   a.Migrated,
 		failed:     a.Failed,
 	}
 }
