@@ -52,6 +52,10 @@ func main() {
 	batchMax := flag.Int("batch-max", 16, "max rounds coalesced into one compute dispatch")
 	strategy := flag.String("strategy", coord.PlaceAffinity, "placement strategy for fresh sessions (affinity or least-loaded)")
 	migrateTimeout := flag.Duration("migrate-timeout", 30*time.Second, "deadline for a session to reach its checkpoint boundary during handover")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "failure-detector probe period per replica (0 = no detector)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe deadline counted as a failure when overrun (0 = 2× probe interval)")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before the death verdict triggers crash failover")
+	recoverParallel := flag.Int("recover-parallel", 4, "concurrent session adoptions during crash failover (stampede cap)")
 	workers := flag.Int("workers", 0, "tensor worker-pool size for parallel kernels (0 = min(GOMAXPROCS, 8))")
 	flag.Parse()
 	if *workers != 0 {
@@ -86,11 +90,22 @@ func main() {
 		members[i] = coord.NewLocalReplica(srv)
 	}
 	co, err := coord.New(members, coord.Options{
-		Logf:   log.Printf,
-		Policy: coord.Policy{Strategy: *strategy, MigrateTimeout: *migrateTimeout},
+		Logf:     log.Printf,
+		Policy:   coord.Policy{Strategy: *strategy, MigrateTimeout: *migrateTimeout},
+		Failover: coord.FailoverConfig{RecoverParallel: *recoverParallel},
 	})
 	if err != nil {
 		log.Fatalf("mmsl-coord: %v", err)
+	}
+	if *probeInterval > 0 {
+		// Heartbeat every replica; a death verdict fences the replica and
+		// fails its sessions over to survivors from the durable store.
+		det := co.StartDetector(coord.DetectorConfig{
+			Interval:  *probeInterval,
+			Timeout:   *probeTimeout,
+			FailAfter: *failAfter,
+		})
+		defer det.Stop()
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -214,6 +214,7 @@ func cmdBench(args []string) error {
 	fleetChurn := fs.Float64("fleet-churn", 0.5, "-fleet: churn fraction among image-bearing UEs")
 	fleetSeed := fs.Int64("fleet-seed", 42, "-fleet: master fleet seed")
 	replicas := fs.Int("replicas", 1, "-fleet: shard the soak across this many BS replicas behind a coordinator (handover drill runs throughout)")
+	chaos := fs.Bool("chaos", false, "-fleet: run the chaos drill (uncontrolled replica kills with torn store writes, crash failover, rejoin; needs -replicas > 1)")
 	adminAddr := fs.String("admin", "", "-fleet: serve the control plane (/metrics, sessions, config) on this address for the soak's duration")
 	quick := fs.Bool("quick", false, "run only the frame-path benchmarks (-fleet: 64-UE smoke)")
 	check := fs.String("check", "", "fail if serving-path allocs/op exceed this committed BENCH.json")
@@ -232,7 +233,7 @@ func cmdBench(args []string) error {
 		if *fleetSoak {
 			n = 10000
 		}
-		return runFleetBench(n, *fleetSteps, *fleetChurn, *fleetSeed, *replicas, *adminAddr, *jsonOut, *out, *check)
+		return runFleetBench(n, *fleetSteps, *fleetChurn, *fleetSeed, *replicas, *chaos, *adminAddr, *jsonOut, *out, *check)
 	}
 
 	if *serve {

@@ -25,13 +25,17 @@ import (
 // fingerprints), lifecycle counters and peak RSS. `-fleet-soak` scales
 // the same run to 10k concurrent sessions.
 
-func runFleetBench(ues, steps int, churn float64, seed int64, replicas int, adminAddr string, jsonOut bool, out, check string) error {
+func runFleetBench(ues, steps int, churn float64, seed int64, replicas int, chaos bool, adminAddr string, jsonOut bool, out, check string) error {
 	spec := fleet.Spec{
 		UEs: ues, Seed: seed, Steps: steps,
 		ChurnFraction: churn,
 		Checkpoint:    true,
 		Replicas:      replicas,
+		Chaos:         chaos,
 		WallLimit:     30 * time.Minute,
+	}
+	if chaos && replicas <= 1 {
+		return fmt.Errorf("bench: -chaos needs -replicas > 1 (no survivor to fail over to)")
 	}
 	// -admin mounts the control plane on the soak's in-process server for
 	// the run's duration, so a scraper (or a curious operator) can watch
@@ -116,6 +120,19 @@ func printFleetReport(rep *fleet.Report) {
 		fmt.Printf("  %-22s %12.2f\n", "handover p50 ms", h.P50Ms)
 		fmt.Printf("  %-22s %12.2f\n", "handover p99 ms", h.P99Ms)
 	}
+	if fo := rep.Failover; fo != nil {
+		fmt.Printf("fleet chaos drill: %d replicas\n", fo.Replicas)
+		fmt.Printf("  %-22s %12d\n", "kills", fo.Kills)
+		fmt.Printf("  %-22s %12d\n", "rejoins", fo.Rejoins)
+		fmt.Printf("  %-22s %12d\n", "failovers", fo.Failovers)
+		fmt.Printf("  %-22s %12d\n", "sessions recovered", fo.SessionsRecovered)
+		fmt.Printf("  %-22s %12d\n", "sessions lost", fo.SessionsLost)
+		fmt.Printf("  %-22s %12d\n", "readmissions", fo.Readmissions)
+		fmt.Printf("  %-22s %12.2f\n", "detect p50 ms", fo.DetectP50Ms)
+		fmt.Printf("  %-22s %12.2f\n", "detect p99 ms", fo.DetectP99Ms)
+		fmt.Printf("  %-22s %12.2f\n", "recover p50 ms", fo.RecoverP50Ms)
+		fmt.Printf("  %-22s %12.2f\n", "recover p99 ms", fo.RecoverP99Ms)
+	}
 }
 
 // checkFleetReport is the fleet regression gate: the run just measured
@@ -159,12 +176,44 @@ func checkFleetReport(rep *fleet.Report, baselinePath string) error {
 			failures = append(failures, fmt.Sprintf("degenerate handover latency: p50 %.3fms p99 %.3fms", h.P50Ms, h.P99Ms))
 		}
 	}
+	// Chaos runs gate the crash-failover pipeline end to end: kills must
+	// have happened, every checkpointed session must have been recovered
+	// (zero lost incarnations), killed replicas must have rejoined, and
+	// the MTTR split must be real numbers, not zeros or inversions.
+	if rep.Failover != nil {
+		fo := rep.Failover
+		if base.Fleet.Failover == nil {
+			failures = append(failures, fmt.Sprintf("baseline %s has no failover section (run `mmsl bench -fleet -replicas 4 -chaos -json` and commit it)", baselinePath))
+		}
+		if fo.Kills == 0 || fo.Rejoins == 0 {
+			failures = append(failures, fmt.Sprintf("chaos drill idle: %d kills, %d rejoins", fo.Kills, fo.Rejoins))
+		}
+		if fo.Failovers == 0 {
+			failures = append(failures, "no crash failover ran")
+		}
+		if fo.SessionsRecovered == 0 {
+			failures = append(failures, "no session recovered onto a survivor")
+		}
+		if fo.SessionsLost != 0 {
+			failures = append(failures, fmt.Sprintf("%d checkpointed sessions lost in failover", fo.SessionsLost))
+		}
+		if fo.Failovers > 0 && (fo.DetectP50Ms <= 0 || fo.DetectP99Ms < fo.DetectP50Ms) {
+			failures = append(failures, fmt.Sprintf("degenerate detection latency: p50 %.3fms p99 %.3fms", fo.DetectP50Ms, fo.DetectP99Ms))
+		}
+		if fo.SessionsRecovered > 0 && (fo.RecoverP50Ms <= 0 || fo.RecoverP99Ms < fo.RecoverP50Ms) {
+			failures = append(failures, fmt.Sprintf("degenerate recovery latency: p50 %.3fms p99 %.3fms", fo.RecoverP50Ms, fo.RecoverP99Ms))
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: fleet regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	if h := rep.Handover; h != nil {
 		fmt.Printf("bench: handover gate passed (%d replicas, %d handovers, p50 %.2fms p99 %.2fms, 0 driver errors)\n",
 			h.Replicas, h.Migrations, h.P50Ms, h.P99Ms)
+	}
+	if fo := rep.Failover; fo != nil {
+		fmt.Printf("bench: failover gate passed (%d kills, %d failovers, %d recovered, 0 lost, detect p50 %.2fms, recover p50 %.2fms)\n",
+			fo.Kills, fo.Failovers, fo.SessionsRecovered, fo.DetectP50Ms, fo.RecoverP50Ms)
 	}
 	fmt.Printf("bench: fleet gate passed (%d UEs, %d rounds, 0 leaks, shared %.4f)\n",
 		rep.UEs, rep.Rounds, rep.SharedRatio)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/transport"
 )
 
 // CoordServer is the control plane over a coordinator: the fleet-level
@@ -33,6 +34,8 @@ func NewCoord(co *coord.Coordinator, opts Options) *CoordServer {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /replicas", s.handleReplicas)
+	s.mux.HandleFunc("POST /replicas/{id}/fail", s.handleFailReplica)
+	s.mux.HandleFunc("POST /replicas/{id}/rejoin", s.handleRejoinReplica)
 	s.mux.HandleFunc("POST /sessions/{id}/migrate", s.handleMigrate)
 	s.mux.HandleFunc("POST /rebalance", s.handleRebalance)
 	s.mux.HandleFunc("GET /config", s.handleGetConfig)
@@ -63,12 +66,16 @@ func (s *CoordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":            status,
-		"replicas":          st.Replicas,
-		"replicas_draining": draining,
-		"routes":            st.Routes,
-		"handovers":         st.Migrations,
-		"handover_failures": st.MigrationFails,
+		"status":             status,
+		"replicas":           st.Replicas,
+		"replicas_draining":  draining,
+		"replicas_fenced":    st.Fenced,
+		"routes":             st.Routes,
+		"handovers":          st.Migrations,
+		"handover_failures":  st.MigrationFails,
+		"failovers":          st.Failovers,
+		"sessions_recovered": st.SessionsRecovered,
+		"sessions_lost":      st.SessionsLost,
 	})
 }
 
@@ -81,12 +88,14 @@ func (s *CoordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // writeMetrics renders the federated scrape: every in-process replica's
 // exposition under a replica label, then the coordinator's own series.
-// Remote replicas (non-LocalReplica handles) scrape their own /metrics;
-// federation here covers what this process can read without I/O.
+// The BS() assertion covers any in-process wrapper that can surface its
+// server — LocalReplica, the fleet's tracked replicas, the chaos
+// harness's kill/rejoin wrapper; remote replicas (no local server to
+// read) scrape their own /metrics.
 func (s *CoordServer) writeMetrics(buf *bytes.Buffer) {
 	c := newCollector()
 	for _, rep := range s.co.Replicas() {
-		if lr, ok := rep.(*coord.LocalReplica); ok {
+		if lr, ok := rep.(interface{ BS() *transport.BSServer }); ok {
 			collectBS(c, lr.BS(), lbl("replica", rep.ID()))
 		}
 	}
@@ -103,8 +112,10 @@ func collectCoord(c *collector, co *coord.Coordinator) {
 		"Session ids with a sticky route to a replica.").addInt(int64(st.Routes))
 	c.family("mmsl_coord_connections_routed_total", "counter",
 		"UE connections spliced onto a replica.").addInt(st.Routed)
-	c.family("mmsl_coord_connections_refused_total", "counter",
-		"UE connections rejected before reaching a replica.").addInt(st.Refused)
+	refused := c.family("mmsl_coord_connections_refused_total", "counter",
+		"UE connections rejected before reaching a replica, by reason (replica_down: severed because the target replica was dead or fenced).")
+	refused.addInt(st.RefusedDown, lbl("reason", "replica_down"))
+	refused.addInt(st.Refused-st.RefusedDown, lbl("reason", "other"))
 	c.family("mmsl_coord_handovers_total", "counter",
 		"Live session handovers completed between replicas.").addInt(st.Migrations)
 	c.family("mmsl_coord_handover_failures_total", "counter",
@@ -121,22 +132,132 @@ func collectCoord(c *collector, co *coord.Coordinator) {
 		"99th-percentile handover latency over the recent handover window.").add(p99.Seconds())
 	c.family("mmsl_coord_handover_samples", "gauge",
 		"Handover latency samples in the window.").addInt(int64(n))
+
+	// Failure detection and crash failover.
+	c.family("mmsl_coord_replicas_fenced", "gauge",
+		"Replicas currently fenced out of placement.").addInt(int64(st.Fenced))
+	c.family("mmsl_coord_failovers_total", "counter",
+		"Crash failovers run after a replica death verdict.").addInt(st.Failovers)
+	c.family("mmsl_coord_failover_sessions_recovered_total", "counter",
+		"Sessions adopted onto survivors from a dead replica's durable checkpoints.").addInt(st.SessionsRecovered)
+	c.family("mmsl_coord_failover_sessions_lost_total", "counter",
+		"Checkpointed sessions crash failover could not move to a survivor.").addInt(st.SessionsLost)
+	c.family("mmsl_coord_replica_rejoins_total", "counter",
+		"Fenced replicas readmitted to placement after passing healthy probes.").addInt(st.Rejoins)
+
+	dp50, dp99, dn := co.DetectionLatency()
+	c.family("mmsl_coord_detection_latency_p50_seconds", "gauge",
+		"Median first-failed-probe-to-death-verdict latency over the recent window.").add(dp50.Seconds())
+	c.family("mmsl_coord_detection_latency_p99_seconds", "gauge",
+		"99th-percentile detection latency over the recent window.").add(dp99.Seconds())
+	c.family("mmsl_coord_detection_samples", "gauge",
+		"Detection latency samples in the window.").addInt(int64(dn))
+	rp50, rp99, rn := co.RecoveryLatency()
+	c.family("mmsl_coord_recovery_latency_p50_seconds", "gauge",
+		"Median fence-to-session-settled recovery latency over the recent window.").add(rp50.Seconds())
+	c.family("mmsl_coord_recovery_latency_p99_seconds", "gauge",
+		"99th-percentile recovery latency over the recent window.").add(rp99.Seconds())
+	c.family("mmsl_coord_recovery_samples", "gauge",
+		"Recovery latency samples in the window.").addInt(int64(rn))
+
+	// Per-replica liveness as the probe loop sees it. Without a running
+	// detector the only signal is the fence.
+	var health map[string]coord.ReplicaHealth
+	if det := co.Detector(); det != nil {
+		health = det.Health()
+	}
+	up := c.family("mmsl_coord_replica_up", "gauge",
+		"1 while the replica is in placement (not fenced, not declared dead).")
+	suspect := c.family("mmsl_coord_replica_suspect", "gauge",
+		"1 while the failure detector holds the replica suspect, gray or rejoining.")
+	for _, rep := range co.Replicas() {
+		id := rep.ID()
+		h, probed := health[id]
+		upV := int64(1)
+		if co.IsFenced(id) || h == coord.HealthDead {
+			upV = 0
+		}
+		var suspectV int64
+		if probed && (h == coord.HealthSuspect || h == coord.HealthGray || h == coord.HealthRejoin) {
+			suspectV = 1
+		}
+		up.addInt(upV, lbl("replica", id))
+		suspect.addInt(suspectV, lbl("replica", id))
+	}
 }
 
-// replicaJSON is the admin-facing projection of a fleet member.
+// replicaJSON is the admin-facing projection of a fleet member. Health
+// and probe latency appear once a failure detector runs.
 type replicaJSON struct {
-	ID       string `json:"id"`
-	Live     int    `json:"live_sessions"`
-	Draining bool   `json:"draining"`
+	ID       string  `json:"id"`
+	Live     int     `json:"live_sessions"`
+	Draining bool    `json:"draining"`
+	Fenced   bool    `json:"fenced"`
+	Health   string  `json:"health,omitempty"`
+	ProbeMs  float64 `json:"probe_latency_ms,omitempty"`
 }
 
 func (s *CoordServer) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	det := s.co.Detector()
+	var health map[string]coord.ReplicaHealth
+	if det != nil {
+		health = det.Health()
+	}
 	reps := s.co.Replicas()
 	out := make([]replicaJSON, 0, len(reps))
 	for _, rep := range reps {
-		out = append(out, replicaJSON{ID: rep.ID(), Live: rep.Live(), Draining: rep.Draining()})
+		rj := replicaJSON{
+			ID:       rep.ID(),
+			Live:     rep.Live(),
+			Draining: rep.Draining(),
+			Fenced:   s.co.IsFenced(rep.ID()),
+		}
+		if h, ok := health[rep.ID()]; ok {
+			rj.Health = h.String()
+			rj.ProbeMs = float64(det.ProbeLatency(rep.ID())) / float64(time.Millisecond)
+		}
+		out = append(out, rj)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFailReplica is the operator's crash drill: fence the replica
+// and run full crash failover for its sessions, exactly as a detector
+// death verdict would.
+func (s *CoordServer) handleFailReplica(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.co.FailReplica(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.opts.Logf("control: replica %s failed over: %d sessions (%d recovered, %d fresh, %d lost)",
+		id, res.Sessions, res.Recovered, res.Fresh, res.Lost)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"replica":    id,
+		"sessions":   res.Sessions,
+		"recovered":  res.Recovered,
+		"fresh":      res.Fresh,
+		"lost":       res.Lost,
+		"elapsed_ms": float64(res.Elapsed) / float64(time.Millisecond),
+	})
+}
+
+// handleRejoinReplica lifts the fence by hand — the operator override
+// of the detector's healthy-probe quota.
+func (s *CoordServer) handleRejoinReplica(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.co.ReplicaByID(id) == nil {
+		http.Error(w, fmt.Sprintf("unknown replica %q", id), http.StatusNotFound)
+		return
+	}
+	if !s.co.IsFenced(id) {
+		http.Error(w, fmt.Sprintf("replica %q is not fenced", id), http.StatusConflict)
+		return
+	}
+	s.co.Unfence(id)
+	s.opts.Logf("control: replica %s unfenced by operator", id)
+	writeJSON(w, http.StatusOK, map[string]string{"rejoined": id})
 }
 
 func (s *CoordServer) handleMigrate(w http.ResponseWriter, r *http.Request) {

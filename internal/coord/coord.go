@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +25,15 @@ import (
 
 // ErrAllDraining means no replica accepts new sessions.
 var ErrAllDraining = errors.New("coord: all replicas draining")
+
+// ErrReplicaDown marks a connection the coordinator turned away (or a
+// relay it tore down) because the session's replica is dead or fenced —
+// distinct from policy refusals so failover-window churn is
+// attributable in logs and the refused-by-reason counters. The UE is
+// severed without a rejection ack on this path: a structured rejection
+// is fatal to UESession, but a severed conn is retried under backoff,
+// which is exactly what a session waiting out a failover needs.
+var ErrReplicaDown = errors.New("coord: replica down")
 
 // handoverWindow bounds the handover latency ring.
 const handoverWindow = 1024
@@ -38,6 +46,9 @@ type Options struct {
 	// Policy is the initial placement policy; the zero value means
 	// DefaultPolicy.
 	Policy Policy
+
+	// Failover tunes crash recovery; zero-valued fields take defaults.
+	Failover FailoverConfig
 }
 
 // route pins a session id to a replica. Routes are sticky across
@@ -50,6 +61,12 @@ type Options struct {
 type route struct {
 	replica   Replica
 	migrating chan struct{}
+
+	// configFP remembers the hello's config fingerprint so crash
+	// failover can re-place the session under the same affinity signal
+	// the original placement used (the dead replica can no longer be
+	// asked).
+	configFP uint64
 }
 
 // Coordinator routes UE connections onto a replica fleet.
@@ -60,18 +77,30 @@ type Coordinator struct {
 	mu     sync.Mutex
 	policy Policy
 	routes map[string]*route
+	fenced map[string]bool // replicas excluded from routing (dead or failing over)
+
+	failover FailoverConfig
 
 	routed      atomic.Int64
 	refused     atomic.Int64
+	refusedDown atomic.Int64 // refusals/severs attributable to a dead replica
 	migrations  atomic.Int64
 	migrateFail atomic.Int64
 	relayedUp   atomic.Int64 // UE→BS bytes
 	relayedDown atomic.Int64 // BS→UE bytes
 
-	latMu   sync.Mutex
-	lat     [handoverWindow]time.Duration
-	latLen  int
-	latNext int
+	failovers        atomic.Int64 // crash failovers run
+	recovered        atomic.Int64 // sessions adopted onto survivors
+	lostSessions     atomic.Int64 // checkpointed sessions that could not be recovered
+	rejoins          atomic.Int64 // fenced replicas readmitted to placement
+	recoveriesActive atomic.Int64 // failovers currently in flight
+
+	handoverLat latRing
+	detectLat   latRing // first bad probe → death verdict
+	recoverLat  latRing // fence → session route settled on survivor
+
+	detMu    sync.Mutex
+	detector *Detector
 
 	closed   atomic.Bool
 	wg       sync.WaitGroup
@@ -107,6 +136,8 @@ func New(replicas []Replica, opts Options) (*Coordinator, error) {
 		logf:     logf,
 		policy:   pol,
 		routes:   make(map[string]*route),
+		fenced:   make(map[string]bool),
+		failover: opts.Failover.withDefaults(),
 	}, nil
 }
 
@@ -213,6 +244,13 @@ func (c *Coordinator) HandleConn(conn io.ReadWriteCloser) error {
 	rep, err := c.route(h)
 	if err != nil {
 		c.refused.Add(1)
+		if errors.Is(err, ErrReplicaDown) {
+			// Sever without an ack: a structured rejection is fatal to
+			// the UE, but this condition is transient — recovery is
+			// moving the session to a survivor, so the UE must retry.
+			c.refusedDown.Add(1)
+			return fmt.Errorf("coord: place session %q: %w", h.SessionID, err)
+		}
 		c.refuse(conn, ver, h.SessionID, err)
 		return fmt.Errorf("coord: place session %q: %w", h.SessionID, err)
 	}
@@ -220,11 +258,20 @@ func (c *Coordinator) HandleConn(conn io.ReadWriteCloser) error {
 	up, err := rep.Dial()
 	if err != nil {
 		c.refused.Add(1)
+		if replicaCrashed(rep) || c.IsFenced(rep.ID()) {
+			c.refusedDown.Add(1)
+			return fmt.Errorf("coord: dial replica %s: %w (%w)", rep.ID(), ErrReplicaDown, err)
+		}
 		c.refuse(conn, ver, h.SessionID, errors.New("replica unavailable"))
 		return fmt.Errorf("coord: dial replica %s: %w", rep.ID(), err)
 	}
 	defer up.Close()
 	if _, err := up.Write(raw); err != nil {
+		if replicaCrashed(rep) {
+			c.refused.Add(1)
+			c.refusedDown.Add(1)
+			return fmt.Errorf("coord: relay hello to %s: %w (%w)", rep.ID(), ErrReplicaDown, err)
+		}
 		return fmt.Errorf("coord: relay hello to %s: %w", rep.ID(), err)
 	}
 	c.routed.Add(1)
@@ -247,7 +294,20 @@ func (c *Coordinator) HandleConn(conn io.ReadWriteCloser) error {
 	conn.Close()
 	up.Close()
 	wg.Wait()
+	if replicaCrashed(rep) {
+		// Attribute the teardown: the splice ended because the replica
+		// died under it, not because the UE left.
+		return fmt.Errorf("coord: relay for session %q severed: %w", h.SessionID, ErrReplicaDown)
+	}
 	return nil
+}
+
+// replicaCrashed reports whether a replica exposes (and asserts) the
+// crashed condition — the LocalReplica/chaos capability the relay
+// teardown path uses to attribute abrupt conn death.
+func replicaCrashed(r Replica) bool {
+	cr, ok := r.(interface{ Crashed() bool })
+	return ok && cr.Crashed()
 }
 
 // route resolves the replica for a hello: sticky for known session ids
@@ -273,26 +333,52 @@ func (c *Coordinator) route(h transport.Hello) (Replica, error) {
 				wait.Stop()
 				continue
 			case <-wait.C:
+				c.mu.Lock()
+				down := c.routes[h.SessionID] != nil && c.fenced[c.routes[h.SessionID].replica.ID()]
+				c.mu.Unlock()
+				if down {
+					return nil, fmt.Errorf("session %q parked behind crash recovery: %w", h.SessionID, ErrReplicaDown)
+				}
 				return nil, fmt.Errorf("session %q handover still in flight", h.SessionID)
 			}
 		}
 		if rt != nil {
 			rep := rt.replica
+			if c.fenced[rep.ID()] {
+				// Death verdict landed but failover has not barriered
+				// this route yet (or recovery abandoned it): sever so
+				// the UE retries rather than eating a fatal rejection.
+				c.mu.Unlock()
+				return nil, fmt.Errorf("session %q routed to fenced replica %s: %w", h.SessionID, rep.ID(), ErrReplicaDown)
+			}
 			resuming := h.ResumeStep > 0 || h.Epoch > 0
 			if resuming || !rep.Draining() {
 				c.mu.Unlock()
 				return rep, nil
 			}
 		}
-		rep := pol.place(c.replicas, h.ConfigFP)
+		rep := pol.place(c.eligibleLocked(), h.ConfigFP)
 		if rep == nil {
 			c.mu.Unlock()
 			return nil, ErrAllDraining
 		}
-		c.routes[h.SessionID] = &route{replica: rep}
+		c.routes[h.SessionID] = &route{replica: rep, configFP: h.ConfigFP}
 		c.mu.Unlock()
 		return rep, nil
 	}
+}
+
+// eligibleLocked returns the replicas placement may consider: not
+// fenced and not visibly crashed. Callers hold c.mu.
+func (c *Coordinator) eligibleLocked() []Replica {
+	out := make([]Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		if c.fenced[r.ID()] || replicaCrashed(r) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // refuse writes a rejection ack in the UE's own dialect, mirroring the
@@ -319,10 +405,18 @@ func (c *Coordinator) Migrate(id, dstID string) error {
 
 	c.mu.Lock()
 	pol := c.policy
+	if c.fenced[dstID] {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: replica %q is fenced: %w", dstID, ErrReplicaDown)
+	}
 	rt := c.routes[id]
 	if rt == nil {
 		c.mu.Unlock()
 		return fmt.Errorf("coord: no route for session %q", id)
+	}
+	if c.fenced[rt.replica.ID()] {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: session %q is on fenced replica %q (crash failover owns it): %w", id, rt.replica.ID(), ErrReplicaDown)
 	}
 	if rt.migrating != nil {
 		c.mu.Unlock()
@@ -370,8 +464,11 @@ func (c *Coordinator) Migrate(id, dstID string) error {
 // Returns the moved session and destination id, or "" when the fleet is
 // already balanced or no session is movable.
 func (c *Coordinator) Rebalance() (sessionID, dstID string, err error) {
+	c.mu.Lock()
+	candidates := c.eligibleLocked()
+	c.mu.Unlock()
 	var src, dst Replica
-	for _, r := range c.replicas {
+	for _, r := range candidates {
 		if r.Draining() {
 			continue
 		}
@@ -400,58 +497,65 @@ func (c *Coordinator) Rebalance() (sessionID, dstID string, err error) {
 }
 
 // recordHandover adds one handover latency sample to the ring.
-func (c *Coordinator) recordHandover(d time.Duration) {
-	c.latMu.Lock()
-	c.lat[c.latNext] = d
-	c.latNext = (c.latNext + 1) % handoverWindow
-	if c.latLen < handoverWindow {
-		c.latLen++
-	}
-	c.latMu.Unlock()
-}
+func (c *Coordinator) recordHandover(d time.Duration) { c.handoverLat.add(d) }
 
 // HandoverLatency returns p50/p99 over the recent handover window and
 // the number of samples in it.
 func (c *Coordinator) HandoverLatency() (p50, p99 time.Duration, n int) {
-	c.latMu.Lock()
-	samples := append([]time.Duration(nil), c.lat[:c.latLen]...)
-	c.latMu.Unlock()
-	if len(samples) == 0 {
-		return 0, 0, 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	idx := func(q float64) time.Duration {
-		i := int(q * float64(len(samples)-1))
-		return samples[i]
-	}
-	return idx(0.50), idx(0.99), len(samples)
+	return c.handoverLat.quantiles()
+}
+
+// DetectionLatency returns p50/p99 of first-bad-probe→death-verdict
+// over the recent window — the detection half of MTTR.
+func (c *Coordinator) DetectionLatency() (p50, p99 time.Duration, n int) {
+	return c.detectLat.quantiles()
+}
+
+// RecoveryLatency returns p50/p99 of fence→session-settled-on-survivor
+// per recovered session — the recovery half of MTTR.
+func (c *Coordinator) RecoveryLatency() (p50, p99 time.Duration, n int) {
+	return c.recoverLat.quantiles()
 }
 
 // Stats is a point-in-time snapshot of coordinator counters.
 type Stats struct {
 	Replicas         int
+	Fenced           int // replicas currently excluded from placement
 	Routes           int
 	Routed           int64 // connections spliced onto a replica
 	Refused          int64 // connections rejected before splicing
+	RefusedDown      int64 // of Refused: severed because the replica was dead/fenced
 	Migrations       int64 // completed handovers
 	MigrationFails   int64
 	RelayedBytesUp   int64 // UE→BS
 	RelayedBytesDown int64 // BS→UE
+
+	Failovers         int64 // crash failovers run
+	SessionsRecovered int64 // sessions adopted onto survivors
+	SessionsLost      int64 // checkpointed sessions recovery could not save
+	Rejoins           int64 // fenced replicas readmitted after healthy probes
 }
 
 // Stats snapshots the coordinator's counters.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	routes := len(c.routes)
+	fenced := len(c.fenced)
 	c.mu.Unlock()
 	return Stats{
-		Replicas:         len(c.replicas),
-		Routes:           routes,
-		Routed:           c.routed.Load(),
-		Refused:          c.refused.Load(),
-		Migrations:       c.migrations.Load(),
-		MigrationFails:   c.migrateFail.Load(),
-		RelayedBytesUp:   c.relayedUp.Load(),
-		RelayedBytesDown: c.relayedDown.Load(),
+		Replicas:          len(c.replicas),
+		Fenced:            fenced,
+		Routes:            routes,
+		Routed:            c.routed.Load(),
+		Refused:           c.refused.Load(),
+		RefusedDown:       c.refusedDown.Load(),
+		Migrations:        c.migrations.Load(),
+		MigrationFails:    c.migrateFail.Load(),
+		RelayedBytesUp:    c.relayedUp.Load(),
+		RelayedBytesDown:  c.relayedDown.Load(),
+		Failovers:         c.failovers.Load(),
+		SessionsRecovered: c.recovered.Load(),
+		SessionsLost:      c.lostSessions.Load(),
+		Rejoins:           c.rejoins.Load(),
 	}
 }

@@ -1,0 +1,287 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Failure detector: one probe loop per replica, classifying each as
+// healthy, gray (alive but slow — the mmWave-era "limping node" that
+// drags every session routed to it), suspect (recent probe failures),
+// or dead (failures past the threshold). A death verdict fences the
+// replica and triggers crash failover; a fenced replica that starts
+// answering probes again must string together a quota of healthy ones
+// before it is readmitted to placement (rejoin).
+
+// ErrProbeTimeout marks a probe that outran the detector's deadline —
+// counted as a failure: a replica too frozen to answer cannot serve.
+var ErrProbeTimeout = errors.New("coord: probe timeout")
+
+// ReplicaHealth is the detector's verdict for one replica.
+type ReplicaHealth int
+
+const (
+	HealthUnknown ReplicaHealth = iota // not yet probed
+	HealthHealthy
+	HealthGray    // answering, but slower than the gray threshold
+	HealthSuspect // failing probes, not yet past the death threshold
+	HealthDead    // failed FailAfter consecutive probes; fenced
+	HealthRejoin  // fenced but answering; accumulating healthy probes
+)
+
+func (h ReplicaHealth) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthGray:
+		return "gray"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDead:
+		return "dead"
+	case HealthRejoin:
+		return "rejoining"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectorConfig tunes the probe loops; zero-valued fields take
+// defaults.
+type DetectorConfig struct {
+	Interval    time.Duration // probe period (≤0: 500ms)
+	Timeout     time.Duration // per-probe deadline; an overrun counts as a failure (≤0: 2×Interval)
+	FailAfter   int           // consecutive failed probes before the death verdict (≤0: 3)
+	GrayAfter   time.Duration // successful-probe latency that marks a replica gray (≤0: Timeout/2)
+	RejoinAfter int           // consecutive healthy probes before a fenced replica rejoins placement (≤0: 3)
+
+	// OnDeath overrides what a death verdict triggers; nil runs the
+	// coordinator's own FailReplica. OnRejoin (optional) observes
+	// readmissions after the fence is lifted.
+	OnDeath  func(id string)
+	OnRejoin func(id string)
+}
+
+func (d DetectorConfig) withDefaults() DetectorConfig {
+	if d.Interval <= 0 {
+		d.Interval = 500 * time.Millisecond
+	}
+	if d.Timeout <= 0 {
+		d.Timeout = 2 * d.Interval
+	}
+	if d.FailAfter <= 0 {
+		d.FailAfter = 3
+	}
+	if d.GrayAfter <= 0 {
+		d.GrayAfter = d.Timeout / 2
+	}
+	if d.RejoinAfter <= 0 {
+		d.RejoinAfter = 3
+	}
+	return d
+}
+
+// probeState is one replica's detector-side record.
+type probeState struct {
+	health   ReplicaHealth
+	bad      int       // consecutive failed probes
+	good     int       // consecutive healthy probes (rejoin quota)
+	badSince time.Time // first failure of the current bad run
+	lastLat  time.Duration
+}
+
+// Detector runs the probe loops. Build with Coordinator.StartDetector;
+// stop with Stop.
+type Detector struct {
+	c   *Coordinator
+	cfg DetectorConfig
+
+	states map[string]*probeState // guarded by c.detMu (shared with health readers)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartDetector launches one probe loop per replica. At most one
+// detector runs per coordinator; starting a second stops the first.
+func (c *Coordinator) StartDetector(cfg DetectorConfig) *Detector {
+	d := &Detector{
+		c:      c,
+		cfg:    cfg.withDefaults(),
+		states: make(map[string]*probeState),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, r := range c.replicas {
+		d.states[r.ID()] = &probeState{}
+	}
+	c.detMu.Lock()
+	prev := c.detector
+	c.detector = d
+	c.detMu.Unlock()
+	if prev != nil {
+		prev.Stop()
+	}
+	go d.run()
+	return d
+}
+
+// Detector returns the running detector, or nil.
+func (c *Coordinator) Detector() *Detector {
+	c.detMu.Lock()
+	defer c.detMu.Unlock()
+	return c.detector
+}
+
+// Stop halts the probe loops (idempotent) and waits for them.
+func (d *Detector) Stop() {
+	select {
+	case <-d.stop:
+		return
+	default:
+		close(d.stop)
+	}
+	<-d.done
+}
+
+// Health snapshots every replica's verdict.
+func (d *Detector) Health() map[string]ReplicaHealth {
+	d.c.detMu.Lock()
+	defer d.c.detMu.Unlock()
+	out := make(map[string]ReplicaHealth, len(d.states))
+	for id, st := range d.states {
+		out[id] = st.health
+	}
+	return out
+}
+
+// ProbeLatency returns the last successful-probe latency for id.
+func (d *Detector) ProbeLatency(id string) time.Duration {
+	d.c.detMu.Lock()
+	defer d.c.detMu.Unlock()
+	if st, ok := d.states[id]; ok {
+		return st.lastLat
+	}
+	return 0
+}
+
+func (d *Detector) run() {
+	defer close(d.done)
+	var loops []chan struct{}
+	for _, r := range d.c.replicas {
+		done := make(chan struct{})
+		loops = append(loops, done)
+		go func(rep Replica) {
+			defer close(done)
+			t := time.NewTicker(d.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-d.stop:
+					return
+				case <-t.C:
+					d.probeOnce(rep)
+				}
+			}
+		}(r)
+	}
+	for _, done := range loops {
+		<-done
+	}
+}
+
+// probeOnce runs one timed probe and feeds the verdict machine. The
+// probe itself runs in a goroutine so a frozen replica costs the
+// detector a timeout, not a wedge (the stray goroutine unblocks when
+// the stall ends).
+func (d *Detector) probeOnce(rep Replica) {
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() { errCh <- rep.Probe() }()
+	var err error
+	timer := time.NewTimer(d.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case err = <-errCh:
+	case <-timer.C:
+		err = fmt.Errorf("%w after %v", ErrProbeTimeout, d.cfg.Timeout)
+	}
+	d.record(rep.ID(), err, time.Since(start))
+}
+
+// record advances one replica's state machine on a probe result. The
+// death verdict fires exactly once per bad run and only for an
+// unfenced replica (a manual FailReplica already owns the recovery);
+// the rejoin path lifts the fence after RejoinAfter consecutive
+// healthy probes.
+func (d *Detector) record(id string, err error, lat time.Duration) {
+	c := d.c
+	c.detMu.Lock()
+	st, ok := d.states[id]
+	if !ok {
+		c.detMu.Unlock()
+		return
+	}
+	var verdict, readmitted bool
+	if err != nil {
+		st.good = 0
+		if st.bad == 0 {
+			st.badSince = time.Now()
+		}
+		st.bad++
+		switch {
+		case st.bad < d.cfg.FailAfter:
+			st.health = HealthSuspect
+		default:
+			if st.health != HealthDead {
+				st.health = HealthDead
+				if !c.IsFenced(id) {
+					verdict = true
+					c.detectLat.add(time.Since(st.badSince))
+				}
+			}
+		}
+	} else {
+		st.bad = 0
+		st.lastLat = lat
+		if c.IsFenced(id) {
+			st.health = HealthRejoin
+			st.good++
+			if st.good >= d.cfg.RejoinAfter {
+				st.health = HealthHealthy
+				st.good = 0
+				readmitted = true
+			}
+		} else {
+			st.good++
+			if lat > d.cfg.GrayAfter {
+				st.health = HealthGray
+			} else {
+				st.health = HealthHealthy
+			}
+		}
+	}
+	c.detMu.Unlock()
+
+	if verdict {
+		c.logf("coord: replica %s declared dead after %d failed probes (last: %v)", id, d.cfg.FailAfter, err)
+		onDeath := d.cfg.OnDeath
+		if onDeath == nil {
+			onDeath = func(id string) {
+				if _, err := c.FailReplica(id); err != nil {
+					c.logf("coord: failover of %s: %v", id, err)
+				}
+			}
+		}
+		// Failover blocks on recovery; the probe loop keeps running so
+		// it can watch for the replica's rejoin in the meantime.
+		go onDeath(id)
+	}
+	if readmitted {
+		c.Unfence(id)
+		if d.cfg.OnRejoin != nil {
+			go d.cfg.OnRejoin(id)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package coord
 
 import (
+	"errors"
 	"io"
 	"net"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -47,6 +49,21 @@ type Replica interface {
 	// Adopt installs migrated session state so a resume hello for that
 	// session succeeds here.
 	Adopt(st *transport.MigrationState) error
+
+	// Probe is the failure detector's liveness check: it returns nil
+	// from a healthy replica and an error from a dead one. A frozen
+	// replica simply takes long — the detector times the call and
+	// classifies slow-but-alive (gray) separately from dead.
+	Probe() error
+}
+
+// RecoverySource is the optional capability crash failover needs: after
+// a replica is declared dead, TakeoverStore opens (or surfaces) its
+// durable store so survivors can adopt the checkpoints it left behind.
+// The release func returns the store when recovery is done; it must be
+// called exactly once and may be a no-op for in-process stores.
+type RecoverySource interface {
+	TakeoverStore() (st store.Store, release func(), err error)
 }
 
 // LocalReplica adapts an in-process transport.BSServer to the Replica
@@ -101,6 +118,31 @@ func (r *LocalReplica) MigrateOut(id string, timeout time.Duration) (*transport.
 
 func (r *LocalReplica) Adopt(st *transport.MigrationState) error {
 	return r.bs.AdoptSessionState(st)
+}
+
+// Probe reports process-level liveness: an in-process replica is dead
+// exactly when its server has crashed.
+func (r *LocalReplica) Probe() error {
+	if r.bs.Crashed() {
+		return transport.ErrReplicaCrashed
+	}
+	return nil
+}
+
+// Crashed surfaces the wrapped server's crashed flag to the
+// coordinator's relay-teardown attribution.
+func (r *LocalReplica) Crashed() bool { return r.bs.Crashed() }
+
+// TakeoverStore implements RecoverySource for in-process replicas: the
+// store object outlives the crashed server (only the server's writes
+// are fenced), so survivors read it directly. The release is a no-op —
+// the store's lifecycle belongs to whoever built the server.
+func (r *LocalReplica) TakeoverStore() (store.Store, func(), error) {
+	st := r.bs.Store()
+	if st == nil {
+		return nil, nil, errors.New("coord: replica has no checkpoint store to take over")
+	}
+	return st, func() {}, nil
 }
 
 // liveState reports whether a snapshot state is non-terminal.

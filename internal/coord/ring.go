@@ -1,0 +1,44 @@
+package coord
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latRing is a bounded ring of latency samples with quantile snapshots —
+// one instance each for handover, failure-detection and crash-recovery
+// latency, so every control-loop MTTR number is computed the same way.
+type latRing struct {
+	mu   sync.Mutex
+	buf  [handoverWindow]time.Duration
+	n    int
+	next int
+}
+
+// add appends one sample, evicting the oldest past the window.
+func (r *latRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns p50/p99 over the retained window and the sample
+// count (zeros when empty).
+func (r *latRing) quantiles() (p50, p99 time.Duration, n int) {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(q float64) time.Duration {
+		return samples[int(q*float64(len(samples)-1))]
+	}
+	return idx(0.50), idx(0.99), len(samples)
+}

@@ -136,11 +136,20 @@ func isDisconnect(err error) bool {
 // session builds the reconnecting UE session shared by the steady and
 // flapping behaviours.
 func (dr *driver) session() *transport.UESession {
+	bo := transport.Backoff{Base: time.Millisecond, Max: 50 * time.Millisecond, Retries: 8}
+	if dr.env.Spec.Chaos {
+		// Crash failover severs the relay without an ack and parks the
+		// reconnect at the migration barrier until the session settles on
+		// a survivor — give chaos-run UEs a reconnect budget that outlasts
+		// detection plus recovery, so a mid-round kill is a resume, not a
+		// driver error.
+		bo = transport.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond, Retries: 40}
+	}
 	return &transport.UESession{
 		Hello:     dr.env.Hello(dr.p),
 		Cfg:       dr.env.Config(dr.p),
 		Data:      dr.env.Dataset(dr.p),
-		Backoff:   transport.Backoff{Base: time.Millisecond, Max: 50 * time.Millisecond, Retries: 8},
+		Backoff:   bo,
 		OnRequest: dr.think,
 	}
 }

@@ -156,6 +156,20 @@ type Spec struct {
 	// fleet.
 	RebalanceEvery time.Duration
 
+	// Chaos (needs Replicas > 1) runs the crash-failover drill on top of
+	// the churn load: every replica is rebuilt on a durable journal
+	// store behind a fault-injecting filesystem, a failure detector
+	// probes the fleet, and a drill goroutine kills replicas uncontrolled
+	// mid-round — tearing the in-flight store write on the way down —
+	// waits out coordinator crash failover, then rejoins the replica as
+	// a fresh incarnation adopting from its store. The soak's Report
+	// gains the Failover section (MTTR and the recovered/lost ledger).
+	Chaos bool
+
+	// ChaosInterval is the pause between chaos drill actions — kill,
+	// stall, rejoin cycles (≤0: 100ms).
+	ChaosInterval time.Duration
+
 	// WallLimit aborts a wedged soak (≤0: 10min) — the deadline that
 	// turns a deadlock or an unevictable session into a test failure
 	// instead of a hung run.
@@ -211,6 +225,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.RebalanceEvery <= 0 {
 		s.RebalanceEvery = 5 * time.Millisecond
+	}
+	if s.ChaosInterval <= 0 {
+		s.ChaosInterval = 100 * time.Millisecond
 	}
 	if s.WallLimit <= 0 {
 		s.WallLimit = 10 * time.Minute

@@ -239,6 +239,61 @@ func TestChurnSoak64(t *testing.T) {
 	}
 }
 
+// TestChaosSoak64 is the CI chaos soak (run race-enabled by the fleet
+// CI job): 64 heterogeneous churning UEs over 4 replicas while the
+// chaos drill kills replicas uncontrolled — tearing the in-flight
+// store write on the way down — and rejoins them as fresh incarnations
+// on the same journal. Healthy means the soak drains with zero driver
+// errors and zero leaked sessions, crash failover actually ran (kills,
+// recoveries and readmissions all nonzero) and no checkpointed session
+// was lost: invariant 10's ledger under real churn.
+func TestChaosSoak64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak in -short")
+	}
+	spec := Spec{
+		UEs: 64, Seed: 23, Steps: 30,
+		SceneClasses: 8, Frames: 120,
+		ChurnFraction: 0.4,
+		Replicas:      4,
+		Chaos:         true,
+		ChaosInterval: 60 * time.Millisecond,
+	}
+	rep, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHealthy(t, rep, 64)
+	fo := rep.Failover
+	if fo == nil {
+		t.Fatal("chaos soak produced no failover report")
+	}
+	if fo.Kills == 0 || fo.Rejoins == 0 {
+		t.Fatalf("chaos drill idle: %d kills, %d rejoins", fo.Kills, fo.Rejoins)
+	}
+	if fo.Failovers == 0 {
+		t.Error("no crash failover ran")
+	}
+	if fo.SessionsRecovered == 0 {
+		t.Error("no session was recovered onto a survivor")
+	}
+	if fo.SessionsLost != 0 {
+		t.Errorf("%d checkpointed sessions lost in failover", fo.SessionsLost)
+	}
+	if fo.Readmissions == 0 {
+		t.Error("no killed replica was readmitted after rejoin")
+	}
+	if fo.DetectP50Ms <= 0 || fo.DetectP99Ms < fo.DetectP50Ms {
+		t.Errorf("degenerate detection latency: p50 %.3fms p99 %.3fms", fo.DetectP50Ms, fo.DetectP99Ms)
+	}
+	if fo.RecoverP50Ms <= 0 || fo.RecoverP99Ms < fo.RecoverP50Ms {
+		t.Errorf("degenerate recovery latency: p50 %.3fms p99 %.3fms", fo.RecoverP50Ms, fo.RecoverP99Ms)
+	}
+	if rep.Resumes == 0 {
+		t.Error("no UE resumed from a checkpoint after failover")
+	}
+}
+
 // TestReplicaFleetHandover is the sharded soak: UEs behind a
 // coordinator over 4 replicas with the handover drill live-migrating
 // sessions throughout. Healthy means zero driver errors and zero leaked

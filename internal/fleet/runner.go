@@ -7,9 +7,11 @@ import (
 	"math"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/coord"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -41,6 +43,29 @@ type HandoverReport struct {
 
 	P50Ms float64 `json:"latency_p50_ms"`
 	P99Ms float64 `json:"latency_p99_ms"`
+}
+
+// FailoverReport measures the chaos drill's crash-failover pipeline —
+// MTTR split into detection (first failed probe → death verdict) and
+// recovery (fence → session settled on a survivor), plus the session
+// ledger. It lands as the `failover` section under `fleet` in
+// BENCH.json; the CI gate fails the build on lost sessions, zero
+// recoveries, or degenerate MTTR.
+type FailoverReport struct {
+	Replicas int `json:"replicas"`
+	Kills    int `json:"kills"`   // uncontrolled replica kills injected
+	Rejoins  int `json:"rejoins"` // fresh incarnations booted on the same store
+
+	Failovers         int64 `json:"failovers"`          // crash failovers the coordinator ran
+	SessionsRecovered int64 `json:"sessions_recovered"` // adopted onto survivors from durable checkpoints
+	SessionsLost      int64 `json:"sessions_lost"`      // checkpointed sessions recovery could not save
+	Readmissions      int64 `json:"readmissions"`       // fenced replicas back in placement after healthy probes
+	RefusedDown       int64 `json:"refused_replica_down"`
+
+	DetectP50Ms  float64 `json:"detect_p50_ms"`
+	DetectP99Ms  float64 `json:"detect_p99_ms"`
+	RecoverP50Ms float64 `json:"recover_p50_ms"`
+	RecoverP99Ms float64 `json:"recover_p99_ms"`
 }
 
 // Report is what a fleet soak measures. It lands as the `fleet` section
@@ -88,6 +113,10 @@ type Report struct {
 	// Handover is present when the soak ran a replica fleet
 	// (Spec.Replicas > 1).
 	Handover *HandoverReport `json:"handover,omitempty"`
+
+	// Failover is present when the soak ran the chaos drill
+	// (Spec.Chaos).
+	Failover *FailoverReport `json:"failover,omitempty"`
 
 	// Final maps session id → its last incarnation's outcome: the
 	// per-UE ground truth the determinism suite compares across runs
@@ -168,10 +197,13 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 		rep.Final[snap.ID] = out
 	}
 
+	if spec.Chaos && spec.Replicas <= 1 {
+		return nil, errors.New("fleet: chaos drill needs Replicas > 1 (no survivor to fail over to)")
+	}
+
 	var handlers, drivers sync.WaitGroup
-	servers := make([]*transport.BSServer, spec.Replicas)
-	for i := range servers {
-		cfg := transport.ServerConfig{
+	mkCfg := func(i int) transport.ServerConfig {
+		return transport.ServerConfig{
 			ReplicaID:       fmt.Sprintf("bs-%d", i),
 			MaxUE:           spec.UEs,
 			Sched:           transport.SchedAsync,
@@ -187,39 +219,129 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 			CheckpointEvery: 1,
 			OnSessionEnd:    onEnd,
 		}
-		if spec.Replicas > 1 {
-			// Handover rides on checkpoints, so every replica gets its
-			// own in-memory store; the blobs never touch disk.
-			cfg.Store = store.NewMem(spec.Retain)
-		}
-		srv, err := transport.NewBSServer(cfg)
+	}
+
+	servers := make([]*transport.BSServer, spec.Replicas)
+	var chaosReps []*chaos.Replica
+	if spec.Chaos {
+		// Chaos replicas live on durable journal stores behind a
+		// fault-injecting filesystem: a kill tears the in-flight write,
+		// survivors adopt from the reopened journal, and the rejoined
+		// incarnation cold-start-adopts whatever replay salvages.
+		chaosDir, err := os.MkdirTemp("", "mmsl-fleet-chaos-*")
 		if err != nil {
-			return nil, fmt.Errorf("fleet: server %d: %w", i, err)
+			return nil, fmt.Errorf("fleet: chaos store dir: %w", err)
 		}
-		servers[i] = srv
-		if spec.OnServer != nil {
-			spec.OnServer(srv)
+		defer os.RemoveAll(chaosDir)
+		chaosReps = make([]*chaos.Replica, spec.Replicas)
+		for i := range chaosReps {
+			cs := &chaosStore{
+				path:   filepath.Join(chaosDir, fmt.Sprintf("bs-%d.journal", i)),
+				retain: spec.Retain,
+			}
+			st, err := cs.open()
+			if err != nil {
+				return nil, fmt.Errorf("fleet: chaos store %d: %w", i, err)
+			}
+			cr, err := chaos.New(chaos.Config{
+				Make: func(st store.Store) (*transport.BSServer, error) {
+					cfg := mkCfg(i)
+					cfg.Store = st
+					return transport.NewBSServer(cfg)
+				},
+				Store:     st,
+				Reopen:    cs.open,
+				Tear:      cs.trip,
+				HandlerWG: &handlers,
+				Logf:      logf,
+			})
+			if err != nil {
+				st.Close()
+				return nil, fmt.Errorf("fleet: chaos replica %d: %w", i, err)
+			}
+			chaosReps[i] = cr
+			servers[i] = cr.BS()
+			if spec.OnServer != nil {
+				spec.OnServer(cr.BS())
+			}
 		}
+	} else {
+		for i := range servers {
+			cfg := mkCfg(i)
+			if spec.Replicas > 1 {
+				// Handover rides on checkpoints, so every replica gets its
+				// own in-memory store; the blobs never touch disk.
+				cfg.Store = store.NewMem(spec.Retain)
+			}
+			srv, err := transport.NewBSServer(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: server %d: %w", i, err)
+			}
+			servers[i] = srv
+			if spec.OnServer != nil {
+				spec.OnServer(srv)
+			}
+		}
+	}
+	// currentServers resolves the live incarnations: a chaos replica that
+	// was killed and rejoined runs a fresh server object, so accounting
+	// must not read the stale one it booted with.
+	currentServers := func() []*transport.BSServer {
+		if chaosReps == nil {
+			return servers
+		}
+		out := make([]*transport.BSServer, len(chaosReps))
+		for i, cr := range chaosReps {
+			out[i] = cr.BS()
+		}
+		return out
 	}
 
 	// handle serves the BS end of one UE incarnation's pipe.
 	handle := servers[0].Handle
 	var co *coord.Coordinator
 	if spec.Replicas > 1 {
-		replicas := make([]coord.Replica, len(servers))
-		for i, srv := range servers {
-			replicas[i] = &trackedReplica{
-				LocalReplica: coord.NewLocalReplica(srv),
-				bs:           srv,
-				wg:           &handlers,
+		replicas := make([]coord.Replica, spec.Replicas)
+		for i := range replicas {
+			if spec.Chaos {
+				replicas[i] = chaosReps[i]
+			} else {
+				replicas[i] = &trackedReplica{
+					LocalReplica: coord.NewLocalReplica(servers[i]),
+					bs:           servers[i],
+					wg:           &handlers,
+				}
 			}
 		}
-		co, err = coord.New(replicas, coord.Options{})
+		opts := coord.Options{}
+		if spec.Chaos {
+			// A soak round is sub-millisecond; scale recovery's retry
+			// schedule to the load it races rather than the deploy-scale
+			// defaults.
+			opts.Failover = coord.FailoverConfig{
+				RecoverParallel: 4,
+				RetryLimit:      4,
+				RetryBackoff:    transport.Backoff{Base: 2 * time.Millisecond, Max: 25 * time.Millisecond},
+			}
+		}
+		co, err = coord.New(replicas, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: coordinator: %w", err)
 		}
 		if spec.OnCoordinator != nil {
 			spec.OnCoordinator(co)
+		}
+		if spec.Chaos {
+			// Soak-speed probing: a kill is detected in a few intervals;
+			// the generous timeout keeps scheduler hiccups under -race
+			// from minting false death verdicts.
+			det := co.StartDetector(coord.DetectorConfig{
+				Interval:    3 * time.Millisecond,
+				Timeout:     50 * time.Millisecond,
+				FailAfter:   3,
+				RejoinAfter: 2,
+			})
+			defer det.Stop()
 		}
 		handle = co.HandleConn
 	}
@@ -254,6 +376,13 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 			handoverDrill(co, env, spec.RebalanceEvery, stopDrill)
 		}()
 	}
+	if spec.Chaos {
+		drillDone.Add(1)
+		go func() {
+			defer drillDone.Done()
+			chaosDrill(co, chaosReps, spec.ChaosInterval, stopDrill, logf)
+		}()
+	}
 
 	settled := make(chan struct{})
 	go func() {
@@ -266,7 +395,7 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	case <-time.After(spec.WallLimit):
 		close(stopDrill)
 		live := 0
-		for _, srv := range servers {
+		for _, srv := range currentServers() {
 			live += srv.ActiveSessions()
 		}
 		return nil, fmt.Errorf("fleet: soak wedged: %d/%d sessions still live after %v",
@@ -274,7 +403,24 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	}
 	close(stopDrill)
 	drillDone.Wait()
+	if spec.Chaos {
+		// Quiesce the failure machinery before accounting: stop the probe
+		// loops (idempotent with the deferred Stop) and wait out any
+		// failover a last-moment verdict launched.
+		if d := co.Detector(); d != nil {
+			d.Stop()
+		}
+		for t0 := time.Now(); co.RecoveriesActive() > 0 && time.Since(t0) < 5*time.Second; {
+			time.Sleep(time.Millisecond)
+		}
+	}
 	rep.ElapsedSec = time.Since(start).Seconds()
+
+	// From here on read the live incarnations (identical to servers in a
+	// chaos-free soak). Counters that died with a killed incarnation —
+	// its rounds, its ring samples — are gone, like a real crashed
+	// process's; the chaos report measures recovery, not throughput.
+	servers = currentServers()
 
 	for _, srv := range servers {
 		rep.SharedRounds += srv.SharedRounds()
@@ -327,6 +473,27 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 			P50Ms:        float64(p50) / float64(time.Millisecond),
 			P99Ms:        float64(p99) / float64(time.Millisecond),
 		}
+		if spec.Chaos {
+			dp50, dp99, _ := co.DetectionLatency()
+			rp50, rp99, _ := co.RecoveryLatency()
+			fo := &FailoverReport{
+				Replicas:          spec.Replicas,
+				Failovers:         st.Failovers,
+				SessionsRecovered: st.SessionsRecovered,
+				SessionsLost:      st.SessionsLost,
+				Readmissions:      st.Rejoins,
+				RefusedDown:       st.RefusedDown,
+				DetectP50Ms:       float64(dp50) / float64(time.Millisecond),
+				DetectP99Ms:       float64(dp99) / float64(time.Millisecond),
+				RecoverP50Ms:      float64(rp50) / float64(time.Millisecond),
+				RecoverP99Ms:      float64(rp99) / float64(time.Millisecond),
+			}
+			for _, cr := range chaosReps {
+				fo.Kills += cr.Kills()
+				fo.Rejoins += cr.Rejoins()
+			}
+			rep.Failover = fo
+		}
 	}
 	for _, srv := range servers {
 		srv.Close()
@@ -339,6 +506,13 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Report, error) {
 	if rep.Handover != nil {
 		logf("fleet: handover drill: %d migrations (%d failed attempts), p50 %.2fms p99 %.2fms",
 			rep.Handover.Migrations, rep.Handover.Failed, rep.Handover.P50Ms, rep.Handover.P99Ms)
+	}
+	if rep.Failover != nil {
+		logf("fleet: chaos drill: %d kills, %d rejoins, %d failovers: %d recovered, %d lost; detect p50 %.2fms p99 %.2fms, recover p50 %.2fms p99 %.2fms",
+			rep.Failover.Kills, rep.Failover.Rejoins, rep.Failover.Failovers,
+			rep.Failover.SessionsRecovered, rep.Failover.SessionsLost,
+			rep.Failover.DetectP50Ms, rep.Failover.DetectP99Ms,
+			rep.Failover.RecoverP50Ms, rep.Failover.RecoverP99Ms)
 	}
 	return rep, nil
 }
@@ -361,6 +535,110 @@ func (r *trackedReplica) Dial() (io.ReadWriteCloser, error) {
 		_ = r.bs.Handle(bsEnd)
 	}()
 	return ueEnd, nil
+}
+
+// chaosStore owns one replica's durable journal path. Every open —
+// boot, coordinator takeover after a kill, rejoin — builds a fresh
+// fault-injecting filesystem over the same file, because a FaultFS
+// stays tripped forever once its budget dies with an incarnation.
+// trip corrupts whatever write is in flight on the current one.
+type chaosStore struct {
+	path   string
+	retain int
+
+	mu  sync.Mutex
+	cur *store.FaultFS
+}
+
+func (cs *chaosStore) open() (store.Store, error) {
+	ff := store.NewFaultFS(store.OS, 1<<40)
+	st, err := store.OpenJournal(cs.path, store.JournalOptions{Retain: cs.retain, FS: ff})
+	if err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	cs.cur = ff
+	cs.mu.Unlock()
+	return st, nil
+}
+
+func (cs *chaosStore) trip() {
+	cs.mu.Lock()
+	ff := cs.cur
+	cs.mu.Unlock()
+	if ff != nil {
+		ff.Trip()
+	}
+}
+
+// chaosDrill injects failures for the whole soak: round-robin over the
+// replicas it kills one uncontrolled (tearing its in-flight store
+// write), waits for the detector's verdict and the coordinator's crash
+// failover to settle, rejoins the replica as a fresh incarnation on the
+// same journal, and waits for the detector to readmit it — so every
+// cycle starts from a fully-fenced-free fleet and at most one replica
+// is ever down. Every fourth action is a freeze instead: a stall long
+// enough to read as gray but short of the probe timeout, exercising the
+// slow-replica verdict without a failover.
+func chaosDrill(co *coord.Coordinator, reps []*chaos.Replica, every time.Duration, stop <-chan struct{}, logf func(string, ...any)) {
+	pause := func(d time.Duration) bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	// until polls cond to true, giving up on stop or after limit.
+	until := func(limit time.Duration, cond func() bool) bool {
+		deadline := time.Now().Add(limit)
+		for {
+			if cond() {
+				return true
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			if !pause(time.Millisecond) {
+				return false
+			}
+		}
+	}
+	kills := 0
+	for cycle := 0; ; cycle++ {
+		if !pause(every) {
+			return
+		}
+		if cycle%4 == 3 {
+			// Gray drill: freeze past the gray threshold (Timeout/2 of
+			// the soak detector's 50ms) but short of the timeout.
+			reps[cycle%len(reps)].Stall(30 * time.Millisecond)
+			continue
+		}
+		// Kills rotate on their own counter so every replica takes its
+		// turn dying even when the gray cadence aligns with fleet size.
+		victim := reps[kills%len(reps)]
+		kills++
+		prevFailovers := co.Stats().Failovers
+		victim.Kill(true)
+		if !until(10*time.Second, func() bool {
+			return co.Stats().Failovers > prevFailovers && co.RecoveriesActive() == 0
+		}) {
+			select {
+			case <-stop: // soak over before the verdict; leave it down
+				return
+			default:
+				logf("fleet: chaos drill: failover of %s did not settle; rejoining anyway", victim.ID())
+			}
+		}
+		if err := victim.Rejoin(); err != nil {
+			logf("fleet: chaos drill: rejoin %s: %v", victim.ID(), err)
+			return
+		}
+		// Readmission quota is a handful of fast probes; don't kill the
+		// next replica until the fleet is whole again.
+		until(10*time.Second, func() bool { return !co.IsFenced(victim.ID()) })
+	}
 }
 
 // handoverDrill keeps live migration happening for the whole soak: each

@@ -40,6 +40,18 @@ func (ff *FaultFS) Tripped() bool {
 	return ff.tripped
 }
 
+// Trip exhausts the budget immediately: any write in flight delivers no
+// further bytes and every later mutating operation fails. The chaos
+// harness calls this at the instant of an unclean replica kill, so a
+// checkpoint racing the kill lands torn on "disk" — exactly the state a
+// power cut mid-write leaves behind for recovery to truncate away.
+func (ff *FaultFS) Trip() {
+	ff.mu.Lock()
+	ff.budget = 0
+	ff.tripped = true
+	ff.mu.Unlock()
+}
+
 // take consumes up to n bytes of budget. It returns how many bytes may
 // still be written and whether the fault fires on this operation.
 func (ff *FaultFS) take(n int) (allowed int, fault bool) {

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTakeoverWaitsForFlockRelease: OpenForTakeover against a journal
+// whose writer is still live retries until the holder closes — the
+// survivor adopting a dying replica's store races only the kernel's
+// flock release, never a lock file.
+func TestTakeoverWaitsForFlockRelease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bs.journal")
+	holder, err := OpenJournal(path, JournalOptions{Retain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.PutCheckpoint("ue-t", 6, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Holder still live, no wait budget: exactly one try, ErrLocked.
+	if _, err := OpenForTakeover("journal", path, 8, 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("takeover of held journal: %v, want ErrLocked", err)
+	}
+
+	// Release the lock mid-retry: the takeover must land within its
+	// budget and read the holder's durable state.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		holder.Close()
+	}()
+	st, err := OpenForTakeover("journal", path, 8, 2*time.Second)
+	if err != nil {
+		t.Fatalf("takeover after release: %v", err)
+	}
+	defer st.Close()
+	if got, err := st.GetCheckpoint("ue-t", 6); err != nil || string(got) != "durable" {
+		t.Fatalf("taken-over checkpoint: %q, %v", got, err)
+	}
+}
+
+// TestTakeoverDir: the dir backend takes over the same way.
+func TestTakeoverDir(t *testing.T) {
+	dir := t.TempDir()
+	holder, err := OpenDir(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.PutCheckpoint("ue-d", 2, []byte("dir-durable")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenForTakeover("dir", dir, 8, 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("takeover of held dir: %v, want ErrLocked", err)
+	}
+	holder.Close()
+	st, err := OpenForTakeover("dir", dir, 8, time.Second)
+	if err != nil {
+		t.Fatalf("takeover after close: %v", err)
+	}
+	defer st.Close()
+	if got, err := st.GetCheckpoint("ue-d", 2); err != nil || string(got) != "dir-durable" {
+		t.Fatalf("taken-over checkpoint: %q, %v", got, err)
+	}
+}
+
+// TestTakeoverMemImpossible: the mem backend has no durable path, so a
+// takeover is a structured error, not a panic or a silent empty store.
+func TestTakeoverMemImpossible(t *testing.T) {
+	if _, err := OpenForTakeover("mem", "", 8, 0); err == nil {
+		t.Fatal("takeover of a mem store must fail")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -127,12 +128,20 @@ func ServeUE(conn io.ReadWriter, h Hello, cfg split.Config, d *dataset.Dataset) 
 	return ue.Serve()
 }
 
-// Backoff is a capped exponential reconnect schedule.
+// Backoff is a capped exponential reconnect schedule with full jitter:
+// each wait is drawn uniformly from (0, ceiling] where the ceiling is
+// the deterministic capped-exponential value. Jitter is what breaks the
+// thundering herd when a replica dies — without it every UE of that
+// replica retries at exactly the same instant, forever in lockstep.
 type Backoff struct {
-	Base    time.Duration // delay before the first retry (≤0: 100ms)
-	Max     time.Duration // delay cap (≤0: 5s)
-	Factor  float64       // growth per consecutive failure (≤1: 2)
+	Base    time.Duration // ceiling before the first retry (≤0: 100ms)
+	Max     time.Duration // ceiling cap (≤0: 5s)
+	Factor  float64       // ceiling growth per consecutive failure (≤1: 2)
 	Retries int           // consecutive failures before giving up (≤0: 6)
+
+	// NoJitter disables the random draw and sleeps the full ceiling —
+	// for tests that assert exact schedules.
+	NoJitter bool
 }
 
 func (b Backoff) withDefaults() Backoff {
@@ -151,8 +160,9 @@ func (b Backoff) withDefaults() Backoff {
 	return b
 }
 
-// delay returns the wait before retry number attempt (1-based).
-func (b Backoff) delay(attempt int) time.Duration {
+// Delay returns the wait before retry number attempt (1-based): the
+// capped-exponential ceiling with full jitter applied unless NoJitter.
+func (b Backoff) Delay(attempt int) time.Duration {
 	d := b.Base
 	for i := 1; i < attempt && d < b.Max; i++ {
 		d = time.Duration(float64(d) * b.Factor)
@@ -160,7 +170,10 @@ func (b Backoff) delay(attempt int) time.Duration {
 	if d > b.Max {
 		d = b.Max
 	}
-	return d
+	if b.NoJitter || d <= 1 {
+		return d
+	}
+	return time.Duration(1 + rand.Int63n(int64(d)))
 }
 
 // UESession runs the UE half of one split-learning session with
@@ -262,7 +275,7 @@ func (s *UESession) Run(dial func() (io.ReadWriteCloser, error)) error {
 	var lastErr error
 	for failures <= bo.Retries {
 		if failures > 0 {
-			d := bo.delay(failures)
+			d := bo.Delay(failures)
 			logf("ue-session %q: reconnect %d/%d in %v (%v)",
 				s.Hello.SessionID, failures, bo.Retries, d, lastErr)
 			sleep(d)

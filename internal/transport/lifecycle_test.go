@@ -931,15 +931,37 @@ func TestBSServerV2PeerInterop(t *testing.T) {
 // ---- client backoff ------------------------------------------------------------
 
 func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{NoJitter: true}.withDefaults()
+	if b.Delay(1) != 100*time.Millisecond {
+		t.Fatalf("first delay %v", b.Delay(1))
+	}
+	if b.Delay(2) != 200*time.Millisecond || b.Delay(3) != 400*time.Millisecond {
+		t.Fatalf("growth %v %v", b.Delay(2), b.Delay(3))
+	}
+	if b.Delay(50) != 5*time.Second {
+		t.Fatalf("cap %v", b.Delay(50))
+	}
+}
+
+// TestBackoffFullJitter: without NoJitter each delay is drawn from
+// (0, ceiling] — bounded by the deterministic schedule, never zero, and
+// not in lockstep across draws (thundering-herd breaker).
+func TestBackoffFullJitter(t *testing.T) {
 	b := Backoff{}.withDefaults()
-	if b.delay(1) != 100*time.Millisecond {
-		t.Fatalf("first delay %v", b.delay(1))
+	ceil := Backoff{NoJitter: true}.withDefaults()
+	distinct := map[time.Duration]bool{}
+	for attempt := 1; attempt <= 4; attempt++ {
+		max := ceil.Delay(attempt)
+		for i := 0; i < 64; i++ {
+			d := b.Delay(attempt)
+			if d <= 0 || d > max {
+				t.Fatalf("attempt %d: jittered delay %v outside (0, %v]", attempt, d, max)
+			}
+			distinct[d] = true
+		}
 	}
-	if b.delay(2) != 200*time.Millisecond || b.delay(3) != 400*time.Millisecond {
-		t.Fatalf("growth %v %v", b.delay(2), b.delay(3))
-	}
-	if b.delay(50) != 5*time.Second {
-		t.Fatalf("cap %v", b.delay(50))
+	if len(distinct) < 8 {
+		t.Fatalf("jittered delays suspiciously uniform: %d distinct values", len(distinct))
 	}
 }
 

@@ -95,6 +95,9 @@ func (s *session) cancelMigration(m *migration) {
 // arrives. timeout ≤ 0 applies a 30s default; a session that reaches no
 // step boundary within it (wedged UE) stays live and unharmed.
 func (s *BSServer) MigrateOut(id string, timeout time.Duration) (*MigrationState, error) {
+	if s.crashed.Load() {
+		return nil, ErrReplicaCrashed
+	}
 	sess := s.store.findLive(id)
 	if sess == nil {
 		return nil, fmt.Errorf("transport: no live session %q", id)
@@ -177,6 +180,9 @@ func (s *BSServer) migrate(sess *session, peer *BSPeer, m *migration, done int) 
 func (s *BSServer) AdoptSessionState(st *MigrationState) error {
 	if st == nil || st.ID == "" {
 		return errors.New("transport: empty migration state")
+	}
+	if s.crashed.Load() {
+		return ErrReplicaCrashed
 	}
 	if !s.ckptEnabled || s.storeDegraded.Load() {
 		return fmt.Errorf("transport: cannot adopt session %q: no usable checkpoint store", st.ID)

@@ -240,6 +240,7 @@ type BSServer struct {
 	migratedIn     atomic.Int64 // sessions adopted via AdoptSessionState
 
 	draining atomic.Bool
+	crashed  atomic.Bool
 	wg       sync.WaitGroup
 
 	closeOnce sync.Once
@@ -337,6 +338,11 @@ func (s *BSServer) StoreDegraded() bool { return s.storeDegraded.Load() }
 // continues, checkpointing stops, the condition is surfaced in Stats —
 // rather than failing sessions: a BS with a sick disk still trains.
 func (s *BSServer) storeWrite(what string, op func() error) error {
+	if s.crashed.Load() {
+		// A killed process writes nothing more: checkpoints and retire
+		// records in flight at crash time are simply lost.
+		return ErrReplicaCrashed
+	}
 	if s.storeDegraded.Load() {
 		return errStoreDegraded
 	}
@@ -453,6 +459,34 @@ func (s *BSServer) Drain() {
 
 // Draining reports whether Drain has been called.
 func (s *BSServer) Draining() bool { return s.draining.Load() }
+
+// ErrReplicaCrashed is the terminal cause stamped on every session of a
+// replica taken down by Crash — the uncontrolled-kill counterpart of
+// ErrAdminEvicted.
+var ErrReplicaCrashed = errors.New("transport: replica crashed")
+
+// Crash simulates an uncontrolled replica kill (SIGKILL, power loss):
+// every live session's connection is severed with no farewell frame, no
+// drain checkpoint is taken, and — unlike a graceful Drain — nothing
+// further is persisted: retire records for the killed sessions never
+// reach the store, exactly as if the process died mid-flight. The
+// in-process session records still retire through the normal finish
+// path (stamped ErrReplicaCrashed) so tests can observe the carnage,
+// but the durable store is left holding only what was already flushed:
+// the per-session checkpoints that recovery resurrects from.
+func (s *BSServer) Crash() {
+	if !s.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	live := s.store.liveAll()
+	s.cfg.Logf("bs-server: CRASH — killing %d live sessions uncleanly", len(live))
+	for _, sess := range live {
+		sess.kill(ErrReplicaCrashed)
+	}
+}
+
+// Crashed reports whether Crash has been called.
+func (s *BSServer) Crashed() bool { return s.crashed.Load() }
 
 // Sessions returns snapshots of the retained finished sessions (oldest
 // first, bounded by ServerConfig.Retain) followed by the live ones in
@@ -596,6 +630,12 @@ func (s *BSServer) Stats() ServerStats {
 // it directly over net.Pipe.
 func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 	defer conn.Close()
+	if s.crashed.Load() {
+		// A dead process neither reads nor acks: sever silently so the
+		// dialer sees a transport failure (retryable), never a
+		// structured rejection (fatal).
+		return ErrReplicaCrashed
+	}
 
 	// Count from the first byte so the handshake itself is part of each
 	// session's wire accounting; the idle wrapper below the counter
@@ -672,6 +712,13 @@ func (s *BSServer) Handle(conn io.ReadWriteCloser) error {
 			h.SessionID, sess.epoch, superseded.epoch)
 	}
 	sess.setConn(cc)
+	if s.crashed.Load() {
+		// Crash landed between the top-of-Handle check and admission:
+		// retire the zombie record and sever without acking, so no
+		// session outlives the kill.
+		s.fail(sess, ErrReplicaCrashed)
+		return ErrReplicaCrashed
+	}
 
 	cfg, d, sp, err := s.cfg.Provision(h)
 	// The payload codec is a per-session handshake parameter, not a

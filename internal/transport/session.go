@@ -502,6 +502,17 @@ func (st *sessionStore) findLive(id string) *session {
 	return st.live[id]
 }
 
+// liveAll snapshots every live session — the crash path's kill list.
+func (st *sessionStore) liveAll() []*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	all := make([]*session, 0, len(st.live))
+	for _, sess := range st.live {
+		all = append(all, sess)
+	}
+	return all
+}
+
 // snapshotByID returns the freshest snapshot for id: the live session's
 // if one is registered, else the most recently retired incarnation's.
 func (st *sessionStore) snapshotByID(id string) (SessionSnapshot, bool) {
